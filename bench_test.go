@@ -1,0 +1,149 @@
+// Benchmarks regenerating each of the paper's evaluation artifacts at a
+// reduced scale, with custom metrics exposing the quantities the paper
+// plots (latency seconds, required Mbit/s, bytes). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Full-scale artifacts are produced by cmd/benchtables (no -quick flag).
+package partialtor_test
+
+import (
+	"testing"
+	"time"
+
+	"partialtor"
+)
+
+// BenchmarkFigure1AttackLog regenerates the Figure 1 attack run (current
+// protocol, majority throttled during the vote rounds).
+func BenchmarkFigure1AttackLog(b *testing.B) {
+	var lines int
+	for i := 0; i < b.N; i++ {
+		r := partialtor.Figure1(partialtor.Figure1Params{
+			Relays:   400,
+			Round:    15 * time.Second,
+			Residual: 5e3,
+			Seed:     int64(i + 1),
+		})
+		if r.Run.Success {
+			b.Fatal("attack run unexpectedly succeeded")
+		}
+		lines = len(r.Lines)
+	}
+	b.ReportMetric(float64(lines), "log_lines")
+}
+
+// BenchmarkFigure6RelaySeries regenerates the relay-count series.
+func BenchmarkFigure6RelaySeries(b *testing.B) {
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		avg = partialtor.Figure6().Average
+	}
+	b.ReportMetric(avg, "avg_relays")
+}
+
+// BenchmarkFigure7BandwidthRequirement regenerates one bandwidth-requirement
+// point (800 relays, 5 authorities attacked).
+func BenchmarkFigure7BandwidthRequirement(b *testing.B) {
+	var req float64
+	for i := 0; i < b.N; i++ {
+		r := partialtor.Figure7(partialtor.Figure7Params{
+			RelayCounts: []int{800},
+			Round:       15 * time.Second,
+			MaxMbit:     60,
+			Precision:   1,
+			Seed:        int64(i + 1),
+		})
+		req = r.Rows[0].RequiredMbit
+	}
+	b.ReportMetric(req, "required_mbit")
+}
+
+// BenchmarkFigure10Latency regenerates one cell per protocol of the latency
+// grid (10 Mbit/s, 600 relays) and reports the ICPS latency.
+func BenchmarkFigure10Latency(b *testing.B) {
+	var ours time.Duration
+	for i := 0; i < b.N; i++ {
+		r := partialtor.Figure10(partialtor.Figure10Params{
+			BandwidthsMbit: []float64{10},
+			RelayCounts:    []int{600},
+			Round:          15 * time.Second,
+			Seed:           int64(i + 1),
+		})
+		c, ok := r.Cell(partialtor.ICPS, 10, 600)
+		if !ok || !c.Success {
+			b.Fatal("ICPS cell failed")
+		}
+		ours = c.Latency
+	}
+	b.ReportMetric(ours.Seconds(), "ours_latency_s")
+}
+
+// BenchmarkFigure11Recovery regenerates the outage-recovery experiment
+// (scaled to a one-minute outage) and reports the recovery time.
+func BenchmarkFigure11Recovery(b *testing.B) {
+	var rec time.Duration
+	for i := 0; i < b.N; i++ {
+		r := partialtor.Figure11(partialtor.Figure11Params{
+			RelayCounts: []int{400},
+			Outage:      time.Minute,
+			Seed:        int64(i + 1),
+		})
+		if r.Rows[0].Recovery == partialtor.Never {
+			b.Fatal("no recovery")
+		}
+		rec = r.Rows[0].Recovery
+	}
+	b.ReportMetric(rec.Seconds(), "recovery_s")
+	b.ReportMetric(partialtor.FallbackLatency.Seconds(), "baseline_s")
+}
+
+// BenchmarkTable1Communication regenerates the design-comparison
+// measurements and reports the byte ratio between the synchronous protocol
+// and ours.
+func BenchmarkTable1Communication(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		r := partialtor.Table1(partialtor.Table1Params{
+			Relays:    300,
+			Bandwidth: 100e6,
+			Round:     20 * time.Second,
+			Seed:      int64(i + 1),
+		})
+		var syncBytes, oursBytes int64
+		for _, row := range r.Rows {
+			switch row.Protocol {
+			case partialtor.Synchronous:
+				syncBytes = row.MeasuredBytes
+			case partialtor.ICPS:
+				oursBytes = row.MeasuredBytes
+			}
+		}
+		if oursBytes == 0 {
+			b.Fatal("missing measurement")
+		}
+		ratio = float64(syncBytes) / float64(oursBytes)
+	}
+	b.ReportMetric(ratio, "sync_over_ours_bytes")
+}
+
+// BenchmarkTable2Rounds verifies the 2+5+2 round structure.
+func BenchmarkTable2Rounds(b *testing.B) {
+	var total int
+	for i := 0; i < b.N; i++ {
+		total = partialtor.Table2().Total
+	}
+	if total != 9 {
+		b.Fatalf("total rounds %d, want 9", total)
+	}
+	b.ReportMetric(float64(total), "rounds")
+}
+
+// BenchmarkCostModel evaluates the §4.3 pricing.
+func BenchmarkCostModel(b *testing.B) {
+	var month float64
+	for i := 0; i < b.N; i++ {
+		month = partialtor.CostTable().CostPerMonth
+	}
+	b.ReportMetric(month, "usd_per_month")
+}

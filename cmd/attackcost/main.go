@@ -1,0 +1,34 @@
+// Command attackcost evaluates the paper's §4.3 DDoS pricing model: how
+// much it costs to rent enough stressor traffic to break every hourly Tor
+// consensus run. With the defaults it reproduces the headline numbers,
+// $0.074 per instance and $53.28 per month.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"partialtor"
+	"partialtor/internal/attack"
+)
+
+func main() {
+	var (
+		targets  = flag.Int("targets", 5, "authorities to flood (majority of 9)")
+		minutes  = flag.Float64("minutes", 5, "attack window per consensus instance")
+		price    = flag.Float64("price", 0.00074, "stressor price per Mbit/s per hour ($)")
+		link     = flag.Float64("link", 250, "authority link capacity (Mbit/s)")
+		required = flag.Float64("required", 10, "protocol bandwidth requirement (Mbit/s)")
+	)
+	flag.Parse()
+
+	m := attack.CostModel{
+		PricePerMbitHour:  *price,
+		AuthorityLinkMbit: *link,
+		RequiredMbit:      *required,
+	}
+	d := time.Duration(*minutes * float64(time.Minute))
+	fmt.Println(m.Summary(*targets, d))
+	fmt.Printf("\nwith the paper's defaults: %s\n", partialtor.DefaultCostModel().Summary(5, 5*time.Minute))
+}

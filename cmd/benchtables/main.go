@@ -1,0 +1,124 @@
+// Command benchtables regenerates every table and figure of the paper's
+// evaluation as text tables:
+//
+//	Figure 1  — authority log under the 5-authority attack
+//	Figure 6  — relay-count time series (avg 7141.79)
+//	Figure 7  — bandwidth requirement vs. relay count (5 attacked)
+//	Figure 10 — latency of the three protocols across bandwidths
+//	Figure 11 — recovery after the 5-minute outage
+//	Table 1   — design comparison with measured transport cost
+//	Table 2   — sub-protocol round counts
+//	Cost      — §4.3 attack pricing
+//
+// By default everything runs at paper scale (150s rounds, up to 10000
+// relays), which takes a few minutes; -quick shrinks the sweeps for a fast
+// smoke pass. Select individual artifacts with -only.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"partialtor"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "run reduced sweeps (seconds instead of minutes)")
+		only  = flag.String("only", "", "comma-separated subset: fig1,fig6,fig7,fig10,fig11,tab1,tab2,cost")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToLower(k))] = true
+		}
+	}
+	sel := func(k string) bool { return len(want) == 0 || want[k] }
+
+	if sel("fig6") {
+		fmt.Println(partialtor.Figure6().Render())
+	}
+	if sel("cost") {
+		fmt.Println(partialtor.CostTable().Render())
+	}
+	if sel("tab2") {
+		fmt.Println(partialtor.Table2().Render())
+	}
+	if sel("fig1") {
+		p := partialtor.Figure1Params{}
+		if *quick {
+			p = partialtor.Figure1Params{Relays: 400, Round: 15 * time.Second, Residual: 5e3}
+		}
+		fmt.Println(partialtor.Figure1(p).Render())
+	}
+	if sel("tab1") {
+		p := partialtor.Table1Params{}
+		if *quick {
+			p = partialtor.Table1Params{Relays: 300, Bandwidth: 100e6, Round: 20 * time.Second}
+		}
+		fmt.Println(partialtor.Table1(p).Render())
+	}
+	if sel("fig7") {
+		p := partialtor.Figure7Params{}
+		if *quick {
+			p = partialtor.Figure7Params{
+				RelayCounts: []int{200, 600, 1200},
+				Round:       15 * time.Second,
+				MaxMbit:     60,
+				Precision:   0.5,
+			}
+		}
+		fmt.Println(partialtor.Figure7(p).Render())
+	}
+	if sel("fig10") {
+		p := partialtor.Figure10Params{}
+		if *quick {
+			p = partialtor.Figure10Params{
+				BandwidthsMbit: []float64{100, 10, 1},
+				RelayCounts:    []int{300, 900, 1500},
+				Round:          15 * time.Second,
+			}
+		}
+		fmt.Println(partialtor.Figure10(p).Render())
+	}
+	if sel("fig11") {
+		p := partialtor.Figure11Params{}
+		if *quick {
+			p = partialtor.Figure11Params{RelayCounts: []int{200, 800}, Outage: time.Minute}
+		}
+		fmt.Println(partialtor.Figure11(p).Render())
+	}
+	if sel("ablation") {
+		es := partialtor.EntrySizeParams{}
+		dp := partialtor.DeltaParams{}
+		tp := partialtor.TimeoutParams{}
+		if *quick {
+			es = partialtor.EntrySizeParams{
+				EntrySizes:    []int{625, 2500},
+				RelayCounts:   []int{500, 1000, 2000, 4000, 8000},
+				BandwidthMbit: 10,
+				Round:         15 * time.Second,
+			}
+			dp = partialtor.DeltaParams{Relays: 200}
+			tp = partialtor.TimeoutParams{Outage: 30 * time.Second, Relays: 150}
+		}
+		fmt.Println(partialtor.AblationEntrySize(es).Render())
+		fmt.Println(partialtor.AblationDelta(dp).Render())
+		fmt.Println(partialtor.AblationTimeout(tp).Render())
+	}
+	if len(want) > 0 {
+		for k := range want {
+			switch k {
+			case "fig1", "fig6", "fig7", "fig10", "fig11", "tab1", "tab2", "cost", "ablation":
+			default:
+				fmt.Fprintf(os.Stderr, "unknown artifact %q\n", k)
+				os.Exit(2)
+			}
+		}
+	}
+}

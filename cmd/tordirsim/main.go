@@ -1,0 +1,90 @@
+// Command tordirsim runs one directory-protocol scenario on the simulator:
+// choose a protocol, a relay count, authority bandwidth and (optionally) a
+// DDoS attack window, and observe whether a consensus document is produced
+// and how long it takes.
+//
+// Examples:
+//
+//	tordirsim -protocol current -relays 8000
+//	tordirsim -protocol current -relays 8000 -attack -attack-minutes 5
+//	tordirsim -protocol ours -relays 8000 -bandwidth 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"partialtor"
+	"partialtor/internal/simnet"
+)
+
+func main() {
+	var (
+		protoName     = flag.String("protocol", "ours", "protocol: current | synchronous | ours")
+		relays        = flag.Int("relays", 8000, "number of relays in the synthetic population")
+		bandwidthMbit = flag.Float64("bandwidth", 250, "authority access bandwidth in Mbit/s")
+		round         = flag.Duration("round", 150*time.Second, "lock-step round length (baselines)")
+		doAttack      = flag.Bool("attack", false, "throttle the majority of the authorities")
+		attackMinutes = flag.Float64("attack-minutes", 5, "attack window length in minutes")
+		residualMbit  = flag.Float64("attack-residual", 0.5, "bandwidth left to attacked authorities (Mbit/s); 0 = offline")
+		seed          = flag.Int64("seed", 1, "simulation seed")
+		showLog       = flag.Int("log", -1, "print the protocol log of this authority (-1 = none)")
+	)
+	flag.Parse()
+
+	var proto partialtor.Protocol
+	switch strings.ToLower(*protoName) {
+	case "current", "dirv3":
+		proto = partialtor.Current
+	case "synchronous", "sync", "luo":
+		proto = partialtor.Synchronous
+	case "ours", "icps", "partial":
+		proto = partialtor.ICPS
+	default:
+		fmt.Fprintf(os.Stderr, "unknown protocol %q\n", *protoName)
+		os.Exit(2)
+	}
+
+	s := partialtor.Scenario{
+		Protocol:     proto,
+		Relays:       *relays,
+		EntryPadding: -1,
+		Bandwidth:    *bandwidthMbit * 1e6,
+		Round:        *round,
+		Seed:         *seed,
+	}
+	if *doAttack {
+		plan := partialtor.AttackPlan{
+			Targets:  partialtor.MajorityTargets(9),
+			Start:    0,
+			End:      time.Duration(*attackMinutes * float64(time.Minute)),
+			Residual: *residualMbit * 1e6,
+		}
+		s.Attack = &plan
+		fmt.Printf("attack: %d targets, window %v, residual %.2f Mbit/s\n",
+			len(plan.Targets), plan.End, plan.Residual/1e6)
+	}
+
+	fmt.Printf("running %v with %d relays at %.2f Mbit/s (seed %d)...\n",
+		proto, *relays, *bandwidthMbit, *seed)
+	res := partialtor.Run(s)
+
+	if res.Success {
+		fmt.Printf("SUCCESS: consensus generated, network-time latency %.1fs\n", res.Latency.Seconds())
+	} else {
+		fmt.Println("FAILURE: no valid consensus document this period")
+	}
+	fmt.Printf("transport: %d messages, %.2f MB sent\n", res.Messages, float64(res.BytesSent)/1e6)
+	if *showLog >= 0 && *showLog < 9 {
+		fmt.Printf("\n--- authority %d log ---\n", *showLog)
+		for _, e := range res.Net.NodeLog(simnet.NodeID(*showLog)) {
+			fmt.Printf("%10.3fs [%s] %s\n", e.At.Seconds(), e.Level, e.Text)
+		}
+	}
+	if !res.Success {
+		os.Exit(1)
+	}
+}

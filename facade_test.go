@@ -1,0 +1,117 @@
+package partialtor_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"partialtor"
+	"partialtor/internal/core"
+	"partialtor/internal/dirv3"
+)
+
+// These tests exercise the public facade end to end: a downstream user
+// should be able to reproduce the paper's headline claims with nothing but
+// the root package.
+
+func TestFacadeHealthyRunsAllProtocols(t *testing.T) {
+	for _, proto := range []partialtor.Protocol{
+		partialtor.Current, partialtor.Synchronous, partialtor.ICPS,
+	} {
+		res := partialtor.Run(partialtor.Scenario{
+			Protocol:     proto,
+			Relays:       150,
+			EntryPadding: 0,
+			Round:        20 * time.Second,
+			Seed:         4,
+		})
+		if !res.Success {
+			t.Fatalf("%v failed on a healthy network", proto)
+		}
+		if res.Latency <= 0 || res.Latency == partialtor.Never {
+			t.Fatalf("%v latency %v", proto, res.Latency)
+		}
+	}
+}
+
+func TestFacadeHeadlineAttack(t *testing.T) {
+	// Five minutes of DDoS on the majority: the current protocol loses the
+	// period, ours recovers within seconds of the attack ending. (Scaled
+	// to one minute / small documents; full scale in cmd/benchtables.)
+	plan := partialtor.FiveMinuteOutage(partialtor.MajorityTargets(9))
+	plan.End = time.Minute
+
+	cur := partialtor.Run(partialtor.Scenario{
+		Protocol:     partialtor.Current,
+		Relays:       200,
+		EntryPadding: 0,
+		Round:        15 * time.Second,
+		Attack:       &plan,
+		Seed:         4,
+	})
+	if cur.Success {
+		t.Fatal("current protocol survived the outage")
+	}
+	if _, ok := cur.Detail.(*dirv3.Result); !ok {
+		t.Fatalf("detail type %T", cur.Detail)
+	}
+
+	ours := partialtor.Run(partialtor.Scenario{
+		Protocol:     partialtor.ICPS,
+		Relays:       200,
+		EntryPadding: 0,
+		Attack:       &plan,
+		Seed:         4,
+	})
+	if !ours.Success {
+		t.Fatal("ICPS failed to recover from the outage")
+	}
+	recovery := ours.DoneAt - plan.End
+	if recovery < 0 || recovery > 30*time.Second {
+		t.Fatalf("recovery %v, want within seconds of the attack end", recovery)
+	}
+	if _, ok := ours.Detail.(*core.Result); !ok {
+		t.Fatalf("detail type %T", ours.Detail)
+	}
+}
+
+func TestFacadeCostModel(t *testing.T) {
+	m := partialtor.DefaultCostModel()
+	if math.Abs(m.CostPerMonth(5, 5*time.Minute)-53.28) > 0.01 {
+		t.Fatalf("monthly cost %.2f", m.CostPerMonth(5, 5*time.Minute))
+	}
+	if got := partialtor.CostTable().CostPerInstance; math.Abs(got-0.074) > 0.0005 {
+		t.Fatalf("instance cost %.4f", got)
+	}
+}
+
+func TestFacadeHelpers(t *testing.T) {
+	names := partialtor.AuthorityNames()
+	if len(names) != 9 || names[0] != "moria1" {
+		t.Fatalf("authority names %v", names)
+	}
+	// The returned slice is a copy; mutating it must not leak.
+	names[0] = "mallory"
+	if partialtor.AuthorityNames()[0] != "moria1" {
+		t.Fatal("AuthorityNames leaks internal state")
+	}
+	if got := partialtor.MajorityTargets(9); len(got) != 5 {
+		t.Fatalf("targets %v", got)
+	}
+	if partialtor.Seconds(1500*time.Millisecond) != 1.5 {
+		t.Fatal("Seconds helper wrong")
+	}
+	if partialtor.FallbackLatency != 2100*time.Second {
+		t.Fatal("fallback latency constant wrong")
+	}
+	if partialtor.ResidualUnderDDoS != 0.5e6 {
+		t.Fatal("residual constant wrong")
+	}
+}
+
+func TestFacadeFigure6(t *testing.T) {
+	f := partialtor.Figure6()
+	if math.Abs(f.Average-7141.79) > 0.05 {
+		t.Fatalf("average %.2f", f.Average)
+	}
+}

@@ -1,0 +1,113 @@
+// Package attack models the paper's DDoS adversary (§4): bandwidth-flooding
+// of directory authorities via DDoS-for-hire stressor services, expressed as
+// residual-bandwidth windows on the simulated network, plus the cost model
+// that yields the paper's headline numbers ($0.074 per consensus instance,
+// $53.28 per month).
+package attack
+
+import (
+	"fmt"
+	"time"
+
+	"partialtor/internal/simnet"
+)
+
+// ResidualUnderDDoS is the bandwidth left to a flooded node, per Jansen et
+// al. (0.5 Mbit/s), the figure the paper adopts (§4.3, Figure 7).
+const ResidualUnderDDoS = 0.5e6
+
+// Plan is one DDoS window against a set of authorities.
+type Plan struct {
+	// Targets are authority indices under attack.
+	Targets []int
+	// Start and End bound the window [Start, End).
+	Start, End time.Duration
+	// Residual is the bandwidth (bits/s) left to each target during the
+	// window; 0 knocks the target offline entirely.
+	Residual float64
+}
+
+// FiveMinuteOutage is the paper's headline attack: knock the majority of the
+// authorities offline for the five minutes in which votes are exchanged.
+func FiveMinuteOutage(targets []int) Plan {
+	return Plan{Targets: targets, Start: 0, End: 5 * time.Minute, Residual: 0}
+}
+
+// Throttle applies the plan to one authority's pipes. It is a no-op for
+// non-targets, so callers can apply the plan uniformly.
+func (p Plan) Throttle(authority int, up, down *simnet.Profile) {
+	if !p.IsTarget(authority) {
+		return
+	}
+	up.ThrottleMin(p.Start, p.End, p.Residual)
+	down.ThrottleMin(p.Start, p.End, p.Residual)
+}
+
+// IsTarget reports whether the authority is attacked by this plan.
+func (p Plan) IsTarget(authority int) bool {
+	for _, t := range p.Targets {
+		if t == authority {
+			return true
+		}
+	}
+	return false
+}
+
+// Duration returns the window length.
+func (p Plan) Duration() time.Duration { return p.End - p.Start }
+
+// MajorityTargets returns the canonical target set: the first ⌊n/2⌋+1
+// authorities (5 of 9).
+func MajorityTargets(n int) []int {
+	k := n/2 + 1
+	out := make([]int, k)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// CostModel reproduces the paper's §4.3 attack-cost estimate.
+type CostModel struct {
+	// PricePerMbitHour is the amortized stressor price to flood one target
+	// with 1 Mbit/s for one hour (Jansen et al.): $0.00074.
+	PricePerMbitHour float64
+	// AuthorityLinkMbit is the estimated authority link capacity: 250.
+	AuthorityLinkMbit float64
+	// RequiredMbit is the bandwidth an authority needs to complete the
+	// directory protocol at the current network size (~8000 relays): 10.
+	RequiredMbit float64
+}
+
+// DefaultCostModel returns the constants the paper uses.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		PricePerMbitHour:  0.00074,
+		AuthorityLinkMbit: 250,
+		RequiredMbit:      10,
+	}
+}
+
+// FloodMbit is the attack traffic needed per target: enough to leave the
+// authority below its protocol requirement (250 − 10 = 240 Mbit/s).
+func (m CostModel) FloodMbit() float64 { return m.AuthorityLinkMbit - m.RequiredMbit }
+
+// CostPerInstance is the dollar cost of breaking one consensus run by
+// flooding `targets` authorities for `d`.
+func (m CostModel) CostPerInstance(targets int, d time.Duration) float64 {
+	hours := d.Hours()
+	return float64(targets) * hours * m.FloodMbit() * m.PricePerMbitHour
+}
+
+// CostPerMonth is the cost of breaching every hourly consensus run for 30
+// days (24 × 30 instances).
+func (m CostModel) CostPerMonth(targets int, d time.Duration) float64 {
+	return m.CostPerInstance(targets, d) * 24 * 30
+}
+
+// Summary renders the headline numbers as the paper states them.
+func (m CostModel) Summary(targets int, d time.Duration) string {
+	return fmt.Sprintf(
+		"flood %d authorities with %.0f Mbit/s for %v: $%.3f per instance, $%.2f per month",
+		targets, m.FloodMbit(), d, m.CostPerInstance(targets, d), m.CostPerMonth(targets, d))
+}

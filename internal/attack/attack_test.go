@@ -1,0 +1,86 @@
+package attack
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"partialtor/internal/simnet"
+)
+
+func TestCostModelReproducesPaperNumbers(t *testing.T) {
+	m := DefaultCostModel()
+	if m.FloodMbit() != 240 {
+		t.Fatalf("flood traffic %.0f Mbit/s, want 240", m.FloodMbit())
+	}
+	inst := m.CostPerInstance(5, 5*time.Minute)
+	if math.Abs(inst-0.074) > 0.0005 {
+		t.Fatalf("cost per instance $%.4f, paper says $0.074", inst)
+	}
+	month := m.CostPerMonth(5, 5*time.Minute)
+	if math.Abs(month-53.28) > 0.01 {
+		t.Fatalf("cost per month $%.2f, paper says $53.28", month)
+	}
+}
+
+func TestCostScalesLinearly(t *testing.T) {
+	m := DefaultCostModel()
+	one := m.CostPerInstance(1, 5*time.Minute)
+	five := m.CostPerInstance(5, 5*time.Minute)
+	if math.Abs(five-5*one) > 1e-9 {
+		t.Fatal("cost not linear in targets")
+	}
+	long := m.CostPerInstance(5, 10*time.Minute)
+	if math.Abs(long-2*five) > 1e-9 {
+		t.Fatal("cost not linear in duration")
+	}
+}
+
+func TestMajorityTargets(t *testing.T) {
+	got := MajorityTargets(9)
+	if len(got) != 5 {
+		t.Fatalf("targets=%v, want 5 of 9", got)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("targets=%v, want 0..4", got)
+		}
+	}
+	if len(MajorityTargets(4)) != 3 {
+		t.Fatal("majority of 4 should be 3")
+	}
+}
+
+func TestPlanThrottle(t *testing.T) {
+	p := Plan{Targets: []int{1, 3}, Start: time.Minute, End: 6 * time.Minute, Residual: ResidualUnderDDoS}
+	up, down := simnet.NewProfile(250e6), simnet.NewProfile(250e6)
+	p.Throttle(0, up, down) // not a target
+	if up.RateAt(2*time.Minute) != 250e6 {
+		t.Fatal("non-target throttled")
+	}
+	p.Throttle(1, up, down)
+	if up.RateAt(2*time.Minute) != ResidualUnderDDoS || down.RateAt(2*time.Minute) != ResidualUnderDDoS {
+		t.Fatal("target not throttled during window")
+	}
+	if up.RateAt(7*time.Minute) != 250e6 {
+		t.Fatal("throttle persisted past window")
+	}
+	if up.RateAt(30*time.Second) != 250e6 {
+		t.Fatal("throttle applied before window")
+	}
+}
+
+func TestFiveMinuteOutage(t *testing.T) {
+	p := FiveMinuteOutage(MajorityTargets(9))
+	if p.Duration() != 5*time.Minute || p.Residual != 0 {
+		t.Fatalf("outage plan %+v", p)
+	}
+	if !p.IsTarget(0) || p.IsTarget(5) {
+		t.Fatal("target membership wrong")
+	}
+	up, down := simnet.NewProfile(250e6), simnet.NewProfile(250e6)
+	p.Throttle(2, up, down)
+	if up.RateAt(time.Minute) != 0 {
+		t.Fatal("outage did not zero the uplink")
+	}
+}

@@ -1,0 +1,170 @@
+// Package chain implements consensus-hash chaining, the hardening measure
+// of Tor proposal 239 ("consensus hash chaining") that the paper lists
+// among the discussed-but-unimplemented directory improvements (§7). Each
+// consensus document commits to the digest of its predecessor; clients that
+// follow the chain can detect forks (two signed successors of the same
+// parent) and rollbacks even if a majority of authorities misbehave during
+// a single epoch.
+//
+// The package is protocol-agnostic: any of the three directory protocols in
+// this repository can feed its hourly consensus digests into a Chain.
+package chain
+
+import (
+	"crypto/ed25519"
+	"fmt"
+
+	"partialtor/internal/sig"
+)
+
+// Link is one epoch's entry: the consensus digest bound to its predecessor.
+type Link struct {
+	Epoch  uint64
+	Digest sig.Digest // digest of this epoch's consensus document
+	Prev   sig.Digest // digest of the previous link's consensus (zero for genesis)
+	Sigs   []sig.Signature
+}
+
+// LinkInput is the byte string authorities sign for a link.
+func LinkInput(epoch uint64, digest, prev sig.Digest) []byte {
+	return []byte(fmt.Sprintf("consensus-chain|%d|%x|%x", epoch, digest[:], prev[:]))
+}
+
+// SignLink produces an authority's signature over a link.
+func SignLink(k *sig.KeyPair, epoch uint64, digest, prev sig.Digest) sig.Signature {
+	return k.Sign("chain/link", LinkInput(epoch, digest, prev))
+}
+
+// verifySigs checks at least threshold distinct valid signatures.
+func verifySigs(pubs []ed25519.PublicKey, l Link, threshold int) error {
+	msg := LinkInput(l.Epoch, l.Digest, l.Prev)
+	seen := make(map[int]bool, len(l.Sigs))
+	good := 0
+	for _, s := range l.Sigs {
+		if seen[s.Signer] {
+			return fmt.Errorf("chain: duplicate signer %d", s.Signer)
+		}
+		if !sig.Verify(pubs, "chain/link", msg, s) {
+			return fmt.Errorf("chain: bad signature from %d", s.Signer)
+		}
+		seen[s.Signer] = true
+		good++
+	}
+	if good < threshold {
+		return fmt.Errorf("chain: %d signatures, need %d", good, threshold)
+	}
+	return nil
+}
+
+// Chain is a verified sequence of links.
+type Chain struct {
+	pubs      []ed25519.PublicKey
+	threshold int
+	links     []Link
+}
+
+// New builds an empty chain verified against the authority set with the
+// given signature threshold (Tor's majority: ⌊n/2⌋+1).
+func New(pubs []ed25519.PublicKey, threshold int) *Chain {
+	return &Chain{pubs: pubs, threshold: threshold}
+}
+
+// Len returns the number of links.
+func (c *Chain) Len() int { return len(c.links) }
+
+// Head returns the latest link.
+func (c *Chain) Head() (Link, bool) {
+	if len(c.links) == 0 {
+		return Link{}, false
+	}
+	return c.links[len(c.links)-1], true
+}
+
+// Append verifies and adds the next link. The first link's Prev must be
+// zero; every later link must reference the current head's digest and
+// increment the epoch.
+func (c *Chain) Append(l Link) error {
+	if err := verifySigs(c.pubs, l, c.threshold); err != nil {
+		return err
+	}
+	head, ok := c.Head()
+	if !ok {
+		if !l.Prev.IsZero() {
+			return fmt.Errorf("chain: genesis link has nonzero prev")
+		}
+		c.links = append(c.links, l)
+		return nil
+	}
+	if l.Epoch <= head.Epoch {
+		return fmt.Errorf("chain: rollback: epoch %d after %d", l.Epoch, head.Epoch)
+	}
+	if l.Epoch != head.Epoch+1 {
+		return fmt.Errorf("chain: gap: epoch %d after %d", l.Epoch, head.Epoch)
+	}
+	if l.Prev != head.Digest {
+		return fmt.Errorf("chain: fork: prev %s does not match head %s",
+			l.Prev.Short(), head.Digest.Short())
+	}
+	c.links = append(c.links, l)
+	return nil
+}
+
+// Verify re-checks the full chain (e.g. after loading from disk).
+func (c *Chain) Verify() error {
+	var prev sig.Digest
+	var lastEpoch uint64
+	for i, l := range c.links {
+		if err := verifySigs(c.pubs, l, c.threshold); err != nil {
+			return fmt.Errorf("chain: link %d: %w", i, err)
+		}
+		if i == 0 {
+			if !l.Prev.IsZero() {
+				return fmt.Errorf("chain: link 0 has nonzero prev")
+			}
+		} else {
+			if l.Prev != prev {
+				return fmt.Errorf("chain: link %d breaks the chain", i)
+			}
+			if l.Epoch != lastEpoch+1 {
+				return fmt.Errorf("chain: link %d epoch gap", i)
+			}
+		}
+		prev = l.Digest
+		lastEpoch = l.Epoch
+	}
+	return nil
+}
+
+// ForkProof is evidence that the authority set signed two different
+// successors of the same parent — detectable misbehavior under proposal
+// 239 even when both links carry valid signature sets.
+type ForkProof struct {
+	A, B Link
+}
+
+// DetectFork checks two links for a fork: same epoch and parent, different
+// digests, both with valid signature sets.
+func DetectFork(pubs []ed25519.PublicKey, threshold int, a, b Link) (*ForkProof, bool) {
+	if a.Epoch != b.Epoch || a.Prev != b.Prev || a.Digest == b.Digest {
+		return nil, false
+	}
+	if verifySigs(pubs, a, threshold) != nil || verifySigs(pubs, b, threshold) != nil {
+		return nil, false
+	}
+	return &ForkProof{A: a, B: b}, true
+}
+
+// Culprits lists authorities that signed both sides of a fork.
+func (p *ForkProof) Culprits() []int {
+	inA := map[int]bool{}
+	for _, s := range p.A.Sigs {
+		inA[s.Signer] = true
+	}
+	var out []int
+	for _, s := range p.B.Sigs {
+		if inA[s.Signer] {
+			out = append(out, s.Signer)
+		}
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+package chain
+
+import (
+	"testing"
+
+	"partialtor/internal/sig"
+)
+
+func mkLink(keys []*sig.KeyPair, signers []int, epoch uint64, digest, prev sig.Digest) Link {
+	l := Link{Epoch: epoch, Digest: digest, Prev: prev}
+	for _, i := range signers {
+		l.Sigs = append(l.Sigs, SignLink(keys[i], epoch, digest, prev))
+	}
+	return l
+}
+
+func digestOf(s string) sig.Digest { return sig.Hash([]byte(s)) }
+
+func TestChainAppendAndVerify(t *testing.T) {
+	keys := sig.Authorities(1, 9)
+	pubs := sig.PublicSet(keys)
+	c := New(pubs, 5)
+	signers := []int{0, 1, 2, 3, 4}
+
+	var prev sig.Digest
+	for epoch := uint64(1); epoch <= 5; epoch++ {
+		d := digestOf(string(rune('a' + epoch)))
+		if err := c.Append(mkLink(keys, signers, epoch, d, prev)); err != nil {
+			t.Fatalf("epoch %d: %v", epoch, err)
+		}
+		prev = d
+	}
+	if c.Len() != 5 {
+		t.Fatalf("len=%d", c.Len())
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	head, ok := c.Head()
+	if !ok || head.Epoch != 5 {
+		t.Fatalf("head %+v", head)
+	}
+}
+
+func TestChainRejectsBadLinks(t *testing.T) {
+	keys := sig.Authorities(1, 9)
+	pubs := sig.PublicSet(keys)
+	signers := []int{0, 1, 2, 3, 4}
+	var zero sig.Digest
+	d1, d2 := digestOf("one"), digestOf("two")
+
+	t.Run("genesis with nonzero prev", func(t *testing.T) {
+		c := New(pubs, 5)
+		if err := c.Append(mkLink(keys, signers, 1, d1, digestOf("ghost"))); err == nil {
+			t.Fatal("accepted")
+		}
+	})
+	t.Run("below threshold", func(t *testing.T) {
+		c := New(pubs, 5)
+		if err := c.Append(mkLink(keys, []int{0, 1, 2, 3}, 1, d1, zero)); err == nil {
+			t.Fatal("accepted 4 of 5 signatures")
+		}
+	})
+	t.Run("duplicate signer", func(t *testing.T) {
+		c := New(pubs, 5)
+		l := mkLink(keys, signers, 1, d1, zero)
+		l.Sigs[4] = l.Sigs[0]
+		if err := c.Append(l); err == nil {
+			t.Fatal("accepted duplicate signer")
+		}
+	})
+	t.Run("wrong prev", func(t *testing.T) {
+		c := New(pubs, 5)
+		if err := c.Append(mkLink(keys, signers, 1, d1, zero)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Append(mkLink(keys, signers, 2, d2, digestOf("other"))); err == nil {
+			t.Fatal("accepted fork")
+		}
+	})
+	t.Run("rollback", func(t *testing.T) {
+		c := New(pubs, 5)
+		if err := c.Append(mkLink(keys, signers, 3, d1, zero)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Append(mkLink(keys, signers, 3, d2, d1)); err == nil {
+			t.Fatal("accepted same-epoch successor")
+		}
+		if err := c.Append(mkLink(keys, signers, 2, d2, d1)); err == nil {
+			t.Fatal("accepted rollback")
+		}
+	})
+	t.Run("gap", func(t *testing.T) {
+		c := New(pubs, 5)
+		if err := c.Append(mkLink(keys, signers, 1, d1, zero)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Append(mkLink(keys, signers, 3, d2, d1)); err == nil {
+			t.Fatal("accepted epoch gap")
+		}
+	})
+	t.Run("tampered signature", func(t *testing.T) {
+		c := New(pubs, 5)
+		l := mkLink(keys, signers, 1, d1, zero)
+		l.Digest = d2 // signatures now cover the wrong input
+		if err := c.Append(l); err == nil {
+			t.Fatal("accepted tampered link")
+		}
+	})
+}
+
+func TestForkDetection(t *testing.T) {
+	keys := sig.Authorities(1, 9)
+	pubs := sig.PublicSet(keys)
+	parent := digestOf("parent")
+	// Camp A: authorities 0-4 sign one successor; camp B: 3-7 sign another
+	// (3 and 4 sign both — the culprits).
+	a := mkLink(keys, []int{0, 1, 2, 3, 4}, 7, digestOf("forkA"), parent)
+	b := mkLink(keys, []int{3, 4, 5, 6, 7}, 7, digestOf("forkB"), parent)
+
+	proof, ok := DetectFork(pubs, 5, a, b)
+	if !ok {
+		t.Fatal("fork not detected")
+	}
+	culprits := proof.Culprits()
+	if len(culprits) != 2 || culprits[0] != 3 || culprits[1] != 4 {
+		t.Fatalf("culprits=%v, want [3 4]", culprits)
+	}
+
+	// Same digest is not a fork.
+	if _, ok := DetectFork(pubs, 5, a, a); ok {
+		t.Fatal("self-fork detected")
+	}
+	// Different epochs are not a fork.
+	c := mkLink(keys, []int{0, 1, 2, 3, 4}, 8, digestOf("forkB"), parent)
+	if _, ok := DetectFork(pubs, 5, a, c); ok {
+		t.Fatal("cross-epoch fork detected")
+	}
+	// An under-signed side is not a valid fork proof.
+	weak := mkLink(keys, []int{5, 6}, 7, digestOf("forkB"), parent)
+	if _, ok := DetectFork(pubs, 5, a, weak); ok {
+		t.Fatal("under-signed fork accepted")
+	}
+}
+
+func TestEmptyChain(t *testing.T) {
+	keys := sig.Authorities(1, 4)
+	c := New(sig.PublicSet(keys), 3)
+	if _, ok := c.Head(); ok {
+		t.Fatal("head of empty chain")
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatalf("empty chain invalid: %v", err)
+	}
+}

@@ -1,0 +1,72 @@
+package chain
+
+import (
+	"fmt"
+
+	"partialtor/internal/sig"
+	"partialtor/internal/wire"
+)
+
+// maxLinks bounds decoded chains (one link per hour ≈ 90k per decade).
+const maxLinks = 1 << 20
+
+// EncodeLinks serializes a link sequence for persistence.
+func EncodeLinks(links []Link) []byte {
+	w := wire.NewWriter(64 + len(links)*512)
+	w.String("partialtor-chain/1")
+	w.Uvarint(uint64(len(links)))
+	for _, l := range links {
+		w.Uvarint(l.Epoch)
+		sig.WriteDigest(w, l.Digest)
+		sig.WriteDigest(w, l.Prev)
+		sig.WriteSignatures(w, l.Sigs)
+	}
+	return w.Bytes()
+}
+
+// DecodeLinks inverts EncodeLinks.
+func DecodeLinks(b []byte) ([]Link, error) {
+	r := wire.NewReader(b)
+	if magic := r.String(); magic != "partialtor-chain/1" {
+		return nil, fmt.Errorf("chain: bad magic %q", magic)
+	}
+	n := r.Uvarint()
+	if n > maxLinks {
+		return nil, fmt.Errorf("chain: %d links", n)
+	}
+	links := make([]Link, 0, n)
+	for i := uint64(0); i < n; i++ {
+		l := Link{Epoch: r.Uvarint()}
+		l.Digest = sig.ReadDigest(r)
+		l.Prev = sig.ReadDigest(r)
+		sigs, err := sig.ReadSignatures(r)
+		if err != nil {
+			return nil, err
+		}
+		l.Sigs = sigs
+		links = append(links, l)
+	}
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return links, nil
+}
+
+// Links returns a copy of the chain's verified links (for persistence).
+func (c *Chain) Links() []Link {
+	out := make([]Link, len(c.links))
+	copy(out, c.links)
+	return out
+}
+
+// Load replaces the chain's contents with previously persisted links and
+// re-verifies everything.
+func (c *Chain) Load(links []Link) error {
+	old := c.links
+	c.links = append([]Link(nil), links...)
+	if err := c.Verify(); err != nil {
+		c.links = old
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,42 @@
+package chain
+
+import (
+	"testing"
+
+	"partialtor/internal/sig"
+)
+
+// FuzzDecodeLinks: arbitrary bytes must never panic the chain decoder.
+func FuzzDecodeLinks(f *testing.F) {
+	keys := sig.Authorities(1, 4)
+	var prev sig.Digest
+	var links []Link
+	for epoch := uint64(1); epoch <= 2; epoch++ {
+		d := sig.Hash([]byte{byte(epoch)})
+		l := Link{Epoch: epoch, Digest: d, Prev: prev}
+		for k := 0; k < 3; k++ {
+			l.Sigs = append(l.Sigs, SignLink(keys[k], epoch, d, prev))
+		}
+		links = append(links, l)
+		prev = d
+	}
+	f.Add(EncodeLinks(links))
+	f.Add(EncodeLinks(nil))
+	f.Add([]byte{})
+	f.Add([]byte("partialtor-chain/1"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecodeLinks(data)
+		if err != nil {
+			return
+		}
+		re := EncodeLinks(got)
+		back, err := DecodeLinks(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(back) != len(got) {
+			t.Fatal("length unstable across round trip")
+		}
+	})
+}

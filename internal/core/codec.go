@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+
+	"partialtor/internal/hotstuff"
+	"partialtor/internal/sig"
+	"partialtor/internal/simnet"
+	"partialtor/internal/vote"
+	"partialtor/internal/wire"
+)
+
+// Message type tags on the wire.
+const (
+	tagDocument  byte = 0x21
+	tagProposal  byte = 0x22
+	tagFetch     byte = 0x23
+	tagFetchResp byte = 0x24
+	tagConsSig   byte = 0x25
+)
+
+// maxEntries bounds decoded vectors (the authority set is single digits;
+// anything larger is malformed input).
+const maxEntries = 1024
+
+// EncodeValue serializes an AgreementValue; DecodeValue inverts it. The
+// canonical encoding used for digests (AgreementValue.encode) is already
+// self-delimiting, so the codec reuses it.
+func EncodeValue(v *AgreementValue) []byte { return v.encode() }
+
+// DecodeValue parses an AgreementValue from its canonical encoding.
+func DecodeValue(b []byte) (*AgreementValue, error) {
+	r := wire.NewReader(b)
+	v := &AgreementValue{Proposer: int(r.Uvarint())}
+	n := r.Uvarint()
+	if n > maxEntries {
+		return nil, fmt.Errorf("core: value with %d entries", n)
+	}
+	for i := uint64(0); i < n; i++ {
+		var e ValueEntry
+		e.Status = EntryStatus(r.Byte())
+		e.Digest = sig.ReadDigest(r)
+		e.OwnerSig = sig.ReadSignature(r)
+		k := r.Uvarint()
+		if k > maxEntries {
+			return nil, fmt.Errorf("core: entry with %d endorsements", k)
+		}
+		for j := uint64(0); j < k; j++ {
+			e.Endorsements = append(e.Endorsements, sig.ReadSignature(r))
+		}
+		e.EquivDigests[0] = sig.ReadDigest(r)
+		e.EquivDigests[1] = sig.ReadDigest(r)
+		e.EquivSigs[0] = sig.ReadSignature(r)
+		e.EquivSigs[1] = sig.ReadSignature(r)
+		v.Entries = append(v.Entries, e)
+	}
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// valueCodec adapts the AgreementValue codec to hotstuff.ValueCodec.
+type valueCodec struct{}
+
+// ValueCodecInstance is the hotstuff.ValueCodec for ICPS values.
+var ValueCodecInstance hotstuff.ValueCodec = valueCodec{}
+
+// EncodeValue implements hotstuff.ValueCodec.
+func (valueCodec) EncodeValue(v hotstuff.Value) []byte {
+	return EncodeValue(v.(*AgreementValue))
+}
+
+// DecodeValue implements hotstuff.ValueCodec.
+func (valueCodec) DecodeValue(b []byte) (hotstuff.Value, error) {
+	return DecodeValue(b)
+}
+
+// EncodeMessage serializes any ICPS protocol message (agreement messages
+// are delegated to the hotstuff codec with the ICPS value codec).
+func EncodeMessage(m simnet.Message) ([]byte, error) {
+	if hotstuff.IsProtocolMessage(m) {
+		return hotstuff.EncodeMessage(m, ValueCodecInstance)
+	}
+	w := wire.NewWriter(512)
+	switch t := m.(type) {
+	case *MsgDocument:
+		w.Byte(tagDocument)
+		w.BytesLP(t.Doc.Encode())
+		sig.WriteSignature(w, t.OwnerSig)
+	case *MsgProposal:
+		w.Byte(tagProposal)
+		w.Uvarint(uint64(t.View))
+		w.Uvarint(uint64(t.From))
+		w.Uvarint(uint64(len(t.Entries)))
+		for _, e := range t.Entries {
+			sig.WriteDigest(w, e.Digest)
+			sig.WriteSignature(w, e.OwnerSig)
+			sig.WriteSignature(w, e.Endorse)
+		}
+	case *MsgFetch:
+		w.Byte(tagFetch)
+		w.Uvarint(uint64(t.Index))
+		sig.WriteDigest(w, t.WantDigest)
+	case *MsgFetchResponse:
+		w.Byte(tagFetchResp)
+		w.BytesLP(t.Doc.Encode())
+		sig.WriteSignature(w, t.OwnerSig)
+	case *MsgConsSig:
+		w.Byte(tagConsSig)
+		sig.WriteDigest(w, t.Digest)
+		sig.WriteSignature(w, t.Sig)
+	default:
+		return nil, fmt.Errorf("core: unknown message type %T", m)
+	}
+	return w.Bytes(), nil
+}
+
+// DecodeMessage inverts EncodeMessage for dissemination/aggregation
+// messages. Agreement messages must be routed to hotstuff.DecodeMessage by
+// their tag range; DecodeAny handles both.
+func DecodeMessage(b []byte) (simnet.Message, error) {
+	r := wire.NewReader(b)
+	tag := r.Byte()
+	var m simnet.Message
+	switch tag {
+	case tagDocument, tagFetchResp:
+		doc, err := vote.Parse(r.BytesLP())
+		if err != nil {
+			return nil, err
+		}
+		s := sig.ReadSignature(r)
+		if tag == tagDocument {
+			m = &MsgDocument{Doc: doc, OwnerSig: s}
+		} else {
+			m = &MsgFetchResponse{Doc: doc, OwnerSig: s}
+		}
+	case tagProposal:
+		t := &MsgProposal{View: int(r.Uvarint()), From: int(r.Uvarint())}
+		n := r.Uvarint()
+		if n > maxEntries {
+			return nil, fmt.Errorf("core: proposal with %d entries", n)
+		}
+		for i := uint64(0); i < n; i++ {
+			var e ProposalEntry
+			e.Digest = sig.ReadDigest(r)
+			e.OwnerSig = sig.ReadSignature(r)
+			e.Endorse = sig.ReadSignature(r)
+			t.Entries = append(t.Entries, e)
+		}
+		m = t
+	case tagFetch:
+		t := &MsgFetch{Index: int(r.Uvarint())}
+		t.WantDigest = sig.ReadDigest(r)
+		m = t
+	case tagConsSig:
+		t := &MsgConsSig{}
+		t.Digest = sig.ReadDigest(r)
+		t.Sig = sig.ReadSignature(r)
+		m = t
+	default:
+		return nil, fmt.Errorf("core: unknown message tag %#x", tag)
+	}
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// DecodeAny decodes either an ICPS or an agreement message by tag.
+func DecodeAny(b []byte) (simnet.Message, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("core: empty message")
+	}
+	if b[0] >= 0x11 && b[0] <= 0x16 {
+		return hotstuff.DecodeMessage(b, ValueCodecInstance)
+	}
+	return DecodeMessage(b)
+}

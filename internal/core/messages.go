@@ -1,0 +1,87 @@
+package core
+
+import (
+	"partialtor/internal/sig"
+	"partialtor/internal/vote"
+)
+
+const msgHeader = 16
+
+// MsgDocument is the dissemination broadcast: a status document with the
+// owner's signature over (index, digest).
+type MsgDocument struct {
+	Doc      *vote.Document
+	OwnerSig sig.Signature
+}
+
+// Size implements simnet.Message.
+func (m *MsgDocument) Size() int64 { return m.Doc.EncodedSize() + sig.WireSize + msgHeader }
+
+// Kind implements simnet.Message.
+func (m *MsgDocument) Kind() string { return "icps/document" }
+
+// ProposalEntry is one slot of a PROPOSAL message: what the proposer saw
+// for authority j (a digest with the owner's signature, or ⊥) plus the
+// proposer's endorsement.
+type ProposalEntry struct {
+	// Digest is zero for ⊥.
+	Digest sig.Digest
+	// OwnerSig is j's signature over (j, Digest); meaningful only when
+	// Digest is non-zero.
+	OwnerSig sig.Signature
+	// Endorse is the proposer's signature over (j, Digest) — or (j, ⊥).
+	Endorse sig.Signature
+}
+
+// MsgProposal carries a node's per-view dissemination report to the view
+// leader (paper Figure 9, step 2).
+type MsgProposal struct {
+	View    int
+	From    int
+	Entries []ProposalEntry // length n, indexed by authority
+}
+
+// Size implements simnet.Message.
+func (m *MsgProposal) Size() int64 {
+	return msgHeader + 16 + int64(len(m.Entries))*(sig.DigestSize+2*sig.WireSize)
+}
+
+// Kind implements simnet.Message.
+func (m *MsgProposal) Kind() string { return "icps/proposal" }
+
+// MsgFetch asks peers for the document of an authority whose digest was
+// agreed but which the requester does not hold (aggregation sub-protocol).
+type MsgFetch struct {
+	Index      int
+	WantDigest sig.Digest
+}
+
+// Size implements simnet.Message.
+func (m *MsgFetch) Size() int64 { return msgHeader + 8 + sig.DigestSize }
+
+// Kind implements simnet.Message.
+func (m *MsgFetch) Kind() string { return "icps/fetch" }
+
+// MsgFetchResponse returns a requested document.
+type MsgFetchResponse struct {
+	Doc      *vote.Document
+	OwnerSig sig.Signature
+}
+
+// Size implements simnet.Message.
+func (m *MsgFetchResponse) Size() int64 { return m.Doc.EncodedSize() + sig.WireSize + msgHeader }
+
+// Kind implements simnet.Message.
+func (m *MsgFetchResponse) Kind() string { return "icps/fetch-resp" }
+
+// MsgConsSig is an authority's signature over the aggregated consensus.
+type MsgConsSig struct {
+	Digest sig.Digest
+	Sig    sig.Signature
+}
+
+// Size implements simnet.Message.
+func (m *MsgConsSig) Size() int64 { return msgHeader + sig.DigestSize + sig.WireSize }
+
+// Kind implements simnet.Message.
+func (m *MsgConsSig) Kind() string { return "icps/sig" }

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"time"
+
+	"partialtor/internal/sig"
+	"partialtor/internal/simnet"
+	"partialtor/internal/vote"
+)
+
+// Result summarizes one ICPS run.
+type Result struct {
+	N        int
+	F        int
+	Quorum   int
+	Majority int
+
+	// Per-authority outcomes (index-aligned; Byzantine/silent authorities
+	// report zero values).
+	Done       []bool
+	ReadyAt    []time.Duration
+	DecidedAt  []time.Duration
+	DoneAt     []time.Duration
+	Views      []int
+	Vectors    [][]sig.Digest // X_i per authority
+	ConsDigest []sig.Digest
+
+	// Aggregate view.
+	Success   bool          // every correct authority published
+	DoneCount int           // authorities that published
+	Latency   time.Duration // max DoneAt over correct authorities
+	OKCount   int           // non-⊥ entries of the agreed vector
+	Consensus *vote.Consensus
+}
+
+// Collect extracts the outcome after the network has run long enough.
+// correct(i) distinguishes honest authorities (Byzantine ones are exempt
+// from the success criteria); nil means all are correct.
+func Collect(auths []*Authority, cfg Config, correct func(i int) bool) *Result {
+	if correct == nil {
+		correct = func(i int) bool { return !cfg.Silent[i] && cfg.Equivocators[i] == nil }
+	}
+	res := &Result{
+		N:        cfg.n(),
+		F:        cfg.F(),
+		Quorum:   cfg.Quorum(),
+		Majority: cfg.Majority(),
+		Latency:  simnet.Never,
+		Success:  true,
+	}
+	var maxLat time.Duration
+	haveLat := false
+	for i, a := range auths {
+		res.Done = append(res.Done, a.done)
+		res.ReadyAt = append(res.ReadyAt, a.readyAt)
+		res.DecidedAt = append(res.DecidedAt, a.decidedAt)
+		res.DoneAt = append(res.DoneAt, a.doneAt)
+		res.Views = append(res.Views, a.DecidedView())
+		res.Vectors = append(res.Vectors, a.OutputVector())
+		res.ConsDigest = append(res.ConsDigest, a.consDigest)
+		if a.done {
+			res.DoneCount++
+			if res.Consensus == nil {
+				res.Consensus = a.consensus
+			}
+			if a.decided != nil && res.OKCount == 0 {
+				res.OKCount = a.decided.OKCount()
+			}
+		}
+		if !correct(i) {
+			continue
+		}
+		if !a.done {
+			res.Success = false
+			continue
+		}
+		haveLat = true
+		if a.doneAt > maxLat {
+			maxLat = a.doneAt
+		}
+	}
+	if res.DoneCount == 0 {
+		res.Success = false
+	}
+	if haveLat && res.Success {
+		res.Latency = maxLat
+	}
+	return res
+}

@@ -1,0 +1,93 @@
+package dirv3
+
+import (
+	"fmt"
+
+	"partialtor/internal/sig"
+	"partialtor/internal/simnet"
+	"partialtor/internal/vote"
+	"partialtor/internal/wire"
+)
+
+// Message type tags on the wire.
+const (
+	tagVoteMsg  byte = 0x31
+	tagVoteReq  byte = 0x32
+	tagVoteResp byte = 0x33
+	tagSig      byte = 0x34
+	tagSigReq   byte = 0x35
+	tagSigResp  byte = 0x36
+)
+
+// EncodeMessage serializes any dirv3 protocol message.
+func EncodeMessage(m simnet.Message) ([]byte, error) {
+	w := wire.NewWriter(512)
+	switch t := m.(type) {
+	case *msgVote:
+		w.Byte(tagVoteMsg)
+		w.BytesLP(t.Doc.Encode())
+		sig.WriteSignature(w, t.Sig)
+	case *msgVoteRequest:
+		w.Byte(tagVoteReq)
+		w.Uvarint(uint64(t.Want))
+	case *msgVoteResponse:
+		w.Byte(tagVoteResp)
+		w.BytesLP(t.Doc.Encode())
+		sig.WriteSignature(w, t.Sig)
+	case *msgSig:
+		w.Byte(tagSig)
+		sig.WriteDigest(w, t.Digest)
+		sig.WriteSignature(w, t.Sig)
+	case *msgSigRequest:
+		w.Byte(tagSigReq)
+		w.Uvarint(uint64(t.Want))
+	case *msgSigResponse:
+		w.Byte(tagSigResp)
+		w.Uvarint(uint64(t.Of))
+		sig.WriteDigest(w, t.Digest)
+		sig.WriteSignature(w, t.Sig)
+	default:
+		return nil, fmt.Errorf("dirv3: unknown message type %T", m)
+	}
+	return w.Bytes(), nil
+}
+
+// DecodeMessage inverts EncodeMessage.
+func DecodeMessage(b []byte) (simnet.Message, error) {
+	r := wire.NewReader(b)
+	tag := r.Byte()
+	var m simnet.Message
+	switch tag {
+	case tagVoteMsg, tagVoteResp:
+		doc, err := vote.Parse(r.BytesLP())
+		if err != nil {
+			return nil, err
+		}
+		s := sig.ReadSignature(r)
+		if tag == tagVoteMsg {
+			m = &msgVote{Doc: doc, Sig: s}
+		} else {
+			m = &msgVoteResponse{Doc: doc, Sig: s}
+		}
+	case tagVoteReq:
+		m = &msgVoteRequest{Want: int(r.Uvarint())}
+	case tagSig:
+		t := &msgSig{}
+		t.Digest = sig.ReadDigest(r)
+		t.Sig = sig.ReadSignature(r)
+		m = t
+	case tagSigReq:
+		m = &msgSigRequest{Want: int(r.Uvarint())}
+	case tagSigResp:
+		t := &msgSigResponse{Of: int(r.Uvarint())}
+		t.Digest = sig.ReadDigest(r)
+		t.Sig = sig.ReadSignature(r)
+		m = t
+	default:
+		return nil, fmt.Errorf("dirv3: unknown message tag %#x", tag)
+	}
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,215 @@
+package dirv3
+
+import (
+	"fmt"
+	"time"
+
+	"partialtor/internal/sig"
+	"partialtor/internal/simnet"
+)
+
+// AlertKind classifies consensus-health findings.
+type AlertKind int
+
+// Alert kinds raised by the Monitor.
+const (
+	// AlertMissingVote: an authority published no vote within the vote
+	// round — the signature of a DDoS on that authority.
+	AlertMissingVote AlertKind = iota
+	// AlertVoteEquivocation: one authority signed two different votes in
+	// the same period (the Luo et al. attack).
+	AlertVoteEquivocation
+	// AlertConsensusSplit: authorities signed different consensus digests.
+	AlertConsensusSplit
+	// AlertConsensusFailure: no digest gathered a majority of signatures.
+	AlertConsensusFailure
+)
+
+func (k AlertKind) String() string {
+	switch k {
+	case AlertMissingVote:
+		return "missing-vote"
+	case AlertVoteEquivocation:
+		return "vote-equivocation"
+	case AlertConsensusSplit:
+		return "consensus-split"
+	case AlertConsensusFailure:
+		return "consensus-failure"
+	}
+	return "unknown"
+}
+
+// Alert is one consensus-health finding.
+type Alert struct {
+	At        time.Duration
+	Kind      AlertKind
+	Authority int // -1 when not attributable to one authority
+	Detail    string
+}
+
+func (a Alert) String() string {
+	who := "network"
+	if a.Authority >= 0 {
+		who = fmt.Sprintf("authority %d", a.Authority)
+	}
+	return fmt.Sprintf("%v [%s] %s: %s", a.At, a.Kind, who, a.Detail)
+}
+
+// Monitor is a passive consensus-health observer for the current protocol,
+// modelling the emergency fix Luo et al. deployed on the live monitor
+// (paper Table 1: "attacks monitored"): it cannot prevent an attack, but it
+// detects missing votes, vote equivocation, split consensus and failed
+// periods as they happen.
+//
+// The monitor observes the wire through the network tracer — the live
+// equivalent downloads every vote and signature from every authority, so a
+// global view is faithful.
+type Monitor struct {
+	cfg    *Config
+	alerts []Alert
+
+	voteDigests map[int]map[sig.Digest]bool // authority -> vote digests seen
+	consDigests map[int]sig.Digest          // authority -> consensus digest signed
+	voteSeen    map[int]bool
+}
+
+// NewMonitor builds a monitor for a run with the given configuration.
+func NewMonitor(cfg Config) *Monitor {
+	return &Monitor{
+		cfg:         &cfg,
+		voteDigests: make(map[int]map[sig.Digest]bool),
+		consDigests: make(map[int]sig.Digest),
+		voteSeen:    make(map[int]bool),
+	}
+}
+
+// Attach installs the monitor on a network. Call before the network runs;
+// the node set must be exactly the authorities of the run.
+func (m *Monitor) Attach(net *simnet.Network) {
+	// Observe deliveries, not sends: the live monitor can only see what it
+	// manages to download, and an attacked authority's votes never make it
+	// off its link in time.
+	net.SetTracer(func(ev string, at time.Duration, from, to simnet.NodeID, msg simnet.Message) {
+		if ev != "deliver" {
+			return
+		}
+		m.observe(at, int(from), msg)
+	})
+	sched := net.Scheduler()
+	sched.At(m.cfg.round(), func() { m.checkVotes(m.cfg.round()) })
+	sched.At(m.cfg.EndTime(), func() { m.checkConsensus(m.cfg.EndTime()) })
+}
+
+func (m *Monitor) observe(at time.Duration, from int, msg simnet.Message) {
+	switch t := msg.(type) {
+	case *msgVote:
+		m.recordVote(at, t.Doc.AuthorityIndex, t.Doc.Digest())
+	case *msgVoteResponse:
+		m.recordVote(at, t.Doc.AuthorityIndex, t.Doc.Digest())
+	case *msgSig:
+		m.recordConsSig(at, from, t.Digest)
+	case *msgSigResponse:
+		m.recordConsSig(at, t.Of, t.Digest)
+	}
+}
+
+func (m *Monitor) recordVote(at time.Duration, authority int, d sig.Digest) {
+	if authority < 0 || authority >= m.cfg.n() {
+		return
+	}
+	m.voteSeen[authority] = true
+	set := m.voteDigests[authority]
+	if set == nil {
+		set = make(map[sig.Digest]bool)
+		m.voteDigests[authority] = set
+	}
+	if set[d] {
+		return
+	}
+	set[d] = true
+	if len(set) == 2 {
+		m.alerts = append(m.alerts, Alert{
+			At:        at,
+			Kind:      AlertVoteEquivocation,
+			Authority: authority,
+			Detail:    "two different signed votes observed in one period",
+		})
+	}
+}
+
+func (m *Monitor) recordConsSig(at time.Duration, authority int, d sig.Digest) {
+	if authority < 0 || authority >= m.cfg.n() {
+		return
+	}
+	if prev, ok := m.consDigests[authority]; ok && prev != d {
+		m.alerts = append(m.alerts, Alert{
+			At:        at,
+			Kind:      AlertConsensusSplit,
+			Authority: authority,
+			Detail:    "authority signed two different consensus digests",
+		})
+		return
+	}
+	m.consDigests[authority] = d
+}
+
+// checkVotes fires at the end of the vote round.
+func (m *Monitor) checkVotes(at time.Duration) {
+	for i := 0; i < m.cfg.n(); i++ {
+		if !m.voteSeen[i] {
+			m.alerts = append(m.alerts, Alert{
+				At:        at,
+				Kind:      AlertMissingVote,
+				Authority: i,
+				Detail:    "no vote observed within the vote round (authority unreachable?)",
+			})
+		}
+	}
+}
+
+// checkConsensus fires at the end of the period.
+func (m *Monitor) checkConsensus(at time.Duration) {
+	counts := make(map[sig.Digest]int)
+	for _, d := range m.consDigests {
+		counts[d]++
+	}
+	best := 0
+	for _, c := range counts {
+		if c > best {
+			best = c
+		}
+	}
+	if len(counts) > 1 {
+		m.alerts = append(m.alerts, Alert{
+			At:        at,
+			Kind:      AlertConsensusSplit,
+			Authority: -1,
+			Detail:    fmt.Sprintf("%d distinct consensus digests signed", len(counts)),
+		})
+	}
+	if best < m.cfg.Majority() {
+		m.alerts = append(m.alerts, Alert{
+			At:        at,
+			Kind:      AlertConsensusFailure,
+			Authority: -1,
+			Detail: fmt.Sprintf("best digest has %d signatures, majority is %d",
+				best, m.cfg.Majority()),
+		})
+	}
+}
+
+// Alerts returns the findings so far.
+func (m *Monitor) Alerts() []Alert { return m.alerts }
+
+// Healthy reports whether the period completed with no findings.
+func (m *Monitor) Healthy() bool { return len(m.alerts) == 0 }
+
+// HasAlert reports whether any alert of the kind was raised.
+func (m *Monitor) HasAlert(kind AlertKind) bool {
+	for _, a := range m.alerts {
+		if a.Kind == kind {
+			return true
+		}
+	}
+	return false
+}

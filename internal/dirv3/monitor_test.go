@@ -1,0 +1,108 @@
+package dirv3
+
+import (
+	"testing"
+	"time"
+
+	"partialtor/internal/simnet"
+	"partialtor/internal/testkit"
+	"partialtor/internal/vote"
+)
+
+// runMonitored runs a dirv3 scenario with a monitor attached.
+func runMonitored(t *testing.T, cfg Config, bandwidth float64, shape func(*testkit.Net)) (*Monitor, *Result) {
+	t.Helper()
+	n := len(cfg.Keys)
+	tn := testkit.NewNet(n, bandwidth, 1)
+	if shape != nil {
+		shape(tn)
+	}
+	mon := NewMonitor(cfg)
+	mon.Attach(tn.Network)
+	auths := NewAuthorities(cfg)
+	hs := make([]simnet.Handler, n)
+	for i, a := range auths {
+		hs[i] = a
+	}
+	tn.Attach(hs)
+	tn.Run(cfg.EndTime() + time.Second)
+	return mon, Collect(auths, cfg)
+}
+
+func TestMonitorHealthyRun(t *testing.T) {
+	cfg := baseConfig(t, 9, 80, 0)
+	cfg.Round = 15 * time.Second
+	mon, res := runMonitored(t, cfg, 250e6, nil)
+	if !res.Success {
+		t.Fatal("healthy run failed")
+	}
+	if !mon.Healthy() {
+		t.Fatalf("alerts on a healthy run: %v", mon.Alerts())
+	}
+}
+
+func TestMonitorDetectsAttack(t *testing.T) {
+	cfg := baseConfig(t, 9, 200, -1)
+	cfg.Round = 15 * time.Second
+	mon, res := runMonitored(t, cfg, 250e6, func(tn *testkit.Net) {
+		for i := 0; i < 5; i++ {
+			tn.Throttle(i, 0, 30*time.Second, 5e3)
+		}
+	})
+	if res.Success {
+		t.Fatal("attack run succeeded")
+	}
+	if !mon.HasAlert(AlertMissingVote) {
+		t.Fatalf("missing-vote alert not raised: %v", mon.Alerts())
+	}
+	if !mon.HasAlert(AlertConsensusFailure) {
+		t.Fatalf("consensus-failure alert not raised: %v", mon.Alerts())
+	}
+	// All five attacked authorities are flagged.
+	flagged := map[int]bool{}
+	for _, a := range mon.Alerts() {
+		if a.Kind == AlertMissingVote {
+			flagged[a.Authority] = true
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if !flagged[i] {
+			t.Fatalf("attacked authority %d not flagged; alerts: %v", i, mon.Alerts())
+		}
+	}
+}
+
+func TestMonitorDetectsEquivocation(t *testing.T) {
+	cfg := baseConfig(t, 9, 60, 0)
+	cfg.Round = 15 * time.Second
+	altDocs := testkit.Docs(cfg.Keys, 30, 55, 0)
+	cfg.Equivocators = map[int]*vote.Document{2: altDocs[2]}
+	mon, _ := runMonitored(t, cfg, 250e6, nil)
+	if !mon.HasAlert(AlertVoteEquivocation) {
+		t.Fatalf("vote-equivocation not detected: %v", mon.Alerts())
+	}
+	var who int = -1
+	for _, a := range mon.Alerts() {
+		if a.Kind == AlertVoteEquivocation {
+			who = a.Authority
+		}
+	}
+	if who != 2 {
+		t.Fatalf("equivocation attributed to %d, want 2", who)
+	}
+	// The split consensus that follows is visible too.
+	if !mon.HasAlert(AlertConsensusSplit) {
+		t.Fatalf("consensus split not detected: %v", mon.Alerts())
+	}
+}
+
+func TestMonitorAlertStrings(t *testing.T) {
+	a := Alert{At: time.Second, Kind: AlertMissingVote, Authority: 3, Detail: "x"}
+	if a.String() == "" || AlertConsensusSplit.String() != "consensus-split" {
+		t.Fatal("alert rendering broken")
+	}
+	b := Alert{At: time.Second, Kind: AlertConsensusFailure, Authority: -1, Detail: "y"}
+	if b.String() == "" || AlertKind(99).String() != "unknown" {
+		t.Fatal("network-level alert rendering broken")
+	}
+}

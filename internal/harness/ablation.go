@@ -1,0 +1,239 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"partialtor/internal/attack"
+	"partialtor/internal/core"
+	"partialtor/internal/simnet"
+)
+
+// This file holds the ablations DESIGN.md §6 calls out: how sensitive the
+// headline results are to (a) the calibrated vote entry size, (b) the ICPS
+// dissemination wait Δ, and (c) the agreement pacemaker's base timeout.
+
+// ---------------------------------------------------- entry-size ablation
+
+// EntrySizeRow is one calibration point: the current protocol's failure
+// threshold (smallest failing relay count) for a given entry size.
+type EntrySizeRow struct {
+	EntryBytes      int
+	ThresholdRelays int // 0 = no failure within the sweep
+}
+
+// EntrySizeResult shows that the failure *threshold* scales inversely with
+// the per-relay byte cost while the qualitative shape is unchanged — the
+// justification for calibrating entries to 2.5 kB (DESIGN.md §2).
+type EntrySizeResult struct {
+	BandwidthMbit float64
+	Relays        []int
+	Rows          []EntrySizeRow
+}
+
+// EntrySizeParams scales the ablation.
+type EntrySizeParams struct {
+	EntrySizes    []int         // default {625, 1250, 2500}
+	RelayCounts   []int         // sweep for thresholds
+	BandwidthMbit float64       // default 10
+	Round         time.Duration // default 150s
+	Seed          int64
+}
+
+// AblationEntrySize sweeps the current protocol's failure threshold across
+// entry sizes.
+func AblationEntrySize(p EntrySizeParams) *EntrySizeResult {
+	if len(p.EntrySizes) == 0 {
+		p.EntrySizes = []int{625, 1250, 2500}
+	}
+	if len(p.RelayCounts) == 0 {
+		for r := 2000; r <= 40000; r += 2000 {
+			p.RelayCounts = append(p.RelayCounts, r)
+		}
+	}
+	if p.BandwidthMbit == 0 {
+		p.BandwidthMbit = 10
+	}
+	if p.Round == 0 {
+		p.Round = 150 * time.Second
+	}
+	res := &EntrySizeResult{BandwidthMbit: p.BandwidthMbit, Relays: p.RelayCounts}
+	for _, entry := range p.EntrySizes {
+		threshold := 0
+		for _, relays := range p.RelayCounts {
+			run := Run(Scenario{
+				Protocol:     Current,
+				Relays:       relays,
+				EntryPadding: entry,
+				Bandwidth:    p.BandwidthMbit * 1e6,
+				Round:        p.Round,
+				Seed:         p.Seed,
+			})
+			if !run.Success {
+				threshold = relays
+				break
+			}
+		}
+		res.Rows = append(res.Rows, EntrySizeRow{EntryBytes: entry, ThresholdRelays: threshold})
+	}
+	return res
+}
+
+// Render prints the calibration table.
+func (r *EntrySizeResult) Render() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		th := fmt.Sprintf("%d", row.ThresholdRelays)
+		if row.ThresholdRelays == 0 {
+			th = "none in sweep"
+		}
+		rows = append(rows, []string{fmt.Sprintf("%d", row.EntryBytes), th})
+	}
+	title := fmt.Sprintf("Ablation: current-protocol failure threshold vs entry size (%g Mbit/s)", r.BandwidthMbit)
+	return renderTable(title, []string{"Entry bytes", "Failure threshold (relays)"}, rows)
+}
+
+// ------------------------------------------------------------ Δ ablation
+
+// DeltaRow is one dissemination-wait measurement.
+type DeltaRow struct {
+	Delta   time.Duration
+	Latency time.Duration
+	OKCount int
+}
+
+// DeltaResult shows the trade-off §5.2.1 encodes in Δ: with a crashed
+// authority the protocol cannot collect all n documents, so consensus waits
+// for Δ before settling for n−f — larger Δ buys nothing but latency once a
+// fault is real, while on healthy runs Δ never binds.
+type DeltaResult struct {
+	Rows        []DeltaRow
+	HealthyRows []DeltaRow // same sweep without the crash: Δ must not bind
+}
+
+// DeltaParams scales the ablation.
+type DeltaParams struct {
+	Deltas []time.Duration // default {2s, 10s, 30s}
+	Relays int             // default 500
+	Seed   int64
+}
+
+// AblationDelta sweeps Δ with one crashed authority (and, as control, with
+// none).
+func AblationDelta(p DeltaParams) *DeltaResult {
+	if len(p.Deltas) == 0 {
+		p.Deltas = []time.Duration{2 * time.Second, 10 * time.Second, 30 * time.Second}
+	}
+	if p.Relays == 0 {
+		p.Relays = 500
+	}
+	res := &DeltaResult{}
+	for _, crash := range []bool{true, false} {
+		for _, delta := range p.Deltas {
+			keys, docs := Inputs(Scenario{Relays: p.Relays, EntryPadding: -1, Seed: p.Seed}.withDefaults())
+			cfg := core.Config{Keys: keys, Docs: docs, Delta: delta, BaseTimeout: 10 * time.Second}
+			if crash {
+				cfg.Silent = map[int]bool{8: true}
+			}
+			net, ups, downs := buildNetwork(Scenario{N: 9, Bandwidth: DefaultBandwidth, Seed: p.Seed}.withDefaults())
+			auths := core.NewAuthorities(cfg)
+			for i, a := range auths {
+				net.AddNode(a, ups[i], downs[i])
+			}
+			net.Run(time.Hour)
+			r := core.Collect(auths, cfg, func(i int) bool { return !cfg.Silent[i] })
+			row := DeltaRow{Delta: delta, Latency: r.Latency, OKCount: r.OKCount}
+			if crash {
+				res.Rows = append(res.Rows, row)
+			} else {
+				res.HealthyRows = append(res.HealthyRows, row)
+			}
+		}
+	}
+	return res
+}
+
+// Render prints both sweeps.
+func (r *DeltaResult) Render() string {
+	mk := func(rows []DeltaRow) [][]string {
+		out := make([][]string, 0, len(rows))
+		for _, row := range rows {
+			out = append(out, []string{row.Delta.String(), fmtLatency(row.Latency), fmt.Sprintf("%d", row.OKCount)})
+		}
+		return out
+	}
+	s := renderTable("Ablation: ICPS latency vs Δ with one crashed authority",
+		[]string{"Δ", "Latency (s)", "OK entries"}, mk(r.Rows))
+	s += "\n" + renderTable("Control: same sweep, no faults (Δ must not bind)",
+		[]string{"Δ", "Latency (s)", "OK entries"}, mk(r.HealthyRows))
+	return s
+}
+
+// ------------------------------------------------------ timeout ablation
+
+// TimeoutRow is one pacemaker measurement.
+type TimeoutRow struct {
+	BaseTimeout time.Duration
+	Recovery    time.Duration // time to consensus after the outage ends
+}
+
+// TimeoutResult shows that recovery from an outage is insensitive to the
+// pacemaker's base timeout: the TC pacemaker cannot advance views while the
+// quorum is unreachable, so no timeout tuning is "burned" during the
+// attack; recovery is network-bound either way.
+type TimeoutResult struct {
+	Outage time.Duration
+	Rows   []TimeoutRow
+}
+
+// TimeoutParams scales the ablation.
+type TimeoutParams struct {
+	BaseTimeouts []time.Duration // default {5s, 20s, 80s}
+	Outage       time.Duration   // default 60s
+	Relays       int             // default 400
+	Seed         int64
+}
+
+// AblationTimeout sweeps the pacemaker base timeout under an outage.
+func AblationTimeout(p TimeoutParams) *TimeoutResult {
+	if len(p.BaseTimeouts) == 0 {
+		p.BaseTimeouts = []time.Duration{5 * time.Second, 20 * time.Second, 80 * time.Second}
+	}
+	if p.Outage == 0 {
+		p.Outage = time.Minute
+	}
+	if p.Relays == 0 {
+		p.Relays = 400
+	}
+	res := &TimeoutResult{Outage: p.Outage}
+	for _, bt := range p.BaseTimeouts {
+		plan := attack.Plan{Targets: attack.MajorityTargets(9), Start: 0, End: p.Outage, Residual: 0}
+		run := Run(Scenario{
+			Protocol:     ICPS,
+			Relays:       p.Relays,
+			EntryPadding: -1,
+			Attack:       &plan,
+			BaseTimeout:  bt,
+			Seed:         p.Seed,
+		})
+		row := TimeoutRow{BaseTimeout: bt, Recovery: simnet.Never}
+		if run.Success && run.DoneAt != simnet.Never {
+			row.Recovery = run.DoneAt - p.Outage
+			if row.Recovery < 0 {
+				row.Recovery = 0
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Render prints the sweep.
+func (r *TimeoutResult) Render() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.BaseTimeout.String(), fmtLatency(row.Recovery)})
+	}
+	title := fmt.Sprintf("Ablation: recovery after a %v outage vs pacemaker base timeout", r.Outage)
+	return renderTable(title, []string{"Base timeout", "Recovery (s)"}, rows)
+}

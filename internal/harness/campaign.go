@@ -1,0 +1,134 @@
+package harness
+
+import (
+	"time"
+
+	"partialtor/internal/attack"
+	"partialtor/internal/chain"
+	"partialtor/internal/client"
+	"partialtor/internal/core"
+	"partialtor/internal/dirv3"
+	"partialtor/internal/sig"
+	"partialtor/internal/syncdir"
+)
+
+// CampaignParams describes a multi-period simulation: a sequence of hourly
+// consensus runs, some of them under attack, whose outcomes feed the
+// consensus hash chain (proposal 239 extension) and the client availability
+// model (§2.1).
+type CampaignParams struct {
+	Protocol Protocol
+	Periods  int
+	// Attacked reports whether period i is under the five-minute DDoS.
+	Attacked func(i int) bool
+	// Scaled protocol parameters (zero values = scaled defaults: 300
+	// relays, 15s rounds — campaigns run many periods).
+	Relays       int
+	Round        time.Duration
+	AttackWindow time.Duration
+	Residual     float64
+	Seed         int64
+}
+
+// CampaignResult ties the three layers together.
+type CampaignResult struct {
+	Outcomes     []bool
+	Successes    int
+	Timeline     *client.Timeline
+	Chain        *chain.Chain
+	Availability float64
+	FirstOutage  time.Duration // -1 if never down
+}
+
+// Campaign simulates the periods and assembles chain + availability.
+func Campaign(p CampaignParams) *CampaignResult {
+	if p.Periods == 0 {
+		p.Periods = 6
+	}
+	if p.Attacked == nil {
+		p.Attacked = func(int) bool { return false }
+	}
+	if p.Relays == 0 {
+		p.Relays = 300
+	}
+	if p.Round == 0 {
+		p.Round = 15 * time.Second
+	}
+	if p.AttackWindow == 0 {
+		p.AttackWindow = 2 * p.Round
+	}
+	if p.Residual == 0 {
+		p.Residual = 5e3
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+
+	keys, _ := Inputs(Scenario{Relays: p.Relays, EntryPadding: -1, Seed: p.Seed}.withDefaults())
+	pubs := sig.PublicSet(keys)
+	majority := len(keys)/2 + 1
+	ch := chain.New(pubs, majority)
+
+	res := &CampaignResult{Chain: ch, FirstOutage: -1}
+	policy := client.DefaultPolicy()
+	var runs []client.Run
+	var prev sig.Digest
+	epoch := uint64(0)
+	for i := 0; i < p.Periods; i++ {
+		s := Scenario{
+			Protocol:     p.Protocol,
+			Relays:       p.Relays,
+			EntryPadding: -1,
+			Round:        p.Round,
+			Seed:         p.Seed, // same input docs per period: cache-friendly
+		}
+		if p.Attacked(i) {
+			plan := attack.Plan{
+				Targets:  attack.MajorityTargets(len(keys)),
+				Start:    0,
+				End:      p.AttackWindow,
+				Residual: p.Residual,
+			}
+			s.Attack = &plan
+		}
+		run := Run(s)
+		ok := run.Success
+		res.Outcomes = append(res.Outcomes, ok)
+		runs = append(runs, client.Run{At: time.Duration(i) * policy.Interval, Success: ok})
+		if !ok {
+			continue
+		}
+		res.Successes++
+		// Chain the consensus digest; signed by the majority that signed
+		// the consensus itself (represented by the first `majority` keys).
+		digest := consensusDigest(run)
+		epoch++
+		link := chain.Link{Epoch: epoch, Digest: digest, Prev: prev}
+		for k := 0; k < majority; k++ {
+			link.Sigs = append(link.Sigs, chain.SignLink(keys[k], epoch, digest, prev))
+		}
+		if err := ch.Append(link); err != nil {
+			// A chain violation here is a bug, not an input condition.
+			panic("harness: chain append failed: " + err.Error())
+		}
+		prev = digest
+	}
+	res.Timeline = client.NewTimeline(policy, runs)
+	res.Availability = res.Timeline.Availability()
+	res.FirstOutage = res.Timeline.FirstOutage()
+	return res
+}
+
+// consensusDigest extracts the agreed consensus digest from a successful
+// run of any protocol.
+func consensusDigest(run *RunResult) sig.Digest {
+	switch d := run.Detail.(type) {
+	case *dirv3.Result:
+		return d.Consensus.Digest()
+	case *syncdir.Result:
+		return d.Consensus.Digest()
+	case *core.Result:
+		return d.Consensus.Digest()
+	}
+	panic("harness: unknown result detail type")
+}

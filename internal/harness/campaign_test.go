@@ -1,0 +1,98 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCampaignHealthy(t *testing.T) {
+	r := Campaign(CampaignParams{Protocol: ICPS, Periods: 5, Relays: 150})
+	if r.Successes != 5 {
+		t.Fatalf("successes=%d of 5: %v", r.Successes, r.Outcomes)
+	}
+	if r.Chain.Len() != 5 {
+		t.Fatalf("chain length %d", r.Chain.Len())
+	}
+	if err := r.Chain.Verify(); err != nil {
+		t.Fatalf("chain invalid: %v", err)
+	}
+	if r.Availability != 1 || r.FirstOutage != -1 {
+		t.Fatalf("availability %.2f firstOutage %v", r.Availability, r.FirstOutage)
+	}
+	head, ok := r.Chain.Head()
+	if !ok || head.Epoch != 5 {
+		t.Fatalf("head %+v", head)
+	}
+}
+
+func TestCampaignSustainedAttackOnCurrent(t *testing.T) {
+	// Period 0 healthy, every later period attacked: the current protocol
+	// loses them all, the chain freezes at one link, and the network goes
+	// down exactly three hours after the only consensus.
+	r := Campaign(CampaignParams{
+		Protocol: Current,
+		Periods:  6,
+		Relays:   150,
+		Attacked: func(i int) bool { return i > 0 },
+	})
+	if r.Successes != 1 {
+		t.Fatalf("successes=%d, want 1: %v", r.Successes, r.Outcomes)
+	}
+	if r.Chain.Len() != 1 {
+		t.Fatalf("chain length %d", r.Chain.Len())
+	}
+	if r.FirstOutage != 3*time.Hour {
+		t.Fatalf("network died at %v, want 3h", r.FirstOutage)
+	}
+	if r.Availability >= 1 {
+		t.Fatal("availability did not drop")
+	}
+}
+
+func TestCampaignSustainedAttackOnICPS(t *testing.T) {
+	// The same attack schedule against the partially synchronous protocol:
+	// every period still produces a consensus (the attack only delays it),
+	// the chain grows every hour and the network never goes down.
+	r := Campaign(CampaignParams{
+		Protocol: ICPS,
+		Periods:  6,
+		Relays:   150,
+		Attacked: func(i int) bool { return i > 0 },
+	})
+	if r.Successes != 6 {
+		t.Fatalf("successes=%d of 6: %v", r.Successes, r.Outcomes)
+	}
+	if r.Chain.Len() != 6 {
+		t.Fatalf("chain length %d", r.Chain.Len())
+	}
+	if err := r.Chain.Verify(); err != nil {
+		t.Fatalf("chain invalid: %v", err)
+	}
+	if r.FirstOutage != -1 || r.Availability != 1 {
+		t.Fatalf("outage %v availability %.2f", r.FirstOutage, r.Availability)
+	}
+}
+
+func TestCrossProtocolConsensusAgreement(t *testing.T) {
+	// On a healthy network with identical inputs, all three protocols must
+	// aggregate the *same* consensus document: the aggregation algorithm
+	// (Figure 2) is shared and deterministic, and each protocol delivers
+	// all nine votes.
+	digest := map[Protocol]string{}
+	for _, proto := range []Protocol{Current, Synchronous, ICPS} {
+		run := Run(Scenario{
+			Protocol:     proto,
+			Relays:       120,
+			EntryPadding: 0,
+			Round:        20 * time.Second,
+			Seed:         6,
+		})
+		if !run.Success {
+			t.Fatalf("%v failed", proto)
+		}
+		digest[proto] = consensusDigest(run).Hex()
+	}
+	if digest[Current] != digest[Synchronous] || digest[Current] != digest[ICPS] {
+		t.Fatalf("protocols disagree on the consensus document: %v", digest)
+	}
+}

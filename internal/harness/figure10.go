@@ -1,0 +1,134 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"partialtor/internal/simnet"
+)
+
+// Fig10Cell is one measurement of the latency comparison grid.
+type Fig10Cell struct {
+	Protocol      Protocol
+	BandwidthMbit float64
+	Relays        int
+	Success       bool
+	Latency       time.Duration // Never when the protocol failed
+}
+
+// Figure10Result is the full latency comparison (Figure 10: one panel per
+// bandwidth, one series per protocol, relays on the x axis).
+type Figure10Result struct {
+	Bandwidths []float64 // Mbit/s
+	Relays     []int
+	Protocols  []Protocol
+	Cells      []Fig10Cell
+}
+
+// Figure10Params scales the grid (zero values = paper scale).
+type Figure10Params struct {
+	BandwidthsMbit []float64 // default {50, 20, 10, 1, 0.5}
+	RelayCounts    []int     // default 1000..10000 step 1000
+	Protocols      []Protocol
+	Round          time.Duration // default 150s
+	EntryPadding   int           // default calibrated
+	Seed           int64
+}
+
+// Figure10 measures the latency (or failure) of each protocol on every
+// (bandwidth, relays) cell.
+func Figure10(p Figure10Params) *Figure10Result {
+	if len(p.BandwidthsMbit) == 0 {
+		p.BandwidthsMbit = []float64{50, 20, 10, 1, 0.5}
+	}
+	if len(p.RelayCounts) == 0 {
+		for r := 1000; r <= 10000; r += 1000 {
+			p.RelayCounts = append(p.RelayCounts, r)
+		}
+	}
+	if len(p.Protocols) == 0 {
+		p.Protocols = []Protocol{Current, Synchronous, ICPS}
+	}
+	if p.Round == 0 {
+		p.Round = 150 * time.Second
+	}
+	if p.EntryPadding == 0 {
+		p.EntryPadding = -1
+	}
+	res := &Figure10Result{Bandwidths: p.BandwidthsMbit, Relays: p.RelayCounts, Protocols: p.Protocols}
+	// Relays on the outer loop: document construction is cached per count.
+	for _, relays := range p.RelayCounts {
+		for _, mbit := range p.BandwidthsMbit {
+			for _, proto := range p.Protocols {
+				run := Run(Scenario{
+					Protocol:     proto,
+					Relays:       relays,
+					EntryPadding: p.EntryPadding,
+					Bandwidth:    mbit * 1e6,
+					Round:        p.Round,
+					Seed:         p.Seed,
+				})
+				lat := run.Latency
+				if !run.Success {
+					lat = simnet.Never
+				}
+				res.Cells = append(res.Cells, Fig10Cell{
+					Protocol:      proto,
+					BandwidthMbit: mbit,
+					Relays:        relays,
+					Success:       run.Success,
+					Latency:       lat,
+				})
+			}
+		}
+	}
+	return res
+}
+
+// Cell retrieves one measurement.
+func (r *Figure10Result) Cell(proto Protocol, mbit float64, relays int) (Fig10Cell, bool) {
+	for _, c := range r.Cells {
+		if c.Protocol == proto && c.BandwidthMbit == mbit && c.Relays == relays {
+			return c, true
+		}
+	}
+	return Fig10Cell{}, false
+}
+
+// FailureThreshold returns the smallest relay count at which the protocol
+// fails for the given bandwidth, or 0 if it never fails in the sweep.
+func (r *Figure10Result) FailureThreshold(proto Protocol, mbit float64) int {
+	for _, relays := range r.Relays {
+		if c, ok := r.Cell(proto, mbit, relays); ok && !c.Success {
+			return relays
+		}
+	}
+	return 0
+}
+
+// Render prints one panel per bandwidth, matching the paper's layout.
+func (r *Figure10Result) Render() string {
+	out := ""
+	for _, mbit := range r.Bandwidths {
+		headers := []string{"Relays"}
+		for _, p := range r.Protocols {
+			headers = append(headers, p.String()+" (s)")
+		}
+		var rows [][]string
+		for _, relays := range r.Relays {
+			row := []string{fmt.Sprintf("%d", relays)}
+			for _, p := range r.Protocols {
+				c, ok := r.Cell(p, mbit, relays)
+				if !ok {
+					row = append(row, "-")
+					continue
+				}
+				row = append(row, fmtLatency(c.Latency))
+			}
+			rows = append(rows, row)
+		}
+		out += renderTable(fmt.Sprintf("Figure 10 panel: %s Mbit/s", fmtMbit(mbit*1e6)), headers, rows)
+		out += "\n"
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"partialtor/internal/attack"
+	"partialtor/internal/simnet"
+)
+
+// Fig11Row is one point of the outage-recovery experiment.
+type Fig11Row struct {
+	Relays int
+	// Recovery is the time our protocol needed after the attack ended.
+	Recovery time.Duration
+	// TotalLatency is the absolute completion instant (attack + recovery).
+	TotalLatency time.Duration
+	// Baseline is the paper's accounting for the lock-step protocols
+	// (2100s: they fail this run and rerun half an hour later).
+	Baseline time.Duration
+}
+
+// Figure11Result is the complete-outage experiment: five authorities
+// knocked offline for five minutes at the start of the protocol.
+type Figure11Result struct {
+	Outage time.Duration
+	Rows   []Fig11Row
+}
+
+// Figure11Params scales the experiment (zero values = paper scale).
+type Figure11Params struct {
+	RelayCounts  []int         // default 1000..10000 step 1000
+	Outage       time.Duration // default 5 minutes
+	EntryPadding int           // default calibrated
+	Seed         int64
+}
+
+// Figure11 runs the ICPS protocol under a complete outage of the majority
+// of the authorities and reports how quickly consensus lands once the
+// attack ends.
+func Figure11(p Figure11Params) *Figure11Result {
+	if len(p.RelayCounts) == 0 {
+		for r := 1000; r <= 10000; r += 1000 {
+			p.RelayCounts = append(p.RelayCounts, r)
+		}
+	}
+	if p.Outage == 0 {
+		p.Outage = 5 * time.Minute
+	}
+	if p.EntryPadding == 0 {
+		p.EntryPadding = -1
+	}
+	res := &Figure11Result{Outage: p.Outage}
+	for _, relays := range p.RelayCounts {
+		plan := attack.FiveMinuteOutage(attack.MajorityTargets(9))
+		plan.End = p.Outage
+		run := Run(Scenario{
+			Protocol:     ICPS,
+			Relays:       relays,
+			EntryPadding: p.EntryPadding,
+			Attack:       &plan,
+			Seed:         p.Seed,
+		})
+		row := Fig11Row{Relays: relays, Baseline: FallbackLatency}
+		if run.Success && run.DoneAt != simnet.Never {
+			row.TotalLatency = run.DoneAt
+			row.Recovery = run.DoneAt - p.Outage
+			if row.Recovery < 0 {
+				row.Recovery = 0
+			}
+		} else {
+			row.TotalLatency = simnet.Never
+			row.Recovery = simnet.Never
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Render prints the recovery table.
+func (r *Figure11Result) Render() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", row.Relays),
+			fmtLatency(row.Recovery),
+			fmtLatency(row.Baseline),
+		})
+	}
+	title := fmt.Sprintf("Figure 11: consensus latency after a %v outage of 5 authorities", r.Outage)
+	return renderTable(title, []string{"Relays", "Ours after attack (s)", "Current/Synchronous (s)"}, rows)
+}

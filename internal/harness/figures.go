@@ -1,0 +1,204 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"partialtor/internal/attack"
+	"partialtor/internal/relay"
+	"partialtor/internal/simnet"
+)
+
+// ---------------------------------------------------------------- Figure 1
+
+// Figure1Result reproduces the paper's Figure 1: the log of a healthy
+// authority while five authorities are under attack — missing votes, failed
+// fetches, and the "not enough votes" failure.
+type Figure1Result struct {
+	Observer int      // the healthy authority whose log is rendered
+	Lines    []string // wall-clock formatted log lines
+	Run      *RunResult
+}
+
+// Figure1Params scales the experiment (zero values = paper scale).
+type Figure1Params struct {
+	Relays       int           // default 8000
+	Round        time.Duration // default 150s
+	EntryPadding int           // default calibrated
+	Residual     float64       // attacker-imposed bandwidth; default 0.5 Mbit/s
+	Seed         int64
+}
+
+// Figure1 runs the current protocol under the headline attack and renders a
+// healthy authority's log.
+func Figure1(p Figure1Params) *Figure1Result {
+	if p.Relays == 0 {
+		p.Relays = 8000
+	}
+	if p.Round == 0 {
+		p.Round = 150 * time.Second
+	}
+	if p.Residual == 0 {
+		p.Residual = attack.ResidualUnderDDoS
+	}
+	if p.EntryPadding == 0 {
+		p.EntryPadding = -1
+	}
+	plan := attack.Plan{
+		Targets:  attack.MajorityTargets(9),
+		Start:    0,
+		End:      2 * p.Round,
+		Residual: p.Residual,
+	}
+	run := Run(Scenario{
+		Protocol:     Current,
+		Relays:       p.Relays,
+		EntryPadding: p.EntryPadding,
+		Round:        p.Round,
+		FetchTimeout: p.Round / 15, // dead peers are given up on quickly
+		Attack:       &plan,
+		Seed:         p.Seed,
+	})
+	observer := 8 // a healthy authority
+	res := &Figure1Result{Observer: observer, Run: run}
+	// Render with wall-clock timestamps in the style of the paper's log:
+	// the fetch round starts at 01:24:30, i.e. base = start − round.
+	base := time.Date(2021, 1, 1, 1, 24, 30, 0, time.UTC).Add(-p.Round)
+	for _, e := range run.Net.NodeLog(simnet.NodeID(observer)) {
+		stamp := base.Add(e.At).Format("Jan 02 15:04:05.000")
+		res.Lines = append(res.Lines, fmt.Sprintf("%s [%s] %s", stamp, e.Level, e.Text))
+	}
+	return res
+}
+
+// Render returns the log as the paper displays it.
+func (r *Figure1Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1: authority %d log while 5 authorities are under attack\n", r.Observer)
+	for _, l := range r.Lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Figure 6
+
+// Figure6Result is the relay-count time series (Tor Metrics style).
+type Figure6Result struct {
+	Points  []relay.MetricPoint
+	Average float64
+}
+
+// Figure6 synthesizes the series with the paper's average (7141.79).
+func Figure6() *Figure6Result {
+	pts := relay.MetricsSeries()
+	return &Figure6Result{Points: pts, Average: relay.SeriesAverage(pts)}
+}
+
+// Render prints date/count rows and the average.
+func (r *Figure6Result) Render() string {
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		rows = append(rows, []string{p.Date(), fmt.Sprintf("%d", p.Count)})
+	}
+	out := renderTable("Figure 6: number of Tor relays over time", []string{"Month", "Relays"}, rows)
+	return out + fmt.Sprintf("Average: %.2f (paper: %.2f)\n", r.Average, relay.Figure6Average)
+}
+
+// ---------------------------------------------------------------- Figure 7
+
+// Fig7Row is one point of the bandwidth-requirement curve.
+type Fig7Row struct {
+	Relays       int
+	RequiredMbit float64 // minimal residual bandwidth for protocol success
+}
+
+// Figure7Result is the bandwidth-requirement sweep.
+type Figure7Result struct {
+	Rows     []Fig7Row
+	Residual float64 // the dashed "under attack" line (0.5 Mbit/s)
+}
+
+// Figure7Params scales the sweep (zero values = paper scale).
+type Figure7Params struct {
+	RelayCounts  []int         // default 1000..10000 step 1000
+	Round        time.Duration // default 150s
+	EntryPadding int           // default calibrated
+	MaxMbit      float64       // search ceiling, default 30
+	Precision    float64       // Mbit, default 0.25
+	Seed         int64
+}
+
+// Figure7 binary-searches, per relay count, the minimal bandwidth the five
+// attacked authorities need for the current protocol to still succeed.
+func Figure7(p Figure7Params) *Figure7Result {
+	if len(p.RelayCounts) == 0 {
+		for r := 1000; r <= 10000; r += 1000 {
+			p.RelayCounts = append(p.RelayCounts, r)
+		}
+	}
+	if p.Round == 0 {
+		p.Round = 150 * time.Second
+	}
+	if p.MaxMbit == 0 {
+		p.MaxMbit = 30
+	}
+	if p.Precision == 0 {
+		p.Precision = 0.25
+	}
+	if p.EntryPadding == 0 {
+		p.EntryPadding = -1
+	}
+	res := &Figure7Result{Residual: attack.ResidualUnderDDoS / 1e6}
+	for _, relays := range p.RelayCounts {
+		succeeds := func(mbit float64) bool {
+			plan := attack.Plan{
+				Targets:  attack.MajorityTargets(9),
+				Start:    0,
+				End:      2 * p.Round,
+				Residual: mbit * 1e6,
+			}
+			run := Run(Scenario{
+				Protocol:     Current,
+				Relays:       relays,
+				EntryPadding: p.EntryPadding,
+				Round:        p.Round,
+				Attack:       &plan,
+				Seed:         p.Seed,
+			})
+			return run.Success
+		}
+		lo, hi := 0.0, p.MaxMbit
+		if !succeeds(hi) {
+			res.Rows = append(res.Rows, Fig7Row{Relays: relays, RequiredMbit: -1})
+			continue
+		}
+		for hi-lo > p.Precision {
+			mid := (lo + hi) / 2
+			if succeeds(mid) {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		res.Rows = append(res.Rows, Fig7Row{Relays: relays, RequiredMbit: hi})
+	}
+	return res
+}
+
+// Render prints the requirement curve.
+func (r *Figure7Result) Render() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		req := fmt.Sprintf("%.2f", row.RequiredMbit)
+		if row.RequiredMbit < 0 {
+			req = ">search ceiling"
+		}
+		rows = append(rows, []string{fmt.Sprintf("%d", row.Relays), req})
+	}
+	out := renderTable("Figure 7: bandwidth requirement for the directory protocol (5 authorities attacked)",
+		[]string{"Relays", "Required Mbit/s"}, rows)
+	return out + fmt.Sprintf("Bandwidth under DDoS attack: %.1f Mbit/s (dashed line)\n", r.Residual)
+}

@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"partialtor/internal/simnet"
+)
+
+// renderTable lays out a simple aligned text table.
+func renderTable(title string, headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// fmtLatency renders a latency cell: seconds with one decimal, or FAIL.
+func fmtLatency(d time.Duration) string {
+	if d == simnet.Never || d < 0 {
+		return "FAIL"
+	}
+	return fmt.Sprintf("%.1f", d.Seconds())
+}
+
+// fmtMbit renders bits/s as Mbit/s.
+func fmtMbit(bits float64) string {
+	if bits >= 1e6 {
+		return fmt.Sprintf("%g", bits/1e6)
+	}
+	return fmt.Sprintf("%.2f", bits/1e6)
+}
+
+// fmtBytes renders a byte count with MB granularity.
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2f GB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2f MB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2f kB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", b)
+}

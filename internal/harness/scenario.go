@@ -1,0 +1,246 @@
+// Package harness reproduces the paper's evaluation: it assembles full
+// scenarios (authority set, synthetic relay populations, vote documents,
+// network shape, attack plans), runs each of the three directory protocols
+// on the simulator, and regenerates every figure and table of the paper
+// (Figures 1, 6, 7, 10, 11; Tables 1, 2; the §4.3 cost analysis).
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"partialtor/internal/attack"
+	"partialtor/internal/core"
+	"partialtor/internal/dirv3"
+	"partialtor/internal/relay"
+	"partialtor/internal/sig"
+	"partialtor/internal/simnet"
+	"partialtor/internal/syncdir"
+	"partialtor/internal/vote"
+)
+
+// Protocol selects which directory protocol a scenario runs.
+type Protocol int
+
+// The three protocols the paper compares (Table 1).
+const (
+	// Current is the deployed Tor directory protocol v3.
+	Current Protocol = iota
+	// Synchronous is Luo et al.'s Dolev-Strong-based protocol.
+	Synchronous
+	// ICPS is this paper's protocol (interactive consistency under
+	// partial synchrony).
+	ICPS
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case Current:
+		return "Current"
+	case Synchronous:
+		return "Synchronous"
+	case ICPS:
+		return "Ours"
+	}
+	return fmt.Sprintf("Protocol(%d)", int(p))
+}
+
+// DefaultBandwidth is the estimated authority link capacity (§4.3).
+const DefaultBandwidth = 250e6
+
+// FallbackLatency is the paper's accounting for a failed lock-step run
+// under the five-minute attack (Figure 11): 25 minutes until the next
+// hourly run plus the 10-minute protocol.
+const FallbackLatency = 2100 * time.Second
+
+// Scenario describes one protocol run at paper scale.
+type Scenario struct {
+	Protocol Protocol
+	// N is the number of authorities (default 9).
+	N int
+	// Relays sizes the synthetic population (and thus the vote documents).
+	Relays int
+	// EntryPadding is the calibrated per-relay entry size; <0 selects
+	// vote.DefaultEntryPadding, 0 disables padding.
+	EntryPadding int
+	// Bandwidth is the uniform authority access capacity in bits/s
+	// (default DefaultBandwidth).
+	Bandwidth float64
+	// Round is the lock-step round length for the baselines (default
+	// 150s). ICPS ignores it.
+	Round time.Duration
+	// FetchTimeout is dirv3's per-peer give-up delay (default 30s).
+	FetchTimeout time.Duration
+	// Delta is the ICPS dissemination wait (default core.DefaultDelta).
+	Delta time.Duration
+	// BaseTimeout is the ICPS pacemaker base timeout (default 10s).
+	BaseTimeout time.Duration
+	// Attack, if non-nil, throttles its targets during its window.
+	Attack *attack.Plan
+	// Seed drives all randomness.
+	Seed int64
+	// RunLimit bounds the simulation; 0 derives a sensible limit.
+	RunLimit time.Duration
+}
+
+func (s Scenario) withDefaults() Scenario {
+	if s.N == 0 {
+		s.N = 9
+	}
+	if s.Relays == 0 {
+		s.Relays = 8000
+	}
+	if s.EntryPadding < 0 {
+		s.EntryPadding = vote.DefaultEntryPadding
+	}
+	if s.Bandwidth == 0 {
+		s.Bandwidth = DefaultBandwidth
+	}
+	if s.Round == 0 {
+		s.Round = dirv3.DefaultRound
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s
+}
+
+// RunResult is the protocol-independent outcome of one scenario.
+type RunResult struct {
+	Scenario Scenario
+	Success  bool
+	// Latency is the paper's §6.2 metric: network time to a consensus
+	// document (simnet.Never on failure).
+	Latency time.Duration
+	// DoneAt is the absolute completion instant (ICPS only; Never else).
+	DoneAt time.Duration
+	// Transport accounting.
+	BytesSent int64
+	Messages  int64
+	KindBytes map[string]int64
+	// Net allows callers (e.g. Figure 1) to read authority logs.
+	Net *simnet.Network
+	// Protocol-specific result for detailed inspection.
+	Detail any
+}
+
+// inputsCache avoids rebuilding multi-megabyte document sets when sweeping
+// bandwidths at a fixed relay count (single-entry: sweeps iterate relay
+// counts in the outer loop).
+type inputsKey struct {
+	n, relays, padding int
+	seed               int64
+}
+
+var inputsCache struct {
+	key  inputsKey
+	keys []*sig.KeyPair
+	docs []*vote.Document
+}
+
+// Inputs builds (and caches) the authority keys and vote documents for a
+// scenario.
+func Inputs(s Scenario) ([]*sig.KeyPair, []*vote.Document) {
+	s = s.withDefaults()
+	key := inputsKey{n: s.N, relays: s.Relays, padding: s.EntryPadding, seed: s.Seed}
+	if inputsCache.key == key && inputsCache.keys != nil {
+		return inputsCache.keys, inputsCache.docs
+	}
+	keys := sig.Authorities(s.Seed, s.N)
+	pop := relay.Population(s.Relays, s.Seed)
+	docs := make([]*vote.Document, s.N)
+	for i, k := range keys {
+		view := relay.View(pop, i, s.Seed, relay.DefaultViewConfig())
+		name := fmt.Sprintf("auth%d", i)
+		if i < len(relay.AuthorityNames) {
+			name = relay.AuthorityNames[i]
+		}
+		d := vote.NewDocument(i, name, k.Fingerprint, 1, view)
+		d.EntryPadding = s.EntryPadding
+		docs[i] = d
+		_ = d.Encode() // pre-encode so size accounting is O(1) afterwards
+	}
+	inputsCache.key = key
+	inputsCache.keys = keys
+	inputsCache.docs = docs
+	return keys, docs
+}
+
+// buildNetwork wires an n-node network with the scenario's bandwidth and
+// attack plan applied.
+func buildNetwork(s Scenario) (*simnet.Network, []*simnet.Profile, []*simnet.Profile) {
+	net := simnet.New(simnet.Config{Seed: s.Seed, Overhead: 128})
+	ups := make([]*simnet.Profile, s.N)
+	downs := make([]*simnet.Profile, s.N)
+	for i := 0; i < s.N; i++ {
+		ups[i] = simnet.NewProfile(s.Bandwidth)
+		downs[i] = simnet.NewProfile(s.Bandwidth)
+		if s.Attack != nil {
+			s.Attack.Throttle(i, ups[i], downs[i])
+		}
+	}
+	return net, ups, downs
+}
+
+// Run executes one scenario.
+func Run(s Scenario) *RunResult {
+	s = s.withDefaults()
+	keys, docs := Inputs(s)
+	net, ups, downs := buildNetwork(s)
+	res := &RunResult{Scenario: s, Latency: simnet.Never, DoneAt: simnet.Never, Net: net}
+
+	limit := s.RunLimit
+	switch s.Protocol {
+	case Current:
+		cfg := dirv3.Config{Keys: keys, Docs: docs, Round: s.Round, FetchTimeout: s.FetchTimeout}
+		auths := dirv3.NewAuthorities(cfg)
+		for i, a := range auths {
+			net.AddNode(a, ups[i], downs[i])
+		}
+		if limit == 0 {
+			limit = cfg.EndTime() + time.Second
+		}
+		net.Run(limit)
+		r := dirv3.Collect(auths, cfg)
+		res.Success = r.Success
+		res.Latency = r.Latency
+		res.Detail = r
+
+	case Synchronous:
+		cfg := syncdir.Config{Keys: keys, Docs: docs, Round: s.Round}
+		auths := syncdir.NewAuthorities(cfg)
+		for i, a := range auths {
+			net.AddNode(a, ups[i], downs[i])
+		}
+		if limit == 0 {
+			limit = cfg.EndTime() + time.Second
+		}
+		net.Run(limit)
+		r := syncdir.Collect(auths, cfg)
+		res.Success = r.Success
+		res.Latency = r.Latency
+		res.Detail = r
+
+	case ICPS:
+		cfg := core.Config{Keys: keys, Docs: docs, Delta: s.Delta, BaseTimeout: s.BaseTimeout}
+		auths := core.NewAuthorities(cfg)
+		for i, a := range auths {
+			net.AddNode(a, ups[i], downs[i])
+		}
+		if limit == 0 {
+			limit = 6 * time.Hour
+		}
+		net.Run(limit)
+		r := core.Collect(auths, cfg, nil)
+		res.Success = r.Success
+		res.Latency = r.Latency
+		res.DoneAt = r.Latency
+		res.Detail = r
+	}
+
+	st := net.Stats()
+	res.BytesSent = st.BytesSent
+	res.Messages = st.MessagesSent
+	res.KindBytes = st.KindBytes
+	return res
+}

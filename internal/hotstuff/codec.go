@@ -1,0 +1,198 @@
+package hotstuff
+
+import (
+	"fmt"
+
+	"partialtor/internal/sig"
+	"partialtor/internal/simnet"
+	"partialtor/internal/wire"
+)
+
+// ValueCodec serializes the application's opaque Value payloads; the
+// embedding protocol (internal/core) supplies one so the agreement messages
+// can cross a real wire.
+type ValueCodec interface {
+	EncodeValue(Value) []byte
+	DecodeValue([]byte) (Value, error)
+}
+
+// Message type tags on the wire.
+const (
+	tagProposal byte = 0x11
+	tagVote     byte = 0x12
+	tagLock     byte = 0x13
+	tagDecide   byte = 0x14
+	tagTimeout  byte = 0x15
+	tagTC       byte = 0x16
+)
+
+func writeQC(w *wire.Writer, q *QC) {
+	if q == nil {
+		w.Bool(false)
+		return
+	}
+	w.Bool(true)
+	w.Uvarint(uint64(q.Phase))
+	w.Uvarint(uint64(q.View))
+	sig.WriteDigest(w, q.Digest)
+	sig.WriteSignatures(w, q.Sigs)
+}
+
+func readQC(r *wire.Reader) (*QC, error) {
+	if !r.Bool() {
+		return nil, r.Err()
+	}
+	q := &QC{
+		Phase: int(r.Uvarint()),
+		View:  int(r.Uvarint()),
+	}
+	q.Digest = sig.ReadDigest(r)
+	sigs, err := sig.ReadSignatures(r)
+	if err != nil {
+		return nil, err
+	}
+	q.Sigs = sigs
+	return q, r.Err()
+}
+
+func writeTC(w *wire.Writer, t *TC) {
+	if t == nil {
+		w.Bool(false)
+		return
+	}
+	w.Bool(true)
+	w.Uvarint(uint64(t.View))
+	sig.WriteSignatures(w, t.Sigs)
+	writeQC(w, t.HighQC)
+}
+
+func readTC(r *wire.Reader) (*TC, error) {
+	if !r.Bool() {
+		return nil, r.Err()
+	}
+	t := &TC{View: int(r.Uvarint())}
+	sigs, err := sig.ReadSignatures(r)
+	if err != nil {
+		return nil, err
+	}
+	t.Sigs = sigs
+	if t.HighQC, err = readQC(r); err != nil {
+		return nil, err
+	}
+	return t, r.Err()
+}
+
+// EncodeMessage serializes any hotstuff protocol message. vc may be nil for
+// messages that carry no Value.
+func EncodeMessage(m simnet.Message, vc ValueCodec) ([]byte, error) {
+	w := wire.NewWriter(256)
+	switch t := m.(type) {
+	case *MsgProposal:
+		if vc == nil {
+			return nil, fmt.Errorf("hotstuff: proposal needs a ValueCodec")
+		}
+		w.Byte(tagProposal)
+		w.Uvarint(uint64(t.View))
+		w.BytesLP(vc.EncodeValue(t.Value))
+		writeQC(w, t.Justify)
+		writeTC(w, t.EntryTC)
+	case *MsgVote:
+		w.Byte(tagVote)
+		w.Uvarint(uint64(t.View))
+		w.Uvarint(uint64(t.Phase))
+		sig.WriteDigest(w, t.Digest)
+		sig.WriteSignature(w, t.Sig)
+	case *MsgLock:
+		w.Byte(tagLock)
+		w.Uvarint(uint64(t.View))
+		sig.WriteDigest(w, t.Digest)
+		writeQC(w, t.QC)
+	case *MsgDecide:
+		if vc == nil {
+			return nil, fmt.Errorf("hotstuff: decide needs a ValueCodec")
+		}
+		w.Byte(tagDecide)
+		w.Uvarint(uint64(t.View))
+		w.BytesLP(vc.EncodeValue(t.Value))
+		writeQC(w, t.QC)
+	case *MsgTimeout:
+		w.Byte(tagTimeout)
+		w.Uvarint(uint64(t.View))
+		writeQC(w, t.HighQC)
+		sig.WriteSignature(w, t.Sig)
+	case *MsgTC:
+		w.Byte(tagTC)
+		writeTC(w, t.TC)
+	default:
+		return nil, fmt.Errorf("hotstuff: unknown message type %T", m)
+	}
+	return w.Bytes(), nil
+}
+
+// DecodeMessage inverts EncodeMessage.
+func DecodeMessage(b []byte, vc ValueCodec) (simnet.Message, error) {
+	r := wire.NewReader(b)
+	tag := r.Byte()
+	var m simnet.Message
+	var err error
+	switch tag {
+	case tagProposal:
+		t := &MsgProposal{View: int(r.Uvarint())}
+		if vc == nil {
+			return nil, fmt.Errorf("hotstuff: proposal needs a ValueCodec")
+		}
+		if t.Value, err = vc.DecodeValue(r.BytesLP()); err != nil {
+			return nil, err
+		}
+		if t.Justify, err = readQC(r); err != nil {
+			return nil, err
+		}
+		if t.EntryTC, err = readTC(r); err != nil {
+			return nil, err
+		}
+		m = t
+	case tagVote:
+		t := &MsgVote{View: int(r.Uvarint()), Phase: int(r.Uvarint())}
+		t.Digest = sig.ReadDigest(r)
+		t.Sig = sig.ReadSignature(r)
+		m = t
+	case tagLock:
+		t := &MsgLock{View: int(r.Uvarint())}
+		t.Digest = sig.ReadDigest(r)
+		if t.QC, err = readQC(r); err != nil {
+			return nil, err
+		}
+		m = t
+	case tagDecide:
+		t := &MsgDecide{View: int(r.Uvarint())}
+		if vc == nil {
+			return nil, fmt.Errorf("hotstuff: decide needs a ValueCodec")
+		}
+		if t.Value, err = vc.DecodeValue(r.BytesLP()); err != nil {
+			return nil, err
+		}
+		if t.QC, err = readQC(r); err != nil {
+			return nil, err
+		}
+		m = t
+	case tagTimeout:
+		t := &MsgTimeout{View: int(r.Uvarint())}
+		if t.HighQC, err = readQC(r); err != nil {
+			return nil, err
+		}
+		t.Sig = sig.ReadSignature(r)
+		m = t
+	case tagTC:
+		t := &MsgTC{}
+		if t.TC, err = readTC(r); err != nil {
+			return nil, err
+		}
+		m = t
+	default:
+		return nil, fmt.Errorf("hotstuff: unknown message tag %#x", tag)
+	}
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

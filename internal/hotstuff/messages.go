@@ -1,0 +1,100 @@
+package hotstuff
+
+import "partialtor/internal/sig"
+
+const msgHeader = 16
+
+// MsgProposal carries the leader's value into a view. Justify is the
+// leader's lock certificate (if re-proposing a possibly-committed value);
+// EntryTC proves the legitimacy of entering views beyond the first.
+type MsgProposal struct {
+	View    int
+	Value   Value
+	Justify *QC
+	EntryTC *TC
+}
+
+// Size implements simnet.Message.
+func (m *MsgProposal) Size() int64 {
+	return msgHeader + 8 + m.Value.Size() + m.Justify.WireSize() + m.EntryTC.WireSize()
+}
+
+// Kind implements simnet.Message.
+func (m *MsgProposal) Kind() string { return "hotstuff/proposal" }
+
+// MsgVote is a replica's phase vote, sent to the view leader.
+type MsgVote struct {
+	View   int
+	Phase  int
+	Digest sig.Digest
+	Sig    sig.Signature
+}
+
+// Size implements simnet.Message.
+func (m *MsgVote) Size() int64 { return msgHeader + 16 + sig.DigestSize + sig.WireSize }
+
+// Kind implements simnet.Message.
+func (m *MsgVote) Kind() string { return "hotstuff/vote" }
+
+// MsgLock is the leader's broadcast of QC₁: replicas lock and cast their
+// second-phase vote.
+type MsgLock struct {
+	View   int
+	Digest sig.Digest
+	QC     *QC
+}
+
+// Size implements simnet.Message.
+func (m *MsgLock) Size() int64 { return msgHeader + 8 + sig.DigestSize + m.QC.WireSize() }
+
+// Kind implements simnet.Message.
+func (m *MsgLock) Kind() string { return "hotstuff/lock" }
+
+// MsgDecide carries QC₂ and the decided value (so replicas that missed the
+// proposal still terminate).
+type MsgDecide struct {
+	View  int
+	Value Value
+	QC    *QC
+}
+
+// Size implements simnet.Message.
+func (m *MsgDecide) Size() int64 { return msgHeader + 8 + m.Value.Size() + m.QC.WireSize() }
+
+// Kind implements simnet.Message.
+func (m *MsgDecide) Kind() string { return "hotstuff/decide" }
+
+// MsgTimeout is a pacemaker share: the sender's view has expired.
+type MsgTimeout struct {
+	View   int
+	HighQC *QC
+	Sig    sig.Signature
+}
+
+// Size implements simnet.Message.
+func (m *MsgTimeout) Size() int64 { return msgHeader + 8 + m.HighQC.WireSize() + sig.WireSize }
+
+// Kind implements simnet.Message.
+func (m *MsgTimeout) Kind() string { return "hotstuff/timeout" }
+
+// MsgTC announces an assembled timeout certificate so every replica enters
+// the next view together.
+type MsgTC struct {
+	TC *TC
+}
+
+// Size implements simnet.Message.
+func (m *MsgTC) Size() int64 { return msgHeader + m.TC.WireSize() }
+
+// Kind implements simnet.Message.
+func (m *MsgTC) Kind() string { return "hotstuff/tc" }
+
+// IsProtocolMessage reports whether a simnet message belongs to this
+// package, so parent handlers can demultiplex.
+func IsProtocolMessage(m interface{ Kind() string }) bool {
+	switch m.(type) {
+	case *MsgProposal, *MsgVote, *MsgLock, *MsgDecide, *MsgTimeout, *MsgTC:
+		return true
+	}
+	return false
+}

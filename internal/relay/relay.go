@@ -1,0 +1,304 @@
+// Package relay models Tor relays as seen by directory authorities: relay
+// descriptors with flags, versions, exit policies and bandwidths;
+// deterministic synthetic relay populations; per-authority perturbed views
+// (each authority knows a slightly different subset with slightly different
+// measurements, which is what makes vote aggregation meaningful); and a
+// Tor-Metrics-style relay-count time series (paper Figure 6).
+package relay
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Flags are the router status flags assigned by authorities (dir-spec §3.4).
+type Flags uint16
+
+// Router status flags. The subset modelled here is the one the consensus
+// algorithm in the paper's Figure 2 votes on.
+const (
+	FlagRunning Flags = 1 << iota
+	FlagValid
+	FlagFast
+	FlagStable
+	FlagGuard
+	FlagExit
+	FlagHSDir
+	FlagV2Dir
+	FlagAuthority
+	FlagBadExit
+
+	flagCount = 10
+)
+
+var flagNames = [flagCount]string{
+	"Running", "Valid", "Fast", "Stable", "Guard",
+	"Exit", "HSDir", "V2Dir", "Authority", "BadExit",
+}
+
+// AllFlags lists every individual flag in canonical order.
+func AllFlags() []Flags {
+	out := make([]Flags, flagCount)
+	for i := range out {
+		out[i] = 1 << i
+	}
+	return out
+}
+
+// Has reports whether all bits in q are set.
+func (f Flags) Has(q Flags) bool { return f&q == q }
+
+// String renders the set flags in Tor's "s" line order (alphabetical here,
+// matching the canonical names' order of declaration).
+func (f Flags) String() string {
+	var parts []string
+	for i := 0; i < flagCount; i++ {
+		if f&(1<<i) != 0 {
+			parts = append(parts, flagNames[i])
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// ParseFlags inverts String.
+func ParseFlags(s string) (Flags, error) {
+	var f Flags
+	if s == "" {
+		return 0, nil
+	}
+	for _, name := range strings.Fields(s) {
+		found := false
+		for i, n := range flagNames {
+			if n == name {
+				f |= 1 << i
+				found = true
+				break
+			}
+		}
+		if !found {
+			return 0, fmt.Errorf("relay: unknown flag %q", name)
+		}
+	}
+	return f, nil
+}
+
+// Identity is a relay's 20-byte fingerprint.
+type Identity [20]byte
+
+// String renders the identity as 40 upper-case hex characters.
+func (id Identity) String() string {
+	const hexUpper = "0123456789ABCDEF"
+	out := make([]byte, 40)
+	for i, b := range id {
+		out[2*i] = hexUpper[b>>4]
+		out[2*i+1] = hexUpper[b&0xf]
+	}
+	return string(out)
+}
+
+// Descriptor is one relay entry as it appears in an authority's status vote.
+type Descriptor struct {
+	Nickname    string
+	Identity    Identity
+	Digest      Identity // descriptor digest (opaque here)
+	Address     string
+	ORPort      uint16
+	DirPort     uint16
+	Flags       Flags
+	Version     string // e.g. "0.4.8.10"
+	Protocols   string // e.g. "Cons=1-2 Desc=1-2 Link=1-5"
+	Bandwidth   uint64 // relay-advertised, in kB/s
+	HasMeasured bool
+	Measured    uint64 // bwauth-measured, in kB/s
+	ExitPolicy  string // policy summary, e.g. "accept 80,443"
+}
+
+// Clone returns a copy of the descriptor.
+func (d Descriptor) Clone() Descriptor { return d }
+
+var versionPool = []string{
+	"0.4.7.16", "0.4.8.9", "0.4.8.10", "0.4.8.11", "0.4.8.12", "0.4.9.1",
+}
+
+var exitPolicyPool = []string{
+	"reject 1-65535",
+	"accept 80,443",
+	"accept 22,80,443",
+	"accept 20-23,43,53,79-81,443",
+	"accept 443",
+}
+
+var protocolPool = []string{
+	"Cons=1-2 Desc=1-2 DirCache=2 Link=1-5 Relay=1-4",
+	"Cons=1-2 Desc=1-2 DirCache=2 Link=4-5 Relay=3-4",
+}
+
+// Population deterministically generates n synthetic relays. Proportions of
+// flags, versions and bandwidths loosely follow the live network so that
+// vote documents carry realistic structure.
+func Population(n int, seed int64) []Descriptor {
+	rng := rand.New(rand.NewSource(seed ^ 0x52454c4159)) // "RELAY"
+	out := make([]Descriptor, n)
+	for i := range out {
+		var id Identity
+		material := sha256.Sum256(binary.BigEndian.AppendUint64(
+			binary.BigEndian.AppendUint64(nil, uint64(seed)), uint64(i)))
+		copy(id[:], material[:20])
+		var digest Identity
+		material2 := sha256.Sum256(material[:])
+		copy(digest[:], material2[:20])
+
+		flags := FlagRunning | FlagValid
+		if rng.Float64() < 0.85 {
+			flags |= FlagFast
+		}
+		if rng.Float64() < 0.55 {
+			flags |= FlagStable
+		}
+		if flags.Has(FlagFast|FlagStable) && rng.Float64() < 0.55 {
+			flags |= FlagGuard
+		}
+		if rng.Float64() < 0.18 {
+			flags |= FlagExit
+		}
+		if rng.Float64() < 0.30 {
+			flags |= FlagHSDir
+		}
+		if rng.Float64() < 0.50 {
+			flags |= FlagV2Dir
+		}
+
+		bw := uint64(100 + rng.ExpFloat64()*8000)
+		policy := exitPolicyPool[0]
+		if flags.Has(FlagExit) {
+			policy = exitPolicyPool[1+rng.Intn(len(exitPolicyPool)-1)]
+		}
+		out[i] = Descriptor{
+			Nickname:    fmt.Sprintf("relay%06d", i),
+			Identity:    id,
+			Digest:      digest,
+			Address:     fmt.Sprintf("10.%d.%d.%d", (i>>16)&0xff, (i>>8)&0xff, i&0xff),
+			ORPort:      9001,
+			DirPort:     9030,
+			Flags:       flags,
+			Version:     versionPool[rng.Intn(len(versionPool))],
+			Protocols:   protocolPool[rng.Intn(len(protocolPool))],
+			Bandwidth:   bw,
+			HasMeasured: rng.Float64() < 0.9,
+			Measured:    uint64(float64(bw) * (0.8 + rng.Float64()*0.4)),
+			ExitPolicy:  policy,
+		}
+	}
+	return out
+}
+
+// ViewConfig controls how an authority's view of the population is
+// perturbed relative to ground truth.
+type ViewConfig struct {
+	DropRate      float64 // probability a relay is missing from the view
+	FlagFlipRate  float64 // probability one votable flag is toggled
+	MeasureJitter float64 // relative jitter applied to Measured
+	MeasureRate   float64 // probability this authority measured the relay
+}
+
+// DefaultViewConfig mirrors the mild disagreement between live authorities.
+func DefaultViewConfig() ViewConfig {
+	return ViewConfig{DropRate: 0.01, FlagFlipRate: 0.02, MeasureJitter: 0.10, MeasureRate: 0.85}
+}
+
+// View derives authority `auth`'s perturbed copy of the population. The
+// result is sorted by identity, as votes list relays in fingerprint order.
+func View(pop []Descriptor, auth int, seed int64, cfg ViewConfig) []Descriptor {
+	rng := rand.New(rand.NewSource(seed*1000003 + int64(auth)))
+	out := make([]Descriptor, 0, len(pop))
+	votable := []Flags{FlagFast, FlagStable, FlagGuard, FlagExit, FlagHSDir, FlagV2Dir}
+	for _, d := range pop {
+		if rng.Float64() < cfg.DropRate {
+			continue
+		}
+		c := d.Clone()
+		if rng.Float64() < cfg.FlagFlipRate {
+			c.Flags ^= votable[rng.Intn(len(votable))]
+		}
+		if rng.Float64() < cfg.MeasureRate {
+			c.HasMeasured = true
+			j := 1 + (rng.Float64()*2-1)*cfg.MeasureJitter
+			c.Measured = uint64(float64(d.Measured) * j)
+			if c.Measured == 0 {
+				c.Measured = 1
+			}
+		} else {
+			c.HasMeasured = false
+			c.Measured = 0
+		}
+		out = append(out, c)
+	}
+	SortByIdentity(out)
+	return out
+}
+
+// SortByIdentity sorts descriptors in fingerprint order (vote order).
+func SortByIdentity(ds []Descriptor) {
+	sort.Slice(ds, func(i, j int) bool {
+		return compareIdentity(ds[i].Identity, ds[j].Identity) < 0
+	})
+}
+
+func compareIdentity(a, b Identity) int {
+	for i := range a {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// CompareVersions compares dotted numeric Tor versions ("0.4.8.10"). It
+// returns -1, 0 or 1. Non-numeric components compare as strings, matching
+// the "largest version wins" tie-break of the aggregation algorithm.
+func CompareVersions(a, b string) int {
+	as, bs := strings.Split(a, "."), strings.Split(b, ".")
+	for i := 0; i < len(as) || i < len(bs); i++ {
+		var ac, bc string
+		if i < len(as) {
+			ac = as[i]
+		}
+		if i < len(bs) {
+			bc = bs[i]
+		}
+		ai, aerr := strconv.Atoi(ac)
+		bi, berr := strconv.Atoi(bc)
+		switch {
+		case aerr == nil && berr == nil:
+			if ai != bi {
+				if ai < bi {
+					return -1
+				}
+				return 1
+			}
+		default:
+			if ac != bc {
+				if ac < bc {
+					return -1
+				}
+				return 1
+			}
+		}
+	}
+	return 0
+}
+
+// AuthorityNames are the nicknames of the nine live directory authorities
+// (as of the paper's writing), used for realistic logs and documents.
+var AuthorityNames = []string{
+	"moria1", "tor26", "dizum", "gabelmoo", "dannenberg",
+	"maatuska", "faravahar", "longclaw", "bastet",
+}

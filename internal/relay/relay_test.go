@@ -1,0 +1,204 @@
+package relay
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFlagsStringRoundTrip(t *testing.T) {
+	cases := []Flags{
+		0,
+		FlagRunning,
+		FlagRunning | FlagValid | FlagFast,
+		FlagGuard | FlagExit | FlagHSDir | FlagBadExit,
+	}
+	for _, f := range cases {
+		got, err := ParseFlags(f.String())
+		if err != nil {
+			t.Fatalf("ParseFlags(%q): %v", f.String(), err)
+		}
+		if got != f {
+			t.Fatalf("round trip %q: got %v, want %v", f.String(), got, f)
+		}
+	}
+	if _, err := ParseFlags("Bogus"); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestFlagsQuickRoundTrip(t *testing.T) {
+	f := func(bits uint16) bool {
+		fl := Flags(bits) & (1<<flagCount - 1)
+		got, err := ParseFlags(fl.String())
+		return err == nil && got == fl
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPopulationDeterministic(t *testing.T) {
+	a := Population(100, 7)
+	b := Population(100, 7)
+	if len(a) != 100 {
+		t.Fatalf("len=%d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("population not deterministic at %d", i)
+		}
+	}
+	c := Population(100, 8)
+	same := 0
+	for i := range a {
+		if a[i].Identity == c[i].Identity {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical identities")
+	}
+}
+
+func TestPopulationInvariants(t *testing.T) {
+	pop := Population(2000, 1)
+	exit := 0
+	for i, d := range pop {
+		if !d.Flags.Has(FlagRunning | FlagValid) {
+			t.Fatalf("relay %d missing Running|Valid", i)
+		}
+		if d.Flags.Has(FlagGuard) && !d.Flags.Has(FlagFast|FlagStable) {
+			t.Fatalf("relay %d is Guard but not Fast+Stable", i)
+		}
+		if d.Bandwidth == 0 {
+			t.Fatalf("relay %d has zero bandwidth", i)
+		}
+		if d.Flags.Has(FlagExit) {
+			exit++
+			if d.ExitPolicy == "reject 1-65535" {
+				t.Fatalf("exit relay %d rejects everything", i)
+			}
+		}
+	}
+	frac := float64(exit) / float64(len(pop))
+	if frac < 0.10 || frac > 0.30 {
+		t.Fatalf("exit fraction %.2f outside sanity band", frac)
+	}
+}
+
+func TestViewPerturbation(t *testing.T) {
+	pop := Population(1000, 3)
+	cfg := DefaultViewConfig()
+	v0 := View(pop, 0, 3, cfg)
+	v0again := View(pop, 0, 3, cfg)
+	if len(v0) != len(v0again) {
+		t.Fatal("View not deterministic in size")
+	}
+	for i := range v0 {
+		if v0[i] != v0again[i] {
+			t.Fatal("View not deterministic")
+		}
+	}
+	if len(v0) == len(pop) {
+		t.Fatal("view dropped no relays; DropRate ineffective")
+	}
+	if len(v0) < int(0.95*float64(len(pop))) {
+		t.Fatalf("view dropped too many relays: %d of %d", len(v0), len(pop))
+	}
+	v1 := View(pop, 1, 3, cfg)
+	diff := 0
+	// Compare overlapping identities' flags.
+	byID := make(map[Identity]Descriptor, len(v0))
+	for _, d := range v0 {
+		byID[d.Identity] = d
+	}
+	for _, d := range v1 {
+		if o, ok := byID[d.Identity]; ok && o.Flags != d.Flags {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("two authority views agree on every flag; perturbation ineffective")
+	}
+	// Views are sorted by identity.
+	for i := 1; i < len(v0); i++ {
+		if compareIdentity(v0[i-1].Identity, v0[i].Identity) >= 0 {
+			t.Fatal("view not sorted by identity")
+		}
+	}
+}
+
+func TestCompareVersions(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"0.4.8.10", "0.4.8.10", 0},
+		{"0.4.8.9", "0.4.8.10", -1},
+		{"0.4.8.10", "0.4.8.9", 1},
+		{"0.4.9.1", "0.4.8.12", 1},
+		{"1.0", "0.9.9.9", 1},
+		{"0.4.8", "0.4.8.1", -1},
+	}
+	for _, c := range cases {
+		if got := CompareVersions(c.a, c.b); got != c.want {
+			t.Errorf("CompareVersions(%q,%q)=%d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareVersionsQuickAntisymmetry(t *testing.T) {
+	f := func(a, b uint8, c, d uint8) bool {
+		va := versionPool[int(a)%len(versionPool)]
+		vb := versionPool[int(b)%len(versionPool)]
+		return CompareVersions(va, vb) == -CompareVersions(vb, va)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIdentityString(t *testing.T) {
+	var id Identity
+	id[0], id[19] = 0xAB, 0x01
+	s := id.String()
+	if len(s) != 40 || s[:2] != "AB" || s[38:] != "01" {
+		t.Fatalf("identity string %q", s)
+	}
+}
+
+func TestMetricsSeries(t *testing.T) {
+	series := MetricsSeries()
+	if len(series) != 26 {
+		t.Fatalf("series length %d, want 26 (2022-09..2024-10)", len(series))
+	}
+	if series[0].Date() != "2022-09" {
+		t.Fatalf("series starts at %s", series[0].Date())
+	}
+	if series[len(series)-1].Date() != "2024-10" {
+		t.Fatalf("series ends at %s", series[len(series)-1].Date())
+	}
+	avg := SeriesAverage(series)
+	if math.Abs(avg-Figure6Average) > 0.05 {
+		t.Fatalf("series average %.2f, want %.2f", avg, Figure6Average)
+	}
+	for _, p := range series {
+		if p.Count < 5000 || p.Count > 9000 {
+			t.Fatalf("%s count %d outside the plausible band", p.Date(), p.Count)
+		}
+	}
+}
+
+func TestAuthorityNames(t *testing.T) {
+	if len(AuthorityNames) != 9 {
+		t.Fatalf("authority count %d, want 9", len(AuthorityNames))
+	}
+	seen := map[string]bool{}
+	for _, n := range AuthorityNames {
+		if seen[n] {
+			t.Fatalf("duplicate authority name %q", n)
+		}
+		seen[n] = true
+	}
+}

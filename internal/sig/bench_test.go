@@ -1,0 +1,34 @@
+package sig
+
+import "testing"
+
+func BenchmarkSign(b *testing.B) {
+	k := NewKeyPair(1, 0)
+	msg := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = k.Sign("bench", msg)
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	keys := Authorities(1, 9)
+	pubs := PublicSet(keys)
+	msg := make([]byte, 64)
+	s := keys[3].Sign("bench", msg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !Verify(pubs, "bench", msg, s) {
+			b.Fatal("verification failed")
+		}
+	}
+}
+
+func BenchmarkHashVoteSizedDocument(b *testing.B) {
+	data := make([]byte, 20_000_000) // a 8000-relay vote
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Hash(data)
+	}
+}

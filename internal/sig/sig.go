@@ -1,0 +1,146 @@
+// Package sig provides the authority identity and signature substrate for
+// the directory protocols: deterministic Ed25519 authority keys, SHA-256
+// digests, Tor-style fingerprints, and domain-separated signing.
+//
+// All protocols in this repository (the current Tor directory protocol v3,
+// Luo et al.'s synchronous protocol, and the paper's partially synchronous
+// protocol) authenticate votes, proposals and consensus signatures with this
+// package. Keys are derived deterministically from (seed, authority index)
+// so simulations are reproducible.
+package sig
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+)
+
+// DigestSize is the size of a document digest in bytes.
+const DigestSize = sha256.Size
+
+// SignatureSize is the wire size of a signature in bytes.
+const SignatureSize = ed25519.SignatureSize
+
+// FingerprintSize is the size of an authority/relay fingerprint in bytes.
+const FingerprintSize = 20
+
+// Digest is a SHA-256 hash of a document or message.
+type Digest [DigestSize]byte
+
+// Hash returns the SHA-256 digest of data.
+func Hash(data []byte) Digest { return sha256.Sum256(data) }
+
+// HashParts digests the concatenation of several byte slices, each
+// length-prefixed to prevent ambiguity.
+func HashParts(parts ...[]byte) Digest {
+	h := sha256.New()
+	var lenBuf [8]byte
+	for _, p := range parts {
+		binary.BigEndian.PutUint64(lenBuf[:], uint64(len(p)))
+		h.Write(lenBuf[:])
+		h.Write(p)
+	}
+	var d Digest
+	copy(d[:], h.Sum(nil))
+	return d
+}
+
+// Hex returns the digest as lowercase hex.
+func (d Digest) Hex() string { return hex.EncodeToString(d[:]) }
+
+// Short returns the first 8 hex characters, for logs.
+func (d Digest) Short() string { return d.Hex()[:8] }
+
+// IsZero reports whether the digest is all zeroes (used as "no digest").
+func (d Digest) IsZero() bool { return d == Digest{} }
+
+// Fingerprint identifies an authority, Tor-style (20 bytes, upper hex).
+type Fingerprint [FingerprintSize]byte
+
+// String renders the fingerprint as Tor does in logs: 40 upper-case hex
+// characters.
+func (f Fingerprint) String() string {
+	dst := make([]byte, hex.EncodedLen(len(f)))
+	hex.Encode(dst, f[:])
+	for i, c := range dst {
+		if c >= 'a' && c <= 'f' {
+			dst[i] = c - 'a' + 'A'
+		}
+	}
+	return string(dst)
+}
+
+// KeyPair is an authority's long-term signing identity.
+type KeyPair struct {
+	Index       int // authority index (0-based)
+	Public      ed25519.PublicKey
+	private     ed25519.PrivateKey
+	Fingerprint Fingerprint
+}
+
+// NewKeyPair derives the authority key for index deterministically from the
+// seed.
+func NewKeyPair(seed int64, index int) *KeyPair {
+	material := sha256.Sum256([]byte(fmt.Sprintf("partialtor-authority-%d-%d", seed, index)))
+	priv := ed25519.NewKeyFromSeed(material[:])
+	pub := priv.Public().(ed25519.PublicKey)
+	var fp Fingerprint
+	full := sha256.Sum256(pub)
+	copy(fp[:], full[:FingerprintSize])
+	return &KeyPair{Index: index, Public: pub, private: priv, Fingerprint: fp}
+}
+
+// Authorities derives n authority key pairs.
+func Authorities(seed int64, n int) []*KeyPair {
+	keys := make([]*KeyPair, n)
+	for i := range keys {
+		keys[i] = NewKeyPair(seed, i)
+	}
+	return keys
+}
+
+// Signature is a domain-separated Ed25519 signature tagged with its signer.
+type Signature struct {
+	Signer int // authority index
+	Bytes  [SignatureSize]byte
+}
+
+// WireSize is the accounting size of one Signature on the wire.
+const WireSize = SignatureSize + 4
+
+// signingInput binds the domain label to the message.
+func signingInput(domain string, msg []byte) []byte {
+	out := make([]byte, 0, len(domain)+1+len(msg))
+	out = append(out, domain...)
+	out = append(out, 0)
+	out = append(out, msg...)
+	return out
+}
+
+// Sign produces a signature over msg under the given domain label.
+func (k *KeyPair) Sign(domain string, msg []byte) Signature {
+	var s Signature
+	s.Signer = k.Index
+	copy(s.Bytes[:], ed25519.Sign(k.private, signingInput(domain, msg)))
+	return s
+}
+
+// Verify checks a signature against a public key registry (indexed by
+// authority). It returns false for out-of-range signers.
+func Verify(publics []ed25519.PublicKey, domain string, msg []byte, s Signature) bool {
+	if s.Signer < 0 || s.Signer >= len(publics) {
+		return false
+	}
+	return ed25519.Verify(publics[s.Signer], signingInput(domain, msg), s.Bytes[:])
+}
+
+// PublicSet extracts the verification registry from key pairs.
+func PublicSet(keys []*KeyPair) []ed25519.PublicKey {
+	pubs := make([]ed25519.PublicKey, len(keys))
+	for i, k := range keys {
+		pubs[i] = k.Public
+	}
+	return pubs
+}

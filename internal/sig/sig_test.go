@@ -1,0 +1,122 @@
+package sig
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterministicKeys(t *testing.T) {
+	a := NewKeyPair(7, 3)
+	b := NewKeyPair(7, 3)
+	if !bytes.Equal(a.Public, b.Public) {
+		t.Fatal("same (seed,index) produced different keys")
+	}
+	c := NewKeyPair(7, 4)
+	if bytes.Equal(a.Public, c.Public) {
+		t.Fatal("different indices produced identical keys")
+	}
+	d := NewKeyPair(8, 3)
+	if bytes.Equal(a.Public, d.Public) {
+		t.Fatal("different seeds produced identical keys")
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	keys := Authorities(1, 9)
+	pubs := PublicSet(keys)
+	msg := []byte("consensus digest")
+	s := keys[2].Sign("vote", msg)
+	if s.Signer != 2 {
+		t.Fatalf("signer=%d, want 2", s.Signer)
+	}
+	if !Verify(pubs, "vote", msg, s) {
+		t.Fatal("valid signature rejected")
+	}
+	if Verify(pubs, "vote", []byte("other"), s) {
+		t.Fatal("signature verified against wrong message")
+	}
+	if Verify(pubs, "proposal", msg, s) {
+		t.Fatal("signature verified under wrong domain")
+	}
+	bad := s
+	bad.Signer = 3
+	if Verify(pubs, "vote", msg, bad) {
+		t.Fatal("signature verified for wrong signer")
+	}
+	out := s
+	out.Signer = 99
+	if Verify(pubs, "vote", msg, out) {
+		t.Fatal("out-of-range signer accepted")
+	}
+	neg := s
+	neg.Signer = -1
+	if Verify(pubs, "vote", msg, neg) {
+		t.Fatal("negative signer accepted")
+	}
+}
+
+func TestFingerprintFormat(t *testing.T) {
+	k := NewKeyPair(1, 0)
+	s := k.Fingerprint.String()
+	if len(s) != 40 {
+		t.Fatalf("fingerprint length %d, want 40", len(s))
+	}
+	for _, c := range s {
+		if !(c >= '0' && c <= '9' || c >= 'A' && c <= 'F') {
+			t.Fatalf("fingerprint contains %q; want upper hex", c)
+		}
+	}
+}
+
+func TestHashParts(t *testing.T) {
+	// Length prefixes must prevent concatenation ambiguity.
+	a := HashParts([]byte("ab"), []byte("c"))
+	b := HashParts([]byte("a"), []byte("bc"))
+	if a == b {
+		t.Fatal("HashParts is ambiguous under boundary shifts")
+	}
+	if HashParts([]byte("x")) != HashParts([]byte("x")) {
+		t.Fatal("HashParts not deterministic")
+	}
+}
+
+func TestDigestHelpers(t *testing.T) {
+	d := Hash([]byte("hello"))
+	if d.IsZero() {
+		t.Fatal("digest of data is zero")
+	}
+	var z Digest
+	if !z.IsZero() {
+		t.Fatal("zero digest not reported as zero")
+	}
+	if len(d.Hex()) != 64 || len(d.Short()) != 8 {
+		t.Fatalf("hex lengths: %d/%d", len(d.Hex()), len(d.Short()))
+	}
+}
+
+func TestQuickSignVerifyRoundTrip(t *testing.T) {
+	keys := Authorities(42, 4)
+	pubs := PublicSet(keys)
+	f := func(msg []byte, who uint8) bool {
+		k := keys[int(who)%len(keys)]
+		s := k.Sign("q", msg)
+		return Verify(pubs, "q", msg, s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTamperedMessageRejected(t *testing.T) {
+	keys := Authorities(42, 2)
+	pubs := PublicSet(keys)
+	f := func(msg []byte, flip uint8) bool {
+		s := keys[0].Sign("q", msg)
+		tampered := append(append([]byte{}, msg...), flip)
+		return !Verify(pubs, "q", tampered, s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

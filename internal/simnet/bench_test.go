@@ -1,0 +1,76 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkSchedulerEvents(b *testing.B) {
+	s := NewScheduler()
+	count := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Duration(i%1000)*time.Millisecond, func() { count++ })
+	}
+	s.Run()
+	if count != b.N {
+		b.Fatalf("ran %d of %d events", count, b.N)
+	}
+}
+
+func BenchmarkPipeConcurrentTransfers(b *testing.B) {
+	// One pipe, 64 concurrent transfers, processor sharing: measures the
+	// fluid model's per-event cost.
+	for i := 0; i < b.N; i++ {
+		s := NewScheduler()
+		p := newPipe(s, NewProfile(100e6))
+		done := 0
+		s.At(0, func() {
+			for j := 0; j < 64; j++ {
+				p.enqueue(int64(1000+j*100), 0, func(time.Duration) { done++ })
+			}
+		})
+		s.Run()
+		if done != 64 {
+			b.Fatalf("done=%d", done)
+		}
+	}
+}
+
+func BenchmarkPipeThrottledTransfer(b *testing.B) {
+	prof := NewProfile(10e6)
+	for w := time.Duration(0); w < 10*time.Minute; w += time.Minute {
+		prof.ThrottleMin(w, w+30*time.Second, 0.5e6)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewScheduler()
+		p := newPipe(s, prof)
+		var doneAt time.Duration
+		s.At(0, func() { p.enqueue(50_000_000, 0, func(at time.Duration) { doneAt = at }) })
+		s.Run()
+		if doneAt == 0 {
+			b.Fatal("transfer never completed")
+		}
+	}
+}
+
+func BenchmarkNetworkBroadcast(b *testing.B) {
+	// 9 nodes all-to-all broadcasting: the directory protocol's hot path.
+	for i := 0; i < b.N; i++ {
+		net := New(Config{Seed: int64(i)})
+		for j := 0; j < 9; j++ {
+			h := &recorder{}
+			if j == 0 {
+				h.onStart = func(ctx *Context) {
+					ctx.Broadcast(testMsg{size: 1 << 20, kind: "doc"})
+				}
+			}
+			net.AddNode(h, NewProfile(250e6), NewProfile(250e6))
+		}
+		net.Run(time.Minute)
+		if net.Stats().MessagesDelivered != 8 {
+			b.Fatal("broadcast incomplete")
+		}
+	}
+}

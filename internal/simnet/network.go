@@ -1,0 +1,276 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Config parameterizes a Network.
+type Config struct {
+	// Latency returns the one-way propagation delay between two nodes.
+	// Nil uses DefaultLatency with the configured seed.
+	Latency func(from, to NodeID) time.Duration
+	// LinkRate returns a per-transfer rate cap in bits/s between a pair
+	// (<= 0 means uncapped; only the access pipes then limit throughput).
+	LinkRate func(from, to NodeID) float64
+	// Overhead is added to every message's size, modelling framing/headers.
+	Overhead int64
+	// Seed drives all randomness (latency sampling, protocol RNG).
+	Seed int64
+}
+
+// Stats aggregates transport-level accounting.
+type Stats struct {
+	MessagesSent      int64
+	MessagesDelivered int64
+	MessagesDropped   int64
+	BytesSent         int64 // includes per-message overhead
+	BytesDelivered    int64
+	KindBytes         map[string]int64
+	KindCount         map[string]int64
+}
+
+// LogEntry is one line of a node's protocol log.
+type LogEntry struct {
+	At    time.Duration
+	Level string
+	Text  string
+}
+
+type node struct {
+	id       NodeID
+	handler  Handler
+	up, down *pipe
+	ctx      *Context
+	log      []LogEntry
+	sent     int64
+	received int64
+}
+
+// Network wires nodes, pipes and the scheduler together.
+type Network struct {
+	sched   *Scheduler
+	cfg     Config
+	nodes   []*node
+	rng     *rand.Rand
+	drop    func(from, to NodeID, m Message) bool
+	delay   func(from, to NodeID, m Message) time.Duration
+	stats   Stats
+	started bool
+	tracer  func(ev string, at time.Duration, from, to NodeID, m Message)
+}
+
+// New creates a network with the given configuration.
+func New(cfg Config) *Network {
+	n := &Network{
+		sched: NewScheduler(),
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+	n.stats.KindBytes = make(map[string]int64)
+	n.stats.KindCount = make(map[string]int64)
+	if n.cfg.Latency == nil {
+		n.cfg.Latency = DefaultLatency(cfg.Seed)
+	}
+	return n
+}
+
+// DefaultLatency returns a symmetric latency function sampling one-way
+// delays uniformly in [20ms, 150ms) per unordered pair, deterministically
+// from the seed. This approximates the geographic spread of the nine Tor
+// directory authorities.
+func DefaultLatency(seed int64) func(a, b NodeID) time.Duration {
+	return func(a, b NodeID) time.Duration {
+		if a == b {
+			return 0
+		}
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		// Cheap deterministic hash of (seed, lo, hi).
+		h := uint64(seed)*0x9e3779b97f4a7c15 + uint64(lo)*0xbf58476d1ce4e5b9 + uint64(hi)*0x94d049bb133111eb
+		h ^= h >> 31
+		h *= 0xd6e8feb86659fd93
+		h ^= h >> 29
+		ms := 20 + float64(h%1000)/1000*130
+		return time.Duration(ms * float64(time.Millisecond))
+	}
+}
+
+// Scheduler exposes the underlying clock (for runners that need to schedule
+// global events such as attack reporting).
+func (n *Network) Scheduler() *Scheduler { return n.sched }
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Duration { return n.sched.Now() }
+
+// N returns the number of nodes.
+func (n *Network) N() int { return len(n.nodes) }
+
+// Rand returns the network RNG (the simulation is single-threaded).
+func (n *Network) Rand() *rand.Rand { return n.rng }
+
+// Stats returns a copy of the transport statistics.
+func (n *Network) Stats() Stats {
+	s := n.stats
+	s.KindBytes = make(map[string]int64, len(n.stats.KindBytes))
+	for k, v := range n.stats.KindBytes {
+		s.KindBytes[k] = v
+	}
+	s.KindCount = make(map[string]int64, len(n.stats.KindCount))
+	for k, v := range n.stats.KindCount {
+		s.KindCount[k] = v
+	}
+	return s
+}
+
+// NodeBytesSent returns the bytes (incl. overhead) node id has sent.
+func (n *Network) NodeBytesSent(id NodeID) int64 { return n.nodes[id].sent }
+
+// NodeBytesReceived returns the bytes node id has received.
+func (n *Network) NodeBytesReceived(id NodeID) int64 { return n.nodes[id].received }
+
+// AddNode registers a handler with its uplink/downlink capacity profiles and
+// returns its id. All nodes must be added before Start.
+func (n *Network) AddNode(h Handler, up, down *Profile) NodeID {
+	if n.started {
+		panic("simnet: AddNode after Start")
+	}
+	id := NodeID(len(n.nodes))
+	nd := &node{
+		id:      id,
+		handler: h,
+		up:      newPipe(n.sched, up),
+		down:    newPipe(n.sched, down),
+	}
+	nd.ctx = &Context{net: n, id: id}
+	n.nodes = append(n.nodes, nd)
+	return id
+}
+
+// SetDropFilter installs a predicate that silently drops matching messages.
+// Intended for adversarial unit tests; the partial-synchrony experiments
+// never drop.
+func (n *Network) SetDropFilter(f func(from, to NodeID, m Message) bool) { n.drop = f }
+
+// SetDelayFilter installs extra per-message one-way delay (e.g. to model an
+// adversarial scheduler before GST).
+func (n *Network) SetDelayFilter(f func(from, to NodeID, m Message) time.Duration) { n.delay = f }
+
+// SetTracer installs a callback invoked on "send" and "deliver" events.
+func (n *Network) SetTracer(f func(ev string, at time.Duration, from, to NodeID, m Message)) {
+	n.tracer = f
+}
+
+// Start invokes every handler's Start at time zero.
+func (n *Network) Start() {
+	if n.started {
+		panic("simnet: double Start")
+	}
+	n.started = true
+	for _, nd := range n.nodes {
+		nd := nd
+		n.sched.At(0, func() { nd.handler.Start(nd.ctx) })
+	}
+}
+
+// Run starts the network (if needed) and executes events until the limit.
+func (n *Network) Run(limit time.Duration) {
+	if !n.started {
+		n.Start()
+	}
+	n.sched.RunUntil(limit)
+}
+
+// send implements the three-leg transport: uplink, latency, downlink.
+func (n *Network) send(from, to NodeID, m Message) {
+	if from == to {
+		panic("simnet: self-send; handlers keep local state directly")
+	}
+	if int(to) >= len(n.nodes) || to < 0 {
+		panic(fmt.Sprintf("simnet: send to unknown node %d", to))
+	}
+	size := m.Size() + n.cfg.Overhead
+	n.stats.MessagesSent++
+	n.stats.BytesSent += size
+	n.stats.KindBytes[m.Kind()] += size
+	n.stats.KindCount[m.Kind()]++
+	n.nodes[from].sent += size
+	if n.tracer != nil {
+		n.tracer("send", n.sched.Now(), from, to, m)
+	}
+	if n.drop != nil && n.drop(from, to, m) {
+		n.stats.MessagesDropped++
+		return
+	}
+	var linkCap float64
+	if n.cfg.LinkRate != nil {
+		linkCap = n.cfg.LinkRate(from, to)
+	}
+	lat := n.cfg.Latency(from, to)
+	if n.delay != nil {
+		lat += n.delay(from, to, m)
+	}
+	src, dst := n.nodes[from], n.nodes[to]
+	src.up.enqueue(size, linkCap, func(upDone time.Duration) {
+		n.sched.At(addDur(upDone, lat), func() {
+			dst.down.enqueue(size, linkCap, func(at time.Duration) {
+				n.stats.MessagesDelivered++
+				n.stats.BytesDelivered += size
+				dst.received += size
+				if n.tracer != nil {
+					n.tracer("deliver", at, from, to, m)
+				}
+				dst.handler.Deliver(dst.ctx, from, m)
+			})
+		})
+	})
+}
+
+// NodeLog returns the protocol log of a node.
+func (n *Network) NodeLog(id NodeID) []LogEntry { return n.nodes[id].log }
+
+// Context is the interface a node's protocol logic uses to interact with
+// the simulated world.
+type Context struct {
+	net *Network
+	id  NodeID
+}
+
+// ID returns the node's id.
+func (c *Context) ID() NodeID { return c.id }
+
+// N returns the number of nodes in the network.
+func (c *Context) N() int { return c.net.N() }
+
+// Now returns the current virtual time.
+func (c *Context) Now() time.Duration { return c.net.sched.Now() }
+
+// Send transmits a message to another node.
+func (c *Context) Send(to NodeID, m Message) { c.net.send(c.id, to, m) }
+
+// Broadcast transmits a message to every other node.
+func (c *Context) Broadcast(m Message) {
+	for id := range c.net.nodes {
+		if NodeID(id) != c.id {
+			c.net.send(c.id, NodeID(id), m)
+		}
+	}
+}
+
+// After schedules fn after d on the virtual clock.
+func (c *Context) After(d time.Duration, fn func()) { c.net.sched.After(d, fn) }
+
+// At schedules fn at absolute virtual time t (events in the past are a bug).
+func (c *Context) At(t time.Duration, fn func()) { c.net.sched.At(t, fn) }
+
+// Rand returns the deterministic network RNG.
+func (c *Context) Rand() *rand.Rand { return c.net.rng }
+
+// Logf appends a line to the node's protocol log.
+func (c *Context) Logf(level, format string, args ...any) {
+	nd := c.net.nodes[c.id]
+	nd.log = append(nd.log, LogEntry{At: c.Now(), Level: level, Text: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,208 @@
+package simnet
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// epsBits: a transfer with less than half a bit remaining is complete; this
+// absorbs float rounding in the fluid model.
+const epsBits = 0.5
+
+// transfer is one in-flight transmission on a pipe.
+type transfer struct {
+	remaining float64 // bits still to move
+	maxRate   float64 // per-transfer cap in bits/s; <= 0 means uncapped
+	done      func(at time.Duration)
+}
+
+// pipe is a max-min fair-shared resource (an access link direction) with a
+// piecewise-constant capacity profile. All in-flight transfers share the
+// instantaneous capacity by water-filling, honouring per-transfer caps.
+type pipe struct {
+	sched   *Scheduler
+	prof    *Profile
+	active  []*transfer
+	last    time.Duration // progress is accounted up to this instant
+	wakeSeq uint64        // invalidates stale scheduled wakeups
+}
+
+func newPipe(s *Scheduler, prof *Profile) *pipe {
+	return &pipe{sched: s, prof: prof}
+}
+
+// enqueue adds a transfer of the given size; done fires (via the scheduler)
+// when the last bit has moved.
+func (p *pipe) enqueue(bytes int64, maxRate float64, done func(at time.Duration)) {
+	p.advance(p.sched.Now())
+	bits := float64(bytes) * 8
+	if bits < 1 {
+		bits = 1 // zero-size messages still occupy the pipe for an instant
+	}
+	p.active = append(p.active, &transfer{remaining: bits, maxRate: maxRate, done: done})
+	p.reschedule()
+}
+
+// queued reports the number of in-flight transfers (for tests/metrics).
+func (p *pipe) queued() int { return len(p.active) }
+
+// allocate distributes capacity among transfers by max-min fairness with
+// per-transfer caps (progressive water-filling). The result is indexed like
+// active.
+func allocate(active []*transfer, capacity float64) []float64 {
+	n := len(active)
+	rates := make([]float64, n)
+	if n == 0 || capacity <= 0 {
+		return rates
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	capOf := func(t *transfer) float64 {
+		if t.maxRate <= 0 {
+			return math.Inf(1)
+		}
+		return t.maxRate
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return capOf(active[idx[a]]) < capOf(active[idx[b]]) })
+	remaining := capacity
+	for k, i := range idx {
+		share := remaining / float64(n-k)
+		r := share
+		if c := capOf(active[i]); c < r {
+			r = c
+		}
+		rates[i] = r
+		remaining -= r
+	}
+	return rates
+}
+
+// advance moves the pipe's accounting from p.last to now, draining bits from
+// active transfers. Completed transfers are removed and their callbacks are
+// scheduled (at the current scheduler time, preserving causality).
+func (p *pipe) advance(now time.Duration) {
+	for p.last < now && len(p.active) > 0 {
+		segEnd := p.prof.nextChange(p.last)
+		if segEnd > now {
+			segEnd = now
+		}
+		rate := p.prof.RateAt(p.last)
+		if rate <= 0 {
+			p.last = segEnd
+			continue
+		}
+		rates := allocate(p.active, rate)
+		minFinish := math.Inf(1)
+		for i, t := range p.active {
+			if rates[i] > 0 {
+				if ft := t.remaining / rates[i]; ft < minFinish {
+					minFinish = ft
+				}
+			}
+		}
+		span := seconds(segEnd - p.last)
+		var step time.Duration
+		if minFinish >= span {
+			step = segEnd - p.last
+		} else {
+			step = durCeil(minFinish)
+			if p.last+step > segEnd {
+				step = segEnd - p.last
+			}
+		}
+		stepSec := seconds(step)
+		for i, t := range p.active {
+			t.remaining -= rates[i] * stepSec
+		}
+		p.last += step
+		p.collectDone()
+	}
+	if p.last < now {
+		p.last = now
+	}
+}
+
+// collectDone removes finished transfers and schedules their callbacks.
+func (p *pipe) collectDone() {
+	kept := p.active[:0]
+	for _, t := range p.active {
+		if t.remaining <= epsBits {
+			at := p.last
+			if sn := p.sched.Now(); at < sn {
+				at = sn
+			}
+			done := t.done
+			p.sched.At(at, func() { done(p.sched.Now()) })
+			continue
+		}
+		kept = append(kept, t)
+	}
+	p.active = kept
+}
+
+// nextCompletion simulates forward from p.last (without mutating state) and
+// returns the instant of the earliest transfer completion, or Never if the
+// pipe is stalled forever.
+func (p *pipe) nextCompletion() time.Duration {
+	if len(p.active) == 0 {
+		return Never
+	}
+	rem := make([]float64, len(p.active))
+	for i, t := range p.active {
+		rem[i] = t.remaining
+	}
+	t := p.last
+	for {
+		segEnd := p.prof.nextChange(t)
+		rate := p.prof.RateAt(t)
+		if rate <= 0 {
+			if segEnd == Never {
+				return Never
+			}
+			t = segEnd
+			continue
+		}
+		rates := allocate(p.active, rate)
+		minFinish := math.Inf(1)
+		for i := range p.active {
+			if rates[i] > 0 {
+				if ft := rem[i] / rates[i]; ft < minFinish {
+					minFinish = ft
+				}
+			}
+		}
+		finishAt := addDur(t, durCeil(minFinish))
+		if segEnd == Never || finishAt <= segEnd {
+			return finishAt
+		}
+		span := seconds(segEnd - t)
+		for i := range rem {
+			rem[i] -= rates[i] * span
+			if rem[i] < 0 {
+				rem[i] = 0
+			}
+		}
+		t = segEnd
+	}
+}
+
+// reschedule plans the next wakeup (earliest completion or stall end). Any
+// previously scheduled wakeup is invalidated via wakeSeq.
+func (p *pipe) reschedule() {
+	p.wakeSeq++
+	seq := p.wakeSeq
+	at := p.nextCompletion()
+	if at == Never {
+		return
+	}
+	p.sched.At(at, func() {
+		if seq != p.wakeSeq {
+			return
+		}
+		p.advance(p.sched.Now())
+		p.reschedule()
+	})
+}

@@ -1,0 +1,102 @@
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// event is a scheduled callback. Events with equal timestamps run in
+// scheduling order (seq), which keeps the simulation deterministic.
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Scheduler is a virtual clock with an event queue.
+type Scheduler struct {
+	now   time.Duration
+	seq   uint64
+	queue eventQueue
+	steps uint64
+}
+
+// NewScheduler returns a scheduler at virtual time zero.
+func NewScheduler() *Scheduler {
+	s := &Scheduler{}
+	heap.Init(&s.queue)
+	return s
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Steps returns the number of events executed so far.
+func (s *Scheduler) Steps() uint64 { return s.steps }
+
+// At schedules fn at virtual time t. Scheduling in the past is a bug in the
+// caller and panics; scheduling at Never is a no-op (the event can never
+// fire).
+func (s *Scheduler) At(t time.Duration, fn func()) {
+	if t == Never {
+		return
+	}
+	if t < s.now {
+		panic(fmt.Sprintf("simnet: scheduling event at %v before now %v", t, s.now))
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn after duration d.
+func (s *Scheduler) After(d time.Duration, fn func()) { s.At(addDur(s.now, d), fn) }
+
+// RunUntil executes events in timestamp order until the queue is empty or
+// the next event is after the limit; the clock then rests at the limit (or
+// at the last event if the queue drained first). It returns the number of
+// events executed.
+func (s *Scheduler) RunUntil(limit time.Duration) uint64 {
+	var executed uint64
+	for s.queue.Len() > 0 {
+		next := s.queue[0]
+		if next.at > limit {
+			break
+		}
+		heap.Pop(&s.queue)
+		s.now = next.at
+		next.fn()
+		s.steps++
+		executed++
+	}
+	if s.now < limit && limit != Never {
+		s.now = limit
+	}
+	return executed
+}
+
+// Run executes events until the queue is empty.
+func (s *Scheduler) Run() uint64 { return s.RunUntil(Never) }
+
+// Pending reports how many events are queued.
+func (s *Scheduler) Pending() int { return s.queue.Len() }

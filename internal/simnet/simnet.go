@@ -1,0 +1,76 @@
+// Package simnet is a deterministic discrete-event network simulator.
+//
+// It stands in for the Shadow simulator used by the paper "Five Minutes of
+// DDoS Brings down Tor" (EUROSYS '26). Protocol code runs as Handler
+// implementations attached to nodes; the simulator provides a virtual clock,
+// timers, and message transport with explicit bandwidth modelling:
+//
+//   - every node owns an uplink and a downlink pipe;
+//   - a pipe has a piecewise-constant capacity profile (bits/second) and
+//     serves all in-flight transfers by max-min fair sharing (water-filling,
+//     honouring optional per-transfer rate caps);
+//   - a message travels uplink -> per-pair propagation latency -> downlink;
+//   - a DDoS window is modelled by throttling a node's profiles to the
+//     residual bandwidth (possibly zero) for an interval: traffic stalls and
+//     resumes, which is exactly the "delayed, never lost" semantics of the
+//     partial synchrony model.
+//
+// The simulation is single-threaded and fully deterministic for a given
+// configuration and seed.
+package simnet
+
+import (
+	"math"
+	"time"
+)
+
+// Never is a sentinel virtual-time instant meaning "no event will ever
+// occur" (an unbounded stall, e.g. a permanently zero-rate pipe).
+const Never = time.Duration(math.MaxInt64)
+
+// NodeID identifies a node within a Network. IDs are dense and start at 0.
+type NodeID int
+
+// Message is anything a protocol sends between nodes. The simulator only
+// needs its wire size (for bandwidth accounting) and a kind label (for
+// per-type accounting and traces); payloads are passed by reference.
+type Message interface {
+	// Size returns the serialized size in bytes, excluding the fixed
+	// per-message overhead configured on the network.
+	Size() int64
+	// Kind returns a short stable label such as "vote" or "proposal".
+	Kind() string
+}
+
+// Handler is the protocol logic attached to a node.
+type Handler interface {
+	// Start runs at virtual time zero, before any delivery.
+	Start(ctx *Context)
+	// Deliver runs when a message from another node finishes its downlink
+	// transfer.
+	Deliver(ctx *Context, from NodeID, msg Message)
+}
+
+// seconds converts a virtual-time duration to float seconds.
+func seconds(d time.Duration) float64 { return float64(d) / float64(time.Second) }
+
+// durCeil converts float seconds to a duration, rounding up so that any
+// positive amount of work always advances the clock by at least 1ns.
+func durCeil(sec float64) time.Duration {
+	if math.IsInf(sec, 1) || sec >= seconds(Never) {
+		return Never
+	}
+	d := time.Duration(math.Ceil(sec * float64(time.Second)))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// addDur adds a duration to an instant, saturating at Never.
+func addDur(t, d time.Duration) time.Duration {
+	if t == Never || d == Never || t > Never-d {
+		return Never
+	}
+	return t + d
+}

@@ -1,0 +1,173 @@
+// Package store persists directory artifacts — status votes, consensus
+// documents and the consensus hash chain — with atomic file writes, so an
+// authority (or the consensus-health monitor) can restart without losing
+// protocol history. The on-disk formats are the same canonical encodings
+// the protocols exchange, so everything loaded is re-verifiable.
+//
+// Layout under the root directory:
+//
+//	votes/<epoch>/<authority>.vote   — status vote text documents
+//	consensus/<epoch>.consensus     — consensus text documents
+//	chain.bin                       — the hash chain (chain.EncodeLinks)
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"partialtor/internal/chain"
+	"partialtor/internal/vote"
+)
+
+// Store is a directory-backed artifact store.
+type Store struct {
+	root string
+}
+
+// Open creates (if needed) and opens a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	for _, sub := range []string{"", "votes", "consensus"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	return &Store{root: dir}, nil
+}
+
+// Root returns the store's directory.
+func (s *Store) Root() string { return s.root }
+
+// writeAtomic writes data to path via a temp file + rename.
+func (s *Store) writeAtomic(path string, data []byte) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+func (s *Store) votePath(epoch uint64, authority int) string {
+	return filepath.Join(s.root, "votes", strconv.FormatUint(epoch, 10),
+		fmt.Sprintf("%d.vote", authority))
+}
+
+func (s *Store) consensusPath(epoch uint64) string {
+	return filepath.Join(s.root, "consensus", fmt.Sprintf("%d.consensus", epoch))
+}
+
+func (s *Store) chainPath() string { return filepath.Join(s.root, "chain.bin") }
+
+// SaveVote persists one authority's vote for an epoch.
+func (s *Store) SaveVote(epoch uint64, d *vote.Document) error {
+	return s.writeAtomic(s.votePath(epoch, d.AuthorityIndex), d.Encode())
+}
+
+// LoadVote reads back a vote; it returns fs.ErrNotExist-wrapped errors for
+// missing artifacts.
+func (s *Store) LoadVote(epoch uint64, authority int) (*vote.Document, error) {
+	b, err := os.ReadFile(s.votePath(epoch, authority))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return vote.Parse(b)
+}
+
+// ListVotes returns the authority indices with stored votes for an epoch,
+// sorted ascending.
+func (s *Store) ListVotes(epoch uint64) ([]int, error) {
+	entries, err := os.ReadDir(filepath.Join(s.root, "votes", strconv.FormatUint(epoch, 10)))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var out []int
+	for _, e := range entries {
+		name, ok := strings.CutSuffix(e.Name(), ".vote")
+		if !ok {
+			continue
+		}
+		idx, err := strconv.Atoi(name)
+		if err != nil {
+			continue
+		}
+		out = append(out, idx)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// SaveConsensus persists an epoch's consensus document.
+func (s *Store) SaveConsensus(epoch uint64, c *vote.Consensus) error {
+	return s.writeAtomic(s.consensusPath(epoch), c.Encode())
+}
+
+// LoadConsensus reads back a consensus document.
+func (s *Store) LoadConsensus(epoch uint64) (*vote.Consensus, error) {
+	b, err := os.ReadFile(s.consensusPath(epoch))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return vote.ParseConsensus(b)
+}
+
+// Epochs lists the epochs with a stored consensus, sorted ascending.
+func (s *Store) Epochs() ([]uint64, error) {
+	entries, err := os.ReadDir(filepath.Join(s.root, "consensus"))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var out []uint64
+	for _, e := range entries {
+		name, ok := strings.CutSuffix(e.Name(), ".consensus")
+		if !ok {
+			continue
+		}
+		epoch, err := strconv.ParseUint(name, 10, 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, epoch)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// SaveChain persists the hash chain.
+func (s *Store) SaveChain(links []chain.Link) error {
+	return s.writeAtomic(s.chainPath(), chain.EncodeLinks(links))
+}
+
+// LoadChain reads the hash chain back; a missing file yields an empty
+// slice, not an error (fresh store).
+func (s *Store) LoadChain() ([]chain.Link, error) {
+	b, err := os.ReadFile(s.chainPath())
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return chain.DecodeLinks(b)
+}

@@ -1,0 +1,216 @@
+package store
+
+import (
+	"errors"
+	"io/fs"
+	"testing"
+
+	"partialtor/internal/chain"
+	"partialtor/internal/relay"
+	"partialtor/internal/sig"
+	"partialtor/internal/vote"
+)
+
+func testVote(t *testing.T, authority, relays int) *vote.Document {
+	t.Helper()
+	keys := sig.NewKeyPair(1, authority)
+	view := relay.View(relay.Population(relays, 1), authority, 1, relay.DefaultViewConfig())
+	d := vote.NewDocument(authority, relay.AuthorityNames[authority], keys.Fingerprint, 7, view)
+	d.EntryPadding = 0
+	return d
+}
+
+func TestVoteSaveLoad(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := testVote(t, 3, 25)
+	if err := s.SaveVote(9, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.LoadVote(9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Digest() != d.Digest() {
+		t.Fatal("vote digest changed across persistence")
+	}
+	if _, err := s.LoadVote(9, 4); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing vote: err=%v, want fs.ErrNotExist", err)
+	}
+	if _, err := s.LoadVote(10, 3); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing epoch: err=%v", err)
+	}
+}
+
+func TestListVotes(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []int{5, 1, 3} {
+		if err := s.SaveVote(2, testVote(t, a, 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s.ListVotes(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Fatalf("ListVotes=%v", got)
+	}
+	empty, err := s.ListVotes(99)
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty epoch: %v %v", empty, err)
+	}
+}
+
+func TestConsensusSaveLoad(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := []*vote.Document{testVote(t, 0, 20), testVote(t, 1, 20), testVote(t, 2, 20)}
+	c, err := vote.Aggregate(docs, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveConsensus(4, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.LoadConsensus(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Digest() != c.Digest() {
+		t.Fatal("consensus digest changed across persistence")
+	}
+	epochs, err := s.Epochs()
+	if err != nil || len(epochs) != 1 || epochs[0] != 4 {
+		t.Fatalf("Epochs=%v err=%v", epochs, err)
+	}
+}
+
+func TestChainSaveLoadRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh store: empty chain, no error.
+	links, err := s.LoadChain()
+	if err != nil || len(links) != 0 {
+		t.Fatalf("fresh chain: %v %v", links, err)
+	}
+
+	keys := sig.Authorities(1, 9)
+	pubs := sig.PublicSet(keys)
+	c := chain.New(pubs, 5)
+	var prev sig.Digest
+	for epoch := uint64(1); epoch <= 3; epoch++ {
+		d := sig.Hash([]byte{byte(epoch)})
+		l := chain.Link{Epoch: epoch, Digest: d, Prev: prev}
+		for k := 0; k < 5; k++ {
+			l.Sigs = append(l.Sigs, chain.SignLink(keys[k], epoch, d, prev))
+		}
+		if err := c.Append(l); err != nil {
+			t.Fatal(err)
+		}
+		prev = d
+	}
+	if err := s.SaveChain(c.Links()); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := s.LoadChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := chain.New(pubs, 5)
+	if err := restored.Load(loaded); err != nil {
+		t.Fatalf("restored chain invalid: %v", err)
+	}
+	if restored.Len() != 3 {
+		t.Fatalf("restored %d links", restored.Len())
+	}
+	ha, _ := c.Head()
+	hb, _ := restored.Head()
+	if ha.Digest != hb.Digest {
+		t.Fatal("head changed across persistence")
+	}
+}
+
+func TestChainLoadRejectsTampering(t *testing.T) {
+	keys := sig.Authorities(1, 9)
+	pubs := sig.PublicSet(keys)
+	var prev sig.Digest
+	var links []chain.Link
+	for epoch := uint64(1); epoch <= 2; epoch++ {
+		d := sig.Hash([]byte{byte(epoch)})
+		l := chain.Link{Epoch: epoch, Digest: d, Prev: prev}
+		for k := 0; k < 5; k++ {
+			l.Sigs = append(l.Sigs, chain.SignLink(keys[k], epoch, d, prev))
+		}
+		links = append(links, l)
+		prev = d
+	}
+	// Tamper with the middle of the chain.
+	links[0].Digest = sig.Hash([]byte("evil"))
+	c := chain.New(pubs, 5)
+	if err := c.Load(links); err == nil {
+		t.Fatal("tampered chain loaded")
+	}
+	if c.Len() != 0 {
+		t.Fatal("failed load mutated the chain")
+	}
+}
+
+func TestChainCodecErrors(t *testing.T) {
+	if _, err := chain.DecodeLinks([]byte("garbage")); err == nil {
+		t.Fatal("garbage decoded")
+	}
+	b := chain.EncodeLinks(nil)
+	links, err := chain.DecodeLinks(b)
+	if err != nil || len(links) != 0 {
+		t.Fatalf("empty chain round trip: %v %v", links, err)
+	}
+	if _, err := chain.DecodeLinks(append(b, 7)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestAtomicOverwrite(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := testVote(t, 0, 10)
+	b := testVote(t, 0, 12)
+	if err := s.SaveVote(1, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveVote(1, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.LoadVote(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Digest() != b.Digest() {
+		t.Fatal("overwrite did not take effect")
+	}
+}
+
+func TestOpenTwiceIsIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Root() != dir {
+		t.Fatalf("root=%q", s.Root())
+	}
+}

@@ -1,0 +1,106 @@
+package syncdir
+
+import (
+	"fmt"
+
+	"partialtor/internal/sig"
+	"partialtor/internal/simnet"
+	"partialtor/internal/vote"
+	"partialtor/internal/wire"
+)
+
+// Message type tags on the wire.
+const (
+	tagDoc     byte = 0x41
+	tagBundle  byte = 0x42
+	tagChain   byte = 0x43
+	tagConsSig byte = 0x44
+)
+
+// maxBundleDocs bounds decoded bundles (one document per authority).
+const maxBundleDocs = 1024
+
+// EncodeMessage serializes any syncdir protocol message.
+func EncodeMessage(m simnet.Message) ([]byte, error) {
+	w := wire.NewWriter(512)
+	switch t := m.(type) {
+	case *msgDoc:
+		w.Byte(tagDoc)
+		w.BytesLP(t.Doc.Encode())
+		sig.WriteSignature(w, t.Sig)
+	case *msgBundle:
+		if len(t.Docs) != len(t.DocSigs) {
+			return nil, fmt.Errorf("syncdir: bundle with %d docs, %d sigs", len(t.Docs), len(t.DocSigs))
+		}
+		w.Byte(tagBundle)
+		w.Uvarint(uint64(t.From))
+		sig.WriteDigest(w, t.Digest)
+		w.Uvarint(uint64(len(t.Docs)))
+		for i, d := range t.Docs {
+			w.BytesLP(d.Encode())
+			sig.WriteSignature(w, t.DocSigs[i])
+		}
+	case *msgChain:
+		w.Byte(tagChain)
+		sig.WriteDigest(w, t.Digest)
+		sig.WriteSignatures(w, t.Chain)
+	case *msgConsSig:
+		w.Byte(tagConsSig)
+		sig.WriteDigest(w, t.Digest)
+		sig.WriteSignature(w, t.Sig)
+	default:
+		return nil, fmt.Errorf("syncdir: unknown message type %T", m)
+	}
+	return w.Bytes(), nil
+}
+
+// DecodeMessage inverts EncodeMessage.
+func DecodeMessage(b []byte) (simnet.Message, error) {
+	r := wire.NewReader(b)
+	tag := r.Byte()
+	var m simnet.Message
+	switch tag {
+	case tagDoc:
+		doc, err := vote.Parse(r.BytesLP())
+		if err != nil {
+			return nil, err
+		}
+		m = &msgDoc{Doc: doc, Sig: sig.ReadSignature(r)}
+	case tagBundle:
+		t := &msgBundle{From: int(r.Uvarint())}
+		t.Digest = sig.ReadDigest(r)
+		n := r.Uvarint()
+		if n > maxBundleDocs {
+			return nil, fmt.Errorf("syncdir: bundle with %d documents", n)
+		}
+		for i := uint64(0); i < n; i++ {
+			doc, err := vote.Parse(r.BytesLP())
+			if err != nil {
+				return nil, err
+			}
+			t.Docs = append(t.Docs, doc)
+			t.DocSigs = append(t.DocSigs, sig.ReadSignature(r))
+		}
+		m = t
+	case tagChain:
+		t := &msgChain{}
+		t.Digest = sig.ReadDigest(r)
+		chain, err := sig.ReadSignatures(r)
+		if err != nil {
+			return nil, err
+		}
+		t.Chain = chain
+		m = t
+	case tagConsSig:
+		t := &msgConsSig{}
+		t.Digest = sig.ReadDigest(r)
+		t.Sig = sig.ReadSignature(r)
+		m = t
+	default:
+		return nil, fmt.Errorf("syncdir: unknown message tag %#x", tag)
+	}
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

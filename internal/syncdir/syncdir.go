@@ -1,0 +1,566 @@
+// Package syncdir reimplements the synchronous directory protocol proposed
+// by Luo et al. (S&P '24), the second baseline of the paper (Figure 5):
+//
+//  1. Propose round: every authority sends its relay list (document, size d)
+//     to every other authority.
+//  2. Vote round: every authority packs *all* documents it received into a
+//     vote bundle (size ≈ n·d) and sends it to every other authority — the
+//     O(n³d) term of Table 1.
+//  3. Synchronize rounds: a Dolev–Strong style authenticated broadcast over
+//     f+1 rounds (f = ⌊(n−1)/2⌋) agrees on one vote bundle (the designated
+//     leader's); signature chains are the O(n⁴κ) term.
+//
+// The consensus document is aggregated from the lists inside the agreed
+// bundle, then signed; a run succeeds for an authority iff exactly one
+// digest was extracted, the matching bundle was received *within its round
+// deadline*, and a majority of consensus signatures match.
+//
+// Like the current protocol, every step has a bounded-synchrony deadline;
+// because the vote round moves n·d bytes, this protocol collapses at far
+// smaller relay counts than dirv3 — exactly what the paper's Figure 10
+// reports.
+package syncdir
+
+import (
+	"crypto/ed25519"
+	"time"
+
+	"partialtor/internal/sig"
+	"partialtor/internal/simnet"
+	"partialtor/internal/vote"
+)
+
+// DefaultRound is the lock-step round length (150 s, as deployed).
+const DefaultRound = 150 * time.Second
+
+// Signature domains.
+const (
+	domainDoc    = "syncdir/doc"
+	domainChain  = "syncdir/chain"
+	domainBundle = "syncdir/bundle"
+	domainCons   = "syncdir/consensus"
+)
+
+// Config describes one run.
+type Config struct {
+	Keys []*sig.KeyPair
+	Docs []*vote.Document
+	// Round is the document/vote round length; 0 means DefaultRound.
+	Round time.Duration
+	// SyncRound is the Dolev-Strong round length; 0 means Round.
+	SyncRound time.Duration
+	// Leader is the designated Dolev-Strong sender (default 0).
+	Leader int
+	// EquivocateLeader makes the leader Byzantine: it builds two different
+	// bundles and initiates signature chains for both, one per peer parity.
+	EquivocateLeader bool
+}
+
+func (c *Config) n() int { return len(c.Keys) }
+
+// Majority is ⌊n/2⌋+1.
+func (c *Config) Majority() int { return c.n()/2 + 1 }
+
+// MaxFaults is the synchronous tolerance f = ⌊(n−1)/2⌋ (4 of 9).
+func (c *Config) MaxFaults() int { return (c.n() - 1) / 2 }
+
+func (c *Config) round() time.Duration {
+	if c.Round > 0 {
+		return c.Round
+	}
+	return DefaultRound
+}
+
+func (c *Config) syncRound() time.Duration {
+	if c.SyncRound > 0 {
+		return c.SyncRound
+	}
+	return c.round()
+}
+
+// dsStart is when the synchronize phase begins.
+func (c *Config) dsStart() time.Duration { return 2 * c.round() }
+
+// dsEnd is when the Dolev-Strong extraction closes (after f+1 rounds).
+func (c *Config) dsEnd() time.Duration {
+	return c.dsStart() + time.Duration(c.MaxFaults()+1)*c.syncRound()
+}
+
+// EndTime is when the run is decided (one signature round after dsEnd).
+func (c *Config) EndTime() time.Duration { return c.dsEnd() + c.syncRound() }
+
+// --- messages ---
+
+const msgHeader = 16
+
+type msgDoc struct {
+	Doc *vote.Document
+	Sig sig.Signature
+}
+
+func (m *msgDoc) Size() int64  { return m.Doc.EncodedSize() + sig.WireSize + msgHeader }
+func (m *msgDoc) Kind() string { return "syncdir/doc" }
+
+// msgBundle is a "vote" in Luo et al.'s terminology: all documents the
+// sender received, with their original signatures.
+type msgBundle struct {
+	From    int
+	Docs    []*vote.Document
+	DocSigs []sig.Signature
+	Digest  sig.Digest // bundle digest (hash of doc digests)
+}
+
+func (m *msgBundle) Size() int64 {
+	var total int64 = msgHeader + sig.DigestSize + 8
+	for _, d := range m.Docs {
+		total += d.EncodedSize() + sig.WireSize
+	}
+	return total
+}
+func (m *msgBundle) Kind() string { return "syncdir/bundle" }
+
+// msgChain is a Dolev-Strong signature chain over a bundle digest.
+type msgChain struct {
+	Digest sig.Digest
+	Chain  []sig.Signature
+}
+
+func (m *msgChain) Size() int64 {
+	return msgHeader + sig.DigestSize + int64(len(m.Chain))*sig.WireSize
+}
+func (m *msgChain) Kind() string { return "syncdir/chain" }
+
+type msgConsSig struct {
+	Digest sig.Digest
+	Sig    sig.Signature
+}
+
+func (m *msgConsSig) Size() int64  { return msgHeader + sig.DigestSize + sig.WireSize }
+func (m *msgConsSig) Kind() string { return "syncdir/sig" }
+
+// bundleDigest hashes the ordered document digests.
+func bundleDigest(docs []*vote.Document) sig.Digest {
+	parts := make([][]byte, 0, len(docs))
+	for _, d := range docs {
+		dg := d.Digest()
+		parts = append(parts, dg[:])
+	}
+	return sig.HashParts(parts...)
+}
+
+// --- authority ---
+
+type sigRecord struct {
+	digest sig.Digest
+	sg     sig.Signature
+}
+
+// Authority is one directory authority running the synchronous protocol.
+type Authority struct {
+	cfg   *Config
+	index int
+	me    *sig.KeyPair
+	pubs  []ed25519.PublicKey
+	doc   *vote.Document
+
+	docs    map[int]*vote.Document
+	docSigs map[int]sig.Signature
+
+	leaderBundle   *msgBundle
+	leaderBundleAt time.Duration
+
+	extracted   map[sig.Digest]bool
+	extractedAt time.Duration
+	relayed     map[sig.Digest]bool
+
+	consensus  *vote.Consensus
+	consDigest sig.Digest
+	computed   bool
+	sigs       map[int]sigRecord
+
+	docsFullAt time.Duration
+	sigsFullAt time.Duration
+
+	agreed        bool
+	agreedDigest  sig.Digest
+	decidedBottom bool
+	succeeded     bool
+	finalSigCount int
+}
+
+// NewAuthorities constructs the authority set; authority i must be node i.
+func NewAuthorities(cfg Config) []*Authority {
+	if len(cfg.Docs) != cfg.n() {
+		panic("syncdir: len(Docs) != len(Keys)")
+	}
+	pubs := sig.PublicSet(cfg.Keys)
+	out := make([]*Authority, cfg.n())
+	for i := range out {
+		out[i] = &Authority{
+			cfg:            &cfg,
+			index:          i,
+			me:             cfg.Keys[i],
+			pubs:           pubs,
+			doc:            cfg.Docs[i],
+			docs:           make(map[int]*vote.Document),
+			docSigs:        make(map[int]sig.Signature),
+			extracted:      make(map[sig.Digest]bool),
+			relayed:        make(map[sig.Digest]bool),
+			sigs:           make(map[int]sigRecord),
+			docsFullAt:     simnet.Never,
+			sigsFullAt:     simnet.Never,
+			leaderBundleAt: simnet.Never,
+			extractedAt:    simnet.Never,
+		}
+	}
+	return out
+}
+
+func signDoc(k *sig.KeyPair, d *vote.Document) sig.Signature {
+	dg := d.Digest()
+	return k.Sign(domainDoc, dg[:])
+}
+
+// Start kicks off the propose round and schedules the rest.
+func (a *Authority) Start(ctx *simnet.Context) {
+	a.docs[a.index] = a.doc
+	a.docSigs[a.index] = signDoc(a.me, a.doc)
+	ctx.Logf("notice", "Propose round: sending relay list.")
+	ctx.Broadcast(&msgDoc{Doc: a.doc, Sig: a.docSigs[a.index]})
+	ctx.At(a.cfg.round(), func() { a.voteRound(ctx) })
+	ctx.At(a.cfg.dsStart(), func() { a.startSync(ctx) })
+	ctx.At(a.cfg.dsEnd(), func() { a.decide(ctx) })
+	ctx.At(a.cfg.EndTime(), func() { a.finish(ctx) })
+}
+
+// voteRound packs every document received so far into a bundle and sends it
+// to everyone.
+func (a *Authority) voteRound(ctx *simnet.Context) {
+	send := func(b *msgBundle, to []simnet.NodeID) {
+		for _, p := range to {
+			ctx.Send(p, b)
+		}
+	}
+	var even, odd, all []simnet.NodeID
+	for p := 0; p < ctx.N(); p++ {
+		if p == a.index {
+			continue
+		}
+		all = append(all, simnet.NodeID(p))
+		if p%2 == 0 {
+			even = append(even, simnet.NodeID(p))
+		} else {
+			odd = append(odd, simnet.NodeID(p))
+		}
+	}
+	mk := func(docs map[int]*vote.Document) *msgBundle {
+		b := &msgBundle{From: a.index}
+		for i := 0; i < a.cfg.n(); i++ {
+			if d, ok := docs[i]; ok {
+				b.Docs = append(b.Docs, d)
+				b.DocSigs = append(b.DocSigs, a.docSigs[i])
+			}
+		}
+		b.Digest = bundleDigest(b.Docs)
+		return b
+	}
+	full := mk(a.docs)
+	ctx.Logf("notice", "Vote round: bundling %d documents.", len(full.Docs))
+	if a.cfg.EquivocateLeader && a.index == a.cfg.Leader && len(a.docs) > 1 {
+		// Byzantine leader: odd peers get a truncated bundle.
+		partial := make(map[int]*vote.Document)
+		count := 0
+		for i := 0; i < a.cfg.n() && count < len(a.docs)-1; i++ {
+			if d, ok := a.docs[i]; ok {
+				partial[i] = d
+				count++
+			}
+		}
+		alt := mk(partial)
+		send(full, even)
+		send(alt, odd)
+		a.leaderBundle = full
+		a.leaderBundleAt = ctx.Now()
+		return
+	}
+	send(full, all)
+	if a.index == a.cfg.Leader {
+		a.leaderBundle = full
+		a.leaderBundleAt = ctx.Now()
+	}
+}
+
+// startSync begins the Dolev-Strong broadcast of the leader's bundle digest.
+func (a *Authority) startSync(ctx *simnet.Context) {
+	if a.index != a.cfg.Leader || a.leaderBundle == nil {
+		return
+	}
+	ctx.Logf("notice", "Synchronize rounds: broadcasting bundle digest %s.", a.leaderBundle.Digest.Short())
+	mark := func(d sig.Digest) *msgChain {
+		a.extracted[d] = true
+		a.relayed[d] = true
+		return &msgChain{Digest: d, Chain: []sig.Signature{a.me.Sign(domainChain, d[:])}}
+	}
+	if a.cfg.EquivocateLeader {
+		var even, odd []simnet.NodeID
+		for p := 0; p < ctx.N(); p++ {
+			if p == a.index {
+				continue
+			}
+			if p%2 == 0 {
+				even = append(even, simnet.NodeID(p))
+			} else {
+				odd = append(odd, simnet.NodeID(p))
+			}
+		}
+		full := mark(a.leaderBundle.Digest)
+		// The alternate digest corresponds to the truncated bundle sent to
+		// odd peers during the vote round.
+		altDocs := a.leaderBundle.Docs[:len(a.leaderBundle.Docs)-1]
+		alt := mark(bundleDigest(altDocs))
+		for _, p := range even {
+			ctx.Send(p, full)
+		}
+		for _, p := range odd {
+			ctx.Send(p, alt)
+		}
+		return
+	}
+	ctx.Broadcast(mark(a.leaderBundle.Digest))
+}
+
+// Deliver dispatches protocol messages.
+func (a *Authority) Deliver(ctx *simnet.Context, from simnet.NodeID, msg simnet.Message) {
+	switch m := msg.(type) {
+	case *msgDoc:
+		a.acceptDoc(ctx, m)
+	case *msgBundle:
+		a.acceptBundle(ctx, m)
+	case *msgChain:
+		a.acceptChain(ctx, m)
+	case *msgConsSig:
+		a.acceptConsSig(ctx, int(from), m)
+	}
+}
+
+func (a *Authority) acceptDoc(ctx *simnet.Context, m *msgDoc) {
+	idx := m.Doc.AuthorityIndex
+	if idx < 0 || idx >= a.cfg.n() || idx == a.index {
+		return
+	}
+	dg := m.Doc.Digest()
+	if m.Sig.Signer != idx || !sig.Verify(a.pubs, domainDoc, dg[:], m.Sig) {
+		ctx.Logf("warn", "Rejecting document with bad signature from %d.", idx)
+		return
+	}
+	if _, ok := a.docs[idx]; ok {
+		return
+	}
+	a.docs[idx] = m.Doc
+	a.docSigs[idx] = m.Sig
+	if len(a.docs) == a.cfg.n() && a.docsFullAt == simnet.Never {
+		a.docsFullAt = ctx.Now()
+	}
+}
+
+// acceptBundle keeps the leader's bundle — but only when it arrives within
+// the vote round, the bounded-synchrony deadline this protocol relies on.
+func (a *Authority) acceptBundle(ctx *simnet.Context, m *msgBundle) {
+	if m.From != a.cfg.Leader || a.leaderBundle != nil {
+		return
+	}
+	if ctx.Now() >= a.cfg.dsStart() {
+		ctx.Logf("warn", "Leader bundle arrived after the vote round deadline; discarding.")
+		return
+	}
+	if len(m.Docs) != len(m.DocSigs) || len(m.Docs) < a.cfg.Majority() {
+		ctx.Logf("warn", "Leader bundle invalid: %d documents.", len(m.Docs))
+		return
+	}
+	for i, d := range m.Docs {
+		dg := d.Digest()
+		if m.DocSigs[i].Signer != d.AuthorityIndex || !sig.Verify(a.pubs, domainDoc, dg[:], m.DocSigs[i]) {
+			ctx.Logf("warn", "Leader bundle contains a bad document signature.")
+			return
+		}
+	}
+	if bundleDigest(m.Docs) != m.Digest {
+		ctx.Logf("warn", "Leader bundle digest mismatch.")
+		return
+	}
+	a.leaderBundle = m
+	a.leaderBundleAt = ctx.Now()
+}
+
+// acceptChain applies the Dolev-Strong acceptance rule: a chain of k
+// distinct valid signatures, starting with the leader, must arrive before
+// the end of synchronize round k.
+func (a *Authority) acceptChain(ctx *simnet.Context, m *msgChain) {
+	k := len(m.Chain)
+	if k == 0 || k > a.cfg.MaxFaults()+1 {
+		return
+	}
+	deadline := a.cfg.dsStart() + time.Duration(k)*a.cfg.syncRound()
+	if ctx.Now() > deadline {
+		return
+	}
+	if m.Chain[0].Signer != a.cfg.Leader {
+		return
+	}
+	seen := make(map[int]bool, k)
+	for _, s := range m.Chain {
+		if seen[s.Signer] || !sig.Verify(a.pubs, domainChain, m.Digest[:], s) {
+			return
+		}
+		seen[s.Signer] = true
+	}
+	if a.extracted[m.Digest] {
+		return
+	}
+	a.extracted[m.Digest] = true
+	if a.extractedAt == simnet.Never {
+		a.extractedAt = ctx.Now()
+	}
+	if seen[a.index] || a.relayed[m.Digest] {
+		return
+	}
+	a.relayed[m.Digest] = true
+	ext := &msgChain{Digest: m.Digest, Chain: append(append([]sig.Signature{}, m.Chain...),
+		a.me.Sign(domainChain, m.Digest[:]))}
+	ctx.Broadcast(ext)
+}
+
+// decide closes the extraction: exactly one digest means agreement on the
+// leader's bundle; anything else is ⊥ (a detectably faulty leader).
+func (a *Authority) decide(ctx *simnet.Context) {
+	if len(a.extracted) != 1 {
+		a.decidedBottom = true
+		ctx.Logf("warn", "Dolev-Strong extracted %d values; outputting bottom.", len(a.extracted))
+		return
+	}
+	for d := range a.extracted {
+		a.agreedDigest = d
+	}
+	a.agreed = true
+	if a.leaderBundle == nil || a.leaderBundle.Digest != a.agreedDigest {
+		ctx.Logf("warn", "Agreed on digest %s but do not hold a matching bundle in time.", a.agreedDigest.Short())
+		a.agreed = false
+		return
+	}
+	cons, err := vote.Aggregate(a.leaderBundle.Docs, a.cfg.n())
+	if err != nil {
+		ctx.Logf("warn", "Aggregation failed: %v", err)
+		a.agreed = false
+		return
+	}
+	a.consensus = cons
+	a.consDigest = cons.Digest()
+	a.computed = true
+	own := a.me.Sign(domainCons, a.consDigest[:])
+	a.sigs[a.index] = sigRecord{digest: a.consDigest, sg: own}
+	ctx.Logf("notice", "Consensus computed from agreed bundle (%d documents); digest %s.",
+		len(a.leaderBundle.Docs), a.consDigest.Short())
+	ctx.Broadcast(&msgConsSig{Digest: a.consDigest, Sig: own})
+}
+
+func (a *Authority) acceptConsSig(ctx *simnet.Context, from int, m *msgConsSig) {
+	if from < 0 || from >= a.cfg.n() || from == a.index {
+		return
+	}
+	if m.Sig.Signer != from || !sig.Verify(a.pubs, domainCons, m.Digest[:], m.Sig) {
+		return
+	}
+	if _, ok := a.sigs[from]; ok {
+		return
+	}
+	a.sigs[from] = sigRecord{digest: m.Digest, sg: m.Sig}
+	if len(a.sigs) == a.cfg.n() && a.sigsFullAt == simnet.Never {
+		a.sigsFullAt = ctx.Now()
+	}
+}
+
+func (a *Authority) finish(ctx *simnet.Context) {
+	if !a.computed {
+		ctx.Logf("warn", "No consensus was computed this period.")
+		return
+	}
+	matching := 0
+	for _, rec := range a.sigs {
+		if rec.digest == a.consDigest {
+			matching++
+		}
+	}
+	a.finalSigCount = matching
+	if matching >= a.cfg.Majority() {
+		a.succeeded = true
+		ctx.Logf("notice", "Consensus published with %d of %d signatures.", matching, a.cfg.n())
+	} else {
+		ctx.Logf("warn", "Only %d matching signatures; consensus not valid.", matching)
+	}
+}
+
+// --- results ---
+
+// Result summarizes one run.
+type Result struct {
+	N            int
+	Majority     int
+	Succeeded    []bool
+	Success      bool
+	SuccessCount int
+	Bottoms      int // authorities that output ⊥ from Dolev-Strong
+	Digests      []sig.Digest
+	SigCounts    []int
+	Latencies    []time.Duration
+	Latency      time.Duration
+	Consensus    *vote.Consensus
+}
+
+// Collect extracts the outcome after the network has run past EndTime.
+func Collect(auths []*Authority, cfg Config) *Result {
+	res := &Result{N: cfg.n(), Majority: cfg.Majority(), Latency: simnet.Never}
+	for _, a := range auths {
+		res.Succeeded = append(res.Succeeded, a.succeeded)
+		res.Digests = append(res.Digests, a.consDigest)
+		res.SigCounts = append(res.SigCounts, a.finalSigCount)
+		if a.decidedBottom {
+			res.Bottoms++
+		}
+		lat := simnet.Never
+		if a.docsFullAt != simnet.Never && a.leaderBundleAt != simnet.Never &&
+			a.extractedAt != simnet.Never && a.sigsFullAt != simnet.Never {
+			phase := func(at, start time.Duration) time.Duration {
+				if at <= start {
+					return 0
+				}
+				return at - start
+			}
+			lat = a.docsFullAt +
+				phase(a.leaderBundleAt, cfg.round()) +
+				phase(a.extractedAt, cfg.dsStart()) +
+				phase(a.sigsFullAt, cfg.dsEnd())
+		}
+		res.Latencies = append(res.Latencies, lat)
+		if a.succeeded {
+			res.SuccessCount++
+			if res.Consensus == nil {
+				res.Consensus = a.consensus
+			}
+		}
+	}
+	res.Success = res.SuccessCount > 0
+	var maxLat time.Duration
+	have := false
+	for i, ok := range res.Succeeded {
+		if ok && res.Latencies[i] != simnet.Never {
+			have = true
+			if res.Latencies[i] > maxLat {
+				maxLat = res.Latencies[i]
+			}
+		}
+	}
+	if have {
+		res.Latency = maxLat
+	}
+	return res
+}

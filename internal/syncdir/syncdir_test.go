@@ -1,0 +1,196 @@
+package syncdir
+
+import (
+	"testing"
+	"time"
+
+	"partialtor/internal/simnet"
+	"partialtor/internal/testkit"
+)
+
+func runScenario(t *testing.T, cfg Config, bandwidth float64, shape func(*testkit.Net)) (*Result, *testkit.Net) {
+	t.Helper()
+	n := len(cfg.Keys)
+	tn := testkit.NewNet(n, bandwidth, 1)
+	if shape != nil {
+		shape(tn)
+	}
+	auths := NewAuthorities(cfg)
+	hs := make([]simnet.Handler, n)
+	for i, a := range auths {
+		hs[i] = a
+	}
+	tn.Attach(hs)
+	tn.Run(cfg.EndTime() + time.Second)
+	return Collect(auths, cfg), tn
+}
+
+func baseConfig(t *testing.T, n, relays, padding int) Config {
+	t.Helper()
+	keys := testkit.Authorities(n, 1)
+	return Config{Keys: keys, Docs: testkit.Docs(keys, relays, 1, padding)}
+}
+
+func TestHappyPathAgreement(t *testing.T) {
+	cfg := baseConfig(t, 9, 80, 0)
+	cfg.Round = 20 * time.Second
+	res, _ := runScenario(t, cfg, 250e6, nil)
+	if !res.Success || res.SuccessCount != 9 {
+		t.Fatalf("success=%v count=%d, want 9", res.Success, res.SuccessCount)
+	}
+	for i := 1; i < 9; i++ {
+		if res.Digests[i] != res.Digests[0] {
+			t.Fatalf("digest mismatch at %d", i)
+		}
+	}
+	if res.Bottoms != 0 {
+		t.Fatalf("%d authorities output bottom on an honest run", res.Bottoms)
+	}
+	if res.Consensus == nil || res.Consensus.NumVotes != 9 {
+		t.Fatalf("consensus from %v votes, want 9", res.Consensus)
+	}
+	if res.Latency == simnet.Never || res.Latency <= 0 {
+		t.Fatalf("latency=%v", res.Latency)
+	}
+}
+
+func TestRoundComplexityOfDolevStrong(t *testing.T) {
+	cfg := baseConfig(t, 9, 10, 0)
+	cfg.Round = 10 * time.Second
+	if cfg.MaxFaults() != 4 {
+		t.Fatalf("f=%d, want 4 for n=9", cfg.MaxFaults())
+	}
+	// dsEnd - dsStart = (f+1) sync rounds.
+	if got := cfg.dsEnd() - cfg.dsStart(); got != 5*cfg.syncRound() {
+		t.Fatalf("DS window %v, want 5 rounds", got)
+	}
+}
+
+func TestBundleTooBigForVoteRoundFails(t *testing.T) {
+	// At 10 Mbit/s with 12s rounds, bundles of 9 documents x ~240 relays
+	// (~0.6MB each, ~5.4MB bundle, 8 copies = 43MB = 34s) miss the vote
+	// round deadline while the propose round (8 copies of 0.6MB = 3.8s)
+	// fits easily. The run must fail even though all documents arrived.
+	cfg := baseConfig(t, 9, 240, -1)
+	cfg.Round = 12 * time.Second
+	res, _ := runScenario(t, cfg, 10e6, nil)
+	if res.Success {
+		t.Fatal("run succeeded although vote bundles missed the deadline")
+	}
+	// The equivalent dirv3 load (single documents) would have fit: verify
+	// the documents themselves did propagate.
+	smaller := baseConfig(t, 9, 240, -1)
+	smaller.Round = 12 * time.Second
+	res2, _ := runScenario(t, smaller, 100e6, nil)
+	if !res2.Success {
+		t.Fatal("run failed even with ample bandwidth")
+	}
+}
+
+func TestSyncFailsAtLowerRelayCountThanDirv3(t *testing.T) {
+	// The n·d vote bundles mean syncdir's failure threshold sits roughly
+	// n times lower than dirv3's: at 10 Mbit/s with 15s rounds, 500 relays
+	// pass dirv3 (see dirv3 tests) but fail here.
+	cfg := baseConfig(t, 9, 500, -1)
+	cfg.Round = 15 * time.Second
+	res, _ := runScenario(t, cfg, 10e6, nil)
+	if res.Success {
+		t.Fatal("syncdir succeeded at a load dirv3 barely sustains; bundle cost not modelled?")
+	}
+}
+
+func TestAttackPreventsAgreement(t *testing.T) {
+	cfg := baseConfig(t, 9, 100, -1)
+	cfg.Round = 15 * time.Second
+	res, _ := runScenario(t, cfg, 250e6, func(tn *testkit.Net) {
+		for i := 0; i < 5; i++ {
+			tn.Throttle(i, 0, 30*time.Second, 5e3)
+		}
+	})
+	if res.Success {
+		t.Fatal("consensus succeeded under attack on 5 authorities")
+	}
+}
+
+func TestLeaderOfflineMeansBottom(t *testing.T) {
+	// If the leader is knocked out for the whole run, no chain is ever
+	// seen: everyone outputs bottom, nobody succeeds — but all honest
+	// authorities agree on that outcome.
+	cfg := baseConfig(t, 9, 50, 0)
+	cfg.Round = 10 * time.Second
+	res, _ := runScenario(t, cfg, 250e6, func(tn *testkit.Net) {
+		tn.Throttle(0, 0, simnet.Never, 0)
+	})
+	if res.Success {
+		t.Fatal("success without a leader")
+	}
+	if res.Bottoms < 8 {
+		t.Fatalf("only %d of 8 healthy authorities output bottom", res.Bottoms)
+	}
+}
+
+func TestEquivocatingLeaderDetected(t *testing.T) {
+	// A Byzantine leader sends two bundles/digests. Dolev-Strong relaying
+	// spreads both chains, every honest authority extracts two values and
+	// outputs bottom: agreement is preserved (no split consensus, unlike
+	// dirv3's equivocation test).
+	cfg := baseConfig(t, 9, 60, 0)
+	cfg.Round = 10 * time.Second
+	cfg.EquivocateLeader = true
+	res, _ := runScenario(t, cfg, 250e6, nil)
+	for i := 1; i < 9; i++ {
+		if res.Succeeded[i] {
+			t.Fatalf("authority %d accepted a consensus from an equivocating leader", i)
+		}
+	}
+	if res.Bottoms < 8 {
+		t.Fatalf("only %d honest authorities detected the equivocation", res.Bottoms)
+	}
+}
+
+func TestLatencyGrowsWithRelayCount(t *testing.T) {
+	small := baseConfig(t, 9, 50, -1)
+	small.Round = 30 * time.Second
+	resSmall, _ := runScenario(t, small, 100e6, nil)
+	big := baseConfig(t, 9, 300, -1)
+	big.Round = 30 * time.Second
+	resBig, _ := runScenario(t, big, 100e6, nil)
+	if !resSmall.Success || !resBig.Success {
+		t.Fatalf("runs failed: %v %v", resSmall.Success, resBig.Success)
+	}
+	if resBig.Latency <= resSmall.Latency {
+		t.Fatalf("latency %v (300 relays) not above %v (50 relays)", resBig.Latency, resSmall.Latency)
+	}
+}
+
+func TestLateChainRejected(t *testing.T) {
+	// Chains arriving after their round deadline are ignored per the
+	// Dolev-Strong acceptance rule. Delay every chain message by more than
+	// the full DS window: all authorities (except the leader, who extracts
+	// its own value) output bottom.
+	cfg := baseConfig(t, 9, 30, 0)
+	cfg.Round = 5 * time.Second
+	cfg.SyncRound = 2 * time.Second
+	n := len(cfg.Keys)
+	tn := testkit.NewNet(n, 250e6, 1)
+	tn.Network.SetDelayFilter(func(from, to simnet.NodeID, m simnet.Message) time.Duration {
+		if m.Kind() == "syncdir/chain" {
+			return time.Minute
+		}
+		return 0
+	})
+	auths := NewAuthorities(cfg)
+	hs := make([]simnet.Handler, n)
+	for i, a := range auths {
+		hs[i] = a
+	}
+	tn.Attach(hs)
+	tn.Run(cfg.EndTime() + 2*time.Minute)
+	res := Collect(auths, cfg)
+	if res.SuccessCount > 1 {
+		t.Fatalf("%d authorities succeeded despite delayed chains", res.SuccessCount)
+	}
+	if res.Bottoms < 8 {
+		t.Fatalf("only %d authorities output bottom", res.Bottoms)
+	}
+}

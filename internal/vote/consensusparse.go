@@ -1,0 +1,132 @@
+package vote
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"partialtor/internal/relay"
+)
+
+// ParseConsensus inverts Consensus.Encode. Clients use this to validate a
+// downloaded consensus document before trusting its digest.
+func ParseConsensus(data []byte) (*Consensus, error) {
+	c := &Consensus{}
+	var cur *ConsensusRelay
+	flush := func() {
+		if cur != nil {
+			c.Relays = append(c.Relays, *cur)
+			cur = nil
+		}
+	}
+	sawFooter := false
+	for lineNo, line := range strings.Split(string(data), "\n") {
+		if line == "" {
+			continue
+		}
+		key, rest, _ := strings.Cut(line, " ")
+		fail := func(why string) error {
+			return fmt.Errorf("consensus: line %d (%q): %s", lineNo+1, key, why)
+		}
+		switch key {
+		case "network-status-version":
+			if rest != "3" {
+				return nil, fail("unsupported version")
+			}
+		case "vote-status":
+			if rest != "consensus" {
+				return nil, fail("not a consensus")
+			}
+		case "valid-after":
+			v, err := strconv.ParseUint(rest, 10, 64)
+			if err != nil {
+				return nil, fail(err.Error())
+			}
+			c.ValidAfter = v
+		case "num-votes":
+			f := strings.Fields(rest)
+			if len(f) != 3 || f[1] != "of" {
+				return nil, fail("want 'K of N'")
+			}
+			k, err1 := strconv.Atoi(f[0])
+			n, err2 := strconv.Atoi(f[2])
+			if err1 != nil || err2 != nil {
+				return nil, fail("bad counts")
+			}
+			c.NumVotes, c.TotalAuthorities = k, n
+		case "voters":
+			for _, v := range strings.Fields(rest) {
+				idx, err := strconv.Atoi(v)
+				if err != nil {
+					return nil, fail(err.Error())
+				}
+				c.Voters = append(c.Voters, idx)
+			}
+		case "r":
+			flush()
+			f := strings.Fields(rest)
+			if len(f) != 5 {
+				return nil, fail("want 5 fields")
+			}
+			cur = &ConsensusRelay{Nickname: f[0], Address: f[2]}
+			if err := parseHex20(f[1], cur.Identity[:]); err != nil {
+				return nil, fail(err.Error())
+			}
+			or, err := strconv.ParseUint(f[3], 10, 16)
+			if err != nil {
+				return nil, fail(err.Error())
+			}
+			dir, err := strconv.ParseUint(f[4], 10, 16)
+			if err != nil {
+				return nil, fail(err.Error())
+			}
+			cur.ORPort, cur.DirPort = uint16(or), uint16(dir)
+		case "s":
+			if cur == nil {
+				return nil, fail("flags before relay")
+			}
+			fl, err := relay.ParseFlags(rest)
+			if err != nil {
+				return nil, fail(err.Error())
+			}
+			cur.Flags = fl
+		case "v":
+			if cur == nil {
+				return nil, fail("version before relay")
+			}
+			cur.Version = strings.TrimPrefix(rest, "Tor ")
+		case "pr":
+			if cur == nil {
+				return nil, fail("protocols before relay")
+			}
+			cur.Protocols = rest
+		case "w":
+			if cur == nil {
+				return nil, fail("bandwidth before relay")
+			}
+			v, ok := strings.CutPrefix(rest, "Bandwidth=")
+			if !ok {
+				return nil, fail("want Bandwidth=")
+			}
+			bw, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return nil, fail(err.Error())
+			}
+			cur.Bandwidth = bw
+		case "p":
+			if cur == nil {
+				return nil, fail("policy before relay")
+			}
+			cur.ExitPolicy = rest
+		case "directory-footer":
+			flush()
+			sawFooter = true
+		default:
+			return nil, fail("unknown keyword")
+		}
+	}
+	if !sawFooter {
+		return nil, fmt.Errorf("consensus: missing directory-footer")
+	}
+	return c, nil
+}

@@ -1,0 +1,216 @@
+// Package wire provides tiny length-prefixed binary encoding helpers used
+// by document and message codecs. Encoders never fail; decoders carry a
+// sticky error so call sites stay linear and check once at the end.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrTruncated reports a read past the end of the buffer.
+var ErrTruncated = errors.New("wire: truncated input")
+
+// ErrTooLong reports a length prefix exceeding the remaining input.
+var ErrTooLong = errors.New("wire: length prefix exceeds input")
+
+// Writer accumulates an encoded message.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a writer with an optional size hint.
+func NewWriter(hint int) *Writer { return &Writer{buf: make([]byte, 0, hint)} }
+
+// Bytes returns the encoded buffer.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Uvarint appends a varint-encoded unsigned integer.
+func (w *Writer) Uvarint(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
+
+// Varint appends a varint-encoded signed integer.
+func (w *Writer) Varint(v int64) { w.buf = binary.AppendVarint(w.buf, v) }
+
+// U32 appends a fixed-width big-endian uint32.
+func (w *Writer) U32(v uint32) { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
+
+// U64 appends a fixed-width big-endian uint64.
+func (w *Writer) U64(v uint64) { w.buf = binary.BigEndian.AppendUint64(w.buf, v) }
+
+// Byte appends a single byte.
+func (w *Writer) Byte(b byte) { w.buf = append(w.buf, b) }
+
+// Bool appends a boolean as one byte.
+func (w *Writer) Bool(b bool) {
+	if b {
+		w.Byte(1)
+	} else {
+		w.Byte(0)
+	}
+}
+
+// Bytes appends a length-prefixed byte slice.
+func (w *Writer) BytesLP(b []byte) {
+	w.Uvarint(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// Raw appends bytes without a length prefix (fixed-size fields).
+func (w *Writer) Raw(b []byte) { w.buf = append(w.buf, b...) }
+
+// String appends a length-prefixed string.
+func (w *Writer) String(s string) { w.BytesLP([]byte(s)) }
+
+// Reader decodes a buffer produced by Writer.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader wraps an encoded buffer.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Err returns the sticky decoding error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// Uvarint reads a varint-encoded unsigned integer.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Varint reads a varint-encoded signed integer.
+func (r *Reader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// U32 reads a fixed-width big-endian uint32.
+func (r *Reader) U32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if r.Remaining() < 4 {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+// U64 reads a fixed-width big-endian uint64.
+func (r *Reader) U64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.Remaining() < 8 {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+// Byte reads one byte.
+func (r *Reader) Byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.Remaining() < 1 {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b
+}
+
+// Bool reads one byte as a boolean.
+func (r *Reader) Bool() bool { return r.Byte() != 0 }
+
+// BytesLP reads a length-prefixed byte slice (copied).
+func (r *Reader) BytesLP() []byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if uint64(r.Remaining()) < n {
+		r.fail(ErrTooLong)
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.buf[r.off:r.off+int(n)])
+	r.off += int(n)
+	return out
+}
+
+// Raw reads exactly n bytes without a length prefix.
+func (r *Reader) Raw(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.Remaining() < n {
+		r.fail(ErrTruncated)
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.buf[r.off:r.off+n])
+	r.off += n
+	return out
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string { return string(r.BytesLP()) }
+
+// Close verifies that the whole buffer was consumed and no error occurred.
+func (r *Reader) Close() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.Remaining() != 0 {
+		return fmt.Errorf("wire: %d trailing bytes", r.Remaining())
+	}
+	return nil
+}
+
+// UvarintLen returns the encoded size of v, for size accounting.
+func UvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}

@@ -1,0 +1,158 @@
+// Package partialtor is a from-scratch Go reproduction of "Five Minutes of
+// DDoS Brings down Tor: DDoS Attacks on the Tor Directory Protocol and
+// Mitigations" (EUROSYS '26).
+//
+// It bundles, over a deterministic discrete-event network simulator:
+//
+//   - the current Tor directory protocol v3 (internal/dirv3),
+//   - Luo et al.'s synchronous Dolev-Strong protocol (internal/syncdir),
+//   - the paper's partially synchronous protocol — interactive consistency
+//     under partial synchrony on two-chain HotStuff (internal/core and
+//     internal/hotstuff),
+//   - the DDoS attack and cost model (internal/attack), and
+//   - the full evaluation harness regenerating every figure and table
+//     (internal/harness).
+//
+// This package is the stable facade used by the examples, the commands in
+// cmd/, and the benchmarks: it re-exports the scenario runner, the attack
+// model and the per-figure generators.
+//
+// Quick start:
+//
+//	res := partialtor.Run(partialtor.Scenario{
+//		Protocol: partialtor.ICPS,
+//		Relays:   8000,
+//	})
+//	fmt.Println(res.Success, res.Latency)
+package partialtor
+
+import (
+	"time"
+
+	"partialtor/internal/attack"
+	"partialtor/internal/harness"
+	"partialtor/internal/relay"
+	"partialtor/internal/simnet"
+)
+
+// Protocol selects one of the three directory protocol designs.
+type Protocol = harness.Protocol
+
+// The protocols of the paper's Table 1.
+const (
+	// Current is the deployed Tor directory protocol v3.
+	Current = harness.Current
+	// Synchronous is Luo et al.'s Dolev-Strong-based protocol.
+	Synchronous = harness.Synchronous
+	// ICPS is the paper's protocol: interactive consistency under partial
+	// synchrony.
+	ICPS = harness.ICPS
+)
+
+// Scenario configures one protocol run (see harness.Scenario for fields).
+type Scenario = harness.Scenario
+
+// RunResult is the protocol-independent outcome of a scenario.
+type RunResult = harness.RunResult
+
+// AttackPlan is a DDoS window against a set of authorities.
+type AttackPlan = attack.Plan
+
+// CostModel reproduces the paper's §4.3 attack pricing.
+type CostModel = attack.CostModel
+
+// Never marks an event that did not happen (e.g. latency of a failed run).
+const Never = simnet.Never
+
+// ResidualUnderDDoS is the bandwidth left to a flooded node (0.5 Mbit/s,
+// Jansen et al.).
+const ResidualUnderDDoS = attack.ResidualUnderDDoS
+
+// FallbackLatency is the paper's 2100s accounting for a failed lock-step
+// run under the five-minute attack.
+const FallbackLatency = harness.FallbackLatency
+
+// Run executes one scenario and returns its outcome.
+func Run(s Scenario) *RunResult { return harness.Run(s) }
+
+// FiveMinuteOutage is the paper's headline attack: the majority of the
+// authorities knocked offline for five minutes.
+func FiveMinuteOutage(targets []int) AttackPlan { return attack.FiveMinuteOutage(targets) }
+
+// MajorityTargets returns the canonical target set (5 of 9 authorities).
+func MajorityTargets(n int) []int { return attack.MajorityTargets(n) }
+
+// DefaultCostModel returns the paper's pricing constants.
+func DefaultCostModel() CostModel { return attack.DefaultCostModel() }
+
+// AuthorityNames lists the nine live directory authority nicknames.
+func AuthorityNames() []string { return append([]string(nil), relay.AuthorityNames...) }
+
+// --- evaluation re-exports (one per paper artifact) ---
+
+// Figure1 renders an authority's log under the headline attack.
+func Figure1(p harness.Figure1Params) *harness.Figure1Result { return harness.Figure1(p) }
+
+// Figure6 synthesizes the relay-count series (average 7141.79).
+func Figure6() *harness.Figure6Result { return harness.Figure6() }
+
+// Figure7 sweeps the bandwidth requirement against the relay count.
+func Figure7(p harness.Figure7Params) *harness.Figure7Result { return harness.Figure7(p) }
+
+// Figure10 measures the three protocols' latency across bandwidths.
+func Figure10(p harness.Figure10Params) *harness.Figure10Result { return harness.Figure10(p) }
+
+// Figure11 measures recovery from the five-minute outage.
+func Figure11(p harness.Figure11Params) *harness.Figure11Result { return harness.Figure11(p) }
+
+// Table1 compares the three designs with measured transport cost.
+func Table1(p harness.Table1Params) *harness.Table1Result { return harness.Table1(p) }
+
+// Table2 verifies the sub-protocol round counts (2 + 5 + 2).
+func Table2() *harness.Table2Result { return harness.Table2() }
+
+// CostTable evaluates the attack cost ($0.074/instance, $53.28/month).
+func CostTable() *harness.CostResult { return harness.CostTable() }
+
+// Figure1Params etc. are re-exported parameter types.
+type (
+	// Figure1Params scales the Figure 1 run.
+	Figure1Params = harness.Figure1Params
+	// Figure7Params scales the Figure 7 sweep.
+	Figure7Params = harness.Figure7Params
+	// Figure10Params scales the Figure 10 grid.
+	Figure10Params = harness.Figure10Params
+	// Figure11Params scales the Figure 11 experiment.
+	Figure11Params = harness.Figure11Params
+	// Table1Params scales the Table 1 measurement.
+	Table1Params = harness.Table1Params
+	// CampaignParams configures a multi-period campaign.
+	CampaignParams = harness.CampaignParams
+	// EntrySizeParams configures the entry-size ablation.
+	EntrySizeParams = harness.EntrySizeParams
+	// DeltaParams configures the Δ ablation.
+	DeltaParams = harness.DeltaParams
+	// TimeoutParams configures the pacemaker-timeout ablation.
+	TimeoutParams = harness.TimeoutParams
+)
+
+// Campaign simulates a sequence of hourly consensus periods, feeding the
+// outcomes into the consensus hash chain (proposal 239 extension) and the
+// client availability model.
+func Campaign(p CampaignParams) *harness.CampaignResult { return harness.Campaign(p) }
+
+// AblationEntrySize sweeps the current protocol's failure threshold across
+// vote entry sizes (DESIGN.md §6 calibration justification).
+func AblationEntrySize(p EntrySizeParams) *harness.EntrySizeResult {
+	return harness.AblationEntrySize(p)
+}
+
+// AblationDelta sweeps the ICPS dissemination wait Δ.
+func AblationDelta(p DeltaParams) *harness.DeltaResult { return harness.AblationDelta(p) }
+
+// AblationTimeout sweeps the agreement pacemaker's base timeout under an
+// outage.
+func AblationTimeout(p TimeoutParams) *harness.TimeoutResult { return harness.AblationTimeout(p) }
+
+// Seconds renders a duration as float seconds (helper for reporting).
+func Seconds(d time.Duration) float64 { return d.Seconds() }
