@@ -1,0 +1,117 @@
+// Command cachesweep maps out the distribution tier's resilience surface:
+// it sweeps cache count × client population × attack residual and reports,
+// for each cell, the time to target coverage, the final coverage and the
+// per-tier egress. The residual axis prices the "flood the mirrors" family:
+// -1 means no attack, 0 knocks the flooded caches offline, positive values
+// model a stressor that leaves that much bandwidth (bits/s).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"partialtor"
+)
+
+func parseList(s string, parse func(string) (float64, error)) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := parse(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cachesweep: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		cachesFlag    = flag.String("caches", "10,20,40", "cache counts to sweep")
+		clientsFlag   = flag.String("clients", "100000,1000000", "client populations to sweep")
+		residualsFlag = flag.String("residuals", "-1,500000,0", "attack residual bits/s (-1 = no attack)")
+		window        = flag.Duration("window", 30*time.Minute, "client fetch window")
+		target        = flag.Float64("target", 0.95, "coverage fraction defining success")
+		seed          = flag.Int64("seed", 42, "simulation seed")
+	)
+	flag.Parse()
+
+	atoi := func(s string) (float64, error) { v, err := strconv.Atoi(s); return float64(v), err }
+	caches, err := parseList(*cachesFlag, atoi)
+	if err != nil {
+		fatalf("invalid -caches: %v", err)
+	}
+	clients, err := parseList(*clientsFlag, atoi)
+	if err != nil {
+		fatalf("invalid -clients: %v", err)
+	}
+	residuals, err := parseList(*residualsFlag, func(s string) (float64, error) {
+		return strconv.ParseFloat(s, 64)
+	})
+	if err != nil {
+		fatalf("invalid -residuals: %v", err)
+	}
+	for _, nc := range caches {
+		if nc < 1 {
+			fatalf("-caches values must be >= 1 (got %d)", int(nc))
+		}
+	}
+	for _, pop := range clients {
+		if pop < 1 {
+			fatalf("-clients values must be >= 1 (got %d)", int(pop))
+		}
+	}
+
+	start := time.Now()
+	fmt.Printf("%-8s %-10s %-12s %-12s %-10s %-12s %-10s\n",
+		"caches", "clients", "residual", "t95", "coverage", "cache-egress", "failed")
+	for _, nc := range caches {
+		for _, pop := range clients {
+			for _, res := range residuals {
+				spec := partialtor.DistributionSpec{
+					Caches:         int(nc),
+					Clients:        int(pop),
+					FetchWindow:    *window,
+					TargetCoverage: *target,
+					Seed:           *seed,
+				}
+				label := "none"
+				if res >= 0 {
+					plan := partialtor.AttackPlan{
+						Tier:     partialtor.TierCache,
+						Targets:  partialtor.MajorityTargets(int(nc)),
+						Start:    0,
+						End:      *window + 30*time.Minute,
+						Residual: res,
+					}
+					spec.Attacks = []partialtor.AttackPlan{plan}
+					label = fmt.Sprintf("%.1fMbit", res/1e6)
+				}
+				r, err := partialtor.RunDistribution(spec)
+				if err != nil {
+					fatalf("run (caches=%d clients=%d): %v", int(nc), int(pop), err)
+				}
+				t95 := "never"
+				if r.TimeToTarget != partialtor.Never {
+					t95 = r.TimeToTarget.Round(time.Second).String()
+				}
+				fmt.Printf("%-8d %-10d %-12s %-12s %-10s %-12s %-10d\n",
+					int(nc), int(pop), label, t95,
+					fmt.Sprintf("%.1f%%", 100*r.Coverage()),
+					fmt.Sprintf("%.1fGB", float64(r.CacheEgress)/1e9),
+					r.FailedFetches)
+			}
+		}
+	}
+	fmt.Printf("\n%d runs in %v\n",
+		len(caches)*len(clients)*len(residuals), time.Since(start).Round(time.Millisecond))
+}

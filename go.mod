@@ -1,0 +1,3 @@
+module partialtor
+
+go 1.24

@@ -1,11 +1,17 @@
 // Package attack models the paper's DDoS adversary (§4): bandwidth-flooding
-// of directory authorities via DDoS-for-hire stressor services, expressed as
-// residual-bandwidth windows on the simulated network, plus the cost model
+// of directory infrastructure via DDoS-for-hire stressor services, expressed
+// as residual-bandwidth windows on the simulated network, plus the cost model
 // that yields the paper's headline numbers ($0.074 per consensus instance,
 // $53.28 per month).
+//
+// A Plan targets one Tier of the directory system: the nine authorities that
+// generate the consensus (TierAuthority, the paper's headline attack) or the
+// directory caches that distribute it to clients (TierCache, the "flood the
+// mirrors" family evaluated by internal/dircache).
 package attack
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -16,15 +22,43 @@ import (
 // al. (0.5 Mbit/s), the figure the paper adopts (§4.3, Figure 7).
 const ResidualUnderDDoS = 0.5e6
 
-// Plan is one DDoS window against a set of authorities.
+// Tier identifies which layer of the directory system a plan floods.
+type Tier int
+
+const (
+	// TierAuthority targets consensus-generating directory authorities
+	// (the default: existing plans are authority plans).
+	TierAuthority Tier = iota
+	// TierCache targets the directory caches that re-serve the consensus
+	// to clients.
+	TierCache
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierAuthority:
+		return "authority"
+	case TierCache:
+		return "cache"
+	}
+	return fmt.Sprintf("Tier(%d)", int(t))
+}
+
+// Plan is one DDoS window against a set of nodes in one tier.
 type Plan struct {
-	// Targets are authority indices under attack.
+	// Targets are node indices under attack, relative to the plan's tier
+	// (authority indices for TierAuthority, cache indices for TierCache).
 	Targets []int
 	// Start and End bound the window [Start, End).
 	Start, End time.Duration
 	// Residual is the bandwidth (bits/s) left to each target during the
 	// window; 0 knocks the target offline entirely.
 	Residual float64
+	// Tier selects the attacked layer; the zero value is TierAuthority.
+	Tier Tier
+
+	// targets is the membership index built by Compile; nil until then.
+	targets map[int]struct{}
 }
 
 // FiveMinuteOutage is the paper's headline attack: knock the majority of the
@@ -33,20 +67,62 @@ func FiveMinuteOutage(targets []int) Plan {
 	return Plan{Targets: targets, Start: 0, End: 5 * time.Minute, Residual: 0}
 }
 
-// Throttle applies the plan to one authority's pipes. It is a no-op for
-// non-targets, so callers can apply the plan uniformly.
-func (p Plan) Throttle(authority int, up, down *simnet.Profile) {
-	if !p.IsTarget(authority) {
+// Validate rejects malformed plans: an unknown tier, an inverted window, a
+// negative start, negative residual bandwidth, or a negative target index.
+func (p *Plan) Validate() error {
+	if p.Tier != TierAuthority && p.Tier != TierCache {
+		return fmt.Errorf("attack: unknown tier %v", p.Tier)
+	}
+	if p.Start < 0 {
+		return fmt.Errorf("attack: window starts at negative time %v", p.Start)
+	}
+	if p.End < p.Start {
+		return fmt.Errorf("attack: window ends (%v) before it starts (%v)", p.End, p.Start)
+	}
+	if p.Residual < 0 {
+		return errors.New("attack: negative residual bandwidth")
+	}
+	for _, t := range p.Targets {
+		if t < 0 {
+			return fmt.Errorf("attack: negative target index %d", t)
+		}
+	}
+	return nil
+}
+
+// Compile precomputes the target-membership set so IsTarget is O(1). Call
+// it again after mutating Targets; the compiled set does not track them.
+func (p *Plan) Compile() {
+	set := make(map[int]struct{}, len(p.Targets))
+	for _, t := range p.Targets {
+		set[t] = struct{}{}
+	}
+	p.targets = set
+}
+
+// Throttle applies the plan to one node's pipes. It is a no-op for
+// non-targets, so callers can apply the plan uniformly across their tier.
+// The index is tier-relative; callers are responsible for handing the plan
+// only nodes of its own tier.
+func (p *Plan) Throttle(index int, up, down *simnet.Profile) {
+	if !p.IsTarget(index) {
 		return
 	}
 	up.ThrottleMin(p.Start, p.End, p.Residual)
 	down.ThrottleMin(p.Start, p.End, p.Residual)
 }
 
-// IsTarget reports whether the authority is attacked by this plan.
-func (p Plan) IsTarget(authority int) bool {
+// IsTarget reports whether the tier-relative node index is attacked by this
+// plan. A compiled plan answers in O(1); an uncompiled one falls back to a
+// linear scan. IsTarget never mutates the plan, so plans are safe to share
+// across goroutines (Compile once up front for both speed and that safety).
+func (p *Plan) IsTarget(index int) bool {
+	if p.targets != nil {
+		_, ok := p.targets[index]
+		return ok
+	}
 	for _, t := range p.Targets {
-		if t == authority {
+		if t == index {
 			return true
 		}
 	}
@@ -54,7 +130,7 @@ func (p Plan) IsTarget(authority int) bool {
 }
 
 // Duration returns the window length.
-func (p Plan) Duration() time.Duration { return p.End - p.Start }
+func (p *Plan) Duration() time.Duration { return p.End - p.Start }
 
 // MajorityTargets returns the canonical target set: the first ⌊n/2⌋+1
 // authorities (5 of 9).

@@ -70,6 +70,56 @@ func TestPlanThrottle(t *testing.T) {
 	}
 }
 
+func TestPlanValidate(t *testing.T) {
+	good := Plan{Targets: []int{0, 1}, Start: time.Minute, End: 2 * time.Minute, Residual: 5e3}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	cases := []Plan{
+		{Start: 2 * time.Minute, End: time.Minute}, // inverted window
+		{Start: -time.Second, End: time.Minute},    // negative start
+		{End: time.Minute, Residual: -1},           // negative residual
+		{End: time.Minute, Targets: []int{0, -3}},  // negative target
+		{End: time.Minute, Tier: Tier(7)},          // unknown tier
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("case %d: malformed plan %+v accepted", i, p)
+		}
+	}
+}
+
+func TestIsTargetPrecomputed(t *testing.T) {
+	p := Plan{Targets: []int{2, 4, 6}}
+	// Uncompiled plans scan (and stay immutable, so sharing is safe).
+	if !p.IsTarget(4) || p.IsTarget(3) {
+		t.Fatal("uncompiled membership wrong")
+	}
+	p.Compile()
+	if !p.IsTarget(4) || p.IsTarget(3) {
+		t.Fatal("compiled membership wrong")
+	}
+	// Mutating Targets requires an explicit recompile.
+	p.Targets = append(p.Targets, 3)
+	if p.IsTarget(3) {
+		t.Fatal("compiled set unexpectedly tracked mutation")
+	}
+	p.Compile()
+	if !p.IsTarget(3) {
+		t.Fatal("recompile did not pick up new target")
+	}
+}
+
+func TestTierDefaultsToAuthority(t *testing.T) {
+	var p Plan
+	if p.Tier != TierAuthority {
+		t.Fatal("zero-value plan is not an authority plan")
+	}
+	if TierAuthority.String() != "authority" || TierCache.String() != "cache" {
+		t.Fatal("tier labels wrong")
+	}
+}
+
 func TestFiveMinuteOutage(t *testing.T) {
 	p := FiveMinuteOutage(MajorityTargets(9))
 	if p.Duration() != 5*time.Minute || p.Residual != 0 {

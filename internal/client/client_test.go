@@ -170,6 +170,96 @@ func TestQuickMoreFailuresNeverLessDowntime(t *testing.T) {
 	}
 }
 
+func TestZeroRunsTimeline(t *testing.T) {
+	tl := NewTimeline(DefaultPolicy(), []Run{})
+	if tl.ValidAt(0) || tl.FreshAt(0) {
+		t.Fatal("validity/freshness without any run")
+	}
+	if outs := tl.Outages(); len(outs) != 0 {
+		t.Fatalf("outage windows on an empty observation span: %v", outs)
+	}
+	if tl.FirstOutage() != -1 {
+		t.Fatalf("FirstOutage=%v on zero runs", tl.FirstOutage())
+	}
+	if tl.Availability() != 1 {
+		t.Fatalf("availability=%f on zero horizon", tl.Availability())
+	}
+}
+
+func TestAllFailedRunsSingleFullOutage(t *testing.T) {
+	p := DefaultPolicy()
+	tl := HourlySchedule(p, 6, func(int) bool { return false })
+	outs := tl.Outages()
+	if len(outs) != 1 {
+		t.Fatalf("outages %v, want one full-span window", outs)
+	}
+	if outs[0].From != 0 || outs[0].To != tl.Horizon() {
+		t.Fatalf("outage %v, want [0, %v)", outs[0], tl.Horizon())
+	}
+	if tl.DownTime() != tl.Horizon() {
+		t.Fatalf("downtime %v != horizon %v", tl.DownTime(), tl.Horizon())
+	}
+	if tl.ValidAt(0) || tl.FreshAt(tl.Horizon()-time.Nanosecond) {
+		t.Fatal("document considered usable despite universal failure")
+	}
+}
+
+func TestOutOfOrderRunsEquivalentToSorted(t *testing.T) {
+	p := DefaultPolicy()
+	sorted := []Run{
+		{At: 0, Success: true},
+		{At: time.Hour, Success: false},
+		{At: 2 * time.Hour, Success: false},
+		{At: 3 * time.Hour, Success: false},
+		{At: 4 * time.Hour, Success: true},
+		{At: 5 * time.Hour, Success: false},
+	}
+	shuffled := []Run{sorted[4], sorted[1], sorted[5], sorted[0], sorted[3], sorted[2]}
+	a, b := NewTimeline(p, sorted), NewTimeline(p, shuffled)
+	if a.Horizon() != b.Horizon() || a.DownTime() != b.DownTime() {
+		t.Fatalf("order changed the outcome: %v vs %v downtime", a.DownTime(), b.DownTime())
+	}
+	ao, bo := a.Outages(), b.Outages()
+	if len(ao) != len(bo) {
+		t.Fatalf("outage windows diverge: %v vs %v", ao, bo)
+	}
+	for i := range ao {
+		if ao[i] != bo[i] {
+			t.Fatalf("window %d diverges: %v vs %v", i, ao[i], bo[i])
+		}
+	}
+	// Last success at 4h: down exactly during [3h, 4h) and nowhere else
+	// within the horizon.
+	if len(ao) != 1 || ao[0] != (Window{From: 3 * time.Hour, To: 4 * time.Hour}) {
+		t.Fatalf("outages %v, want [3h, 4h)", ao)
+	}
+}
+
+func TestSustainedAttackWindowsMatchValidForCutoff(t *testing.T) {
+	// The availability windows under a sustained attack must track the
+	// ValidFor lifetime exactly, whatever its value.
+	for _, validFor := range []time.Duration{2 * time.Hour, 3 * time.Hour, 5 * time.Hour} {
+		p := Policy{Interval: time.Hour, FreshFor: time.Hour, ValidFor: validFor}
+		const hours = 12
+		tl := SustainedAttack(p, hours, 2) // hours 0,1 succeed, rest attacked
+		outs := tl.Outages()
+		if len(outs) != 1 {
+			t.Fatalf("ValidFor=%v: outages %v", validFor, outs)
+		}
+		// Last success at hour 1; the cutoff is exactly 1h + ValidFor.
+		want := Window{From: time.Hour + validFor, To: tl.Horizon()}
+		if outs[0] != want {
+			t.Fatalf("ValidFor=%v: outage %v, want %v", validFor, outs[0], want)
+		}
+		if !tl.ValidAt(want.From - time.Nanosecond) {
+			t.Fatalf("ValidFor=%v: invalid just before the cutoff", validFor)
+		}
+		if tl.ValidAt(want.From) {
+			t.Fatalf("ValidFor=%v: still valid at the cutoff instant", validFor)
+		}
+	}
+}
+
 func TestWindowString(t *testing.T) {
 	w := Window{From: time.Hour, To: 2 * time.Hour}
 	if w.Duration() != time.Hour || w.String() == "" {

@@ -1,0 +1,114 @@
+package dircache
+
+import (
+	"time"
+
+	"partialtor/internal/simnet"
+)
+
+// authorityStub serves the consensus document to caches from publishAt
+// onward. It stands in for a full protocol run: the generation phase has
+// already been simulated (or failed) by the time the distribution phase
+// starts, so all that remains of an authority is its publication state.
+type authorityStub struct {
+	spec      *Spec
+	publishAt time.Duration
+}
+
+func (a *authorityStub) Start(ctx *simnet.Context) {}
+
+func (a *authorityStub) Deliver(ctx *simnet.Context, from simnet.NodeID, msg simnet.Message) {
+	req, ok := msg.(dirRequest)
+	if !ok {
+		return
+	}
+	if ctx.Now() >= a.publishAt {
+		ctx.Send(from, &consensusDoc{bytes: a.spec.DocBytes})
+		return
+	}
+	ctx.Send(from, notReady{seq: req.seq})
+}
+
+// cacheNode fetches the consensus from the authorities with timeout-driven
+// fallback and re-serves it to fleets, as full documents or diffs.
+type cacheNode struct {
+	spec *Spec
+
+	authOrder []simnet.NodeID // fallback order over the authorities
+	attempt   int             // number of authority requests sent
+	have      bool
+	fetchedAt time.Duration
+
+	fullsServed, diffsServed int
+}
+
+func (c *cacheNode) Start(ctx *simnet.Context) {
+	// Stagger the initial fetches a little so the authority uplinks don't
+	// see 20 perfectly synchronized requests at t=0.
+	jitter := time.Duration(ctx.Rand().Int63n(int64(time.Second)))
+	ctx.After(jitter, func() { c.requestNext(ctx) })
+}
+
+// requestNext asks the next authority in the fallback order for the
+// consensus and arms the give-up timer for this attempt.
+func (c *cacheNode) requestNext(ctx *simnet.Context) {
+	if c.have {
+		return
+	}
+	auth := c.authOrder[c.attempt%len(c.authOrder)]
+	c.attempt++
+	seq := c.attempt
+	ctx.Send(auth, dirRequest{seq: seq})
+	ctx.After(c.spec.CacheFetchTimeout, func() {
+		if !c.have && c.attempt == seq {
+			ctx.Logf("info", "authority %d timed out, falling back", auth)
+			c.requestNext(ctx)
+		}
+	})
+}
+
+func (c *cacheNode) Deliver(ctx *simnet.Context, from simnet.NodeID, msg simnet.Message) {
+	switch m := msg.(type) {
+	case *consensusDoc:
+		if c.have {
+			return // late duplicate from a timed-out authority
+		}
+		c.have = true
+		c.fetchedAt = ctx.Now()
+		ctx.Logf("notice", "consensus cached at %v after %d attempt(s)", c.fetchedAt, c.attempt)
+
+	case notReady:
+		// The consensus does not exist yet; wait, then fall back to the
+		// next authority (it may publish sooner). A refusal of anything
+		// but the newest attempt is stale — its attempt already timed out
+		// and fell back — so acting on it would duplicate requests.
+		if m.seq != c.attempt {
+			return
+		}
+		seq := m.seq
+		ctx.After(c.spec.CacheRetry, func() {
+			if !c.have && c.attempt == seq {
+				c.requestNext(ctx)
+			}
+		})
+
+	case *fleetFetch:
+		if !c.have {
+			ctx.Send(from, &fetchNack{fulls: m.fulls, diffs: m.diffs})
+			return
+		}
+		c.fullsServed += m.fulls
+		c.diffsServed += m.diffs
+		bytes := int64(m.fulls)*c.spec.DocBytes + int64(m.diffs)*c.spec.DiffBytes
+		ctx.Send(from, &docBatch{fulls: m.fulls, diffs: m.diffs, bytes: bytes})
+	}
+}
+
+// fallbacks reports how many extra authority requests the cache needed
+// beyond the first (timeouts plus not-ready retries).
+func (c *cacheNode) fallbacks() int {
+	if c.attempt <= 1 {
+		return 0
+	}
+	return c.attempt - 1
+}

@@ -1,0 +1,294 @@
+// Package dircache models the distribution tier of the Tor directory
+// protocol (paper §2.1, §3.1): once the authorities have generated a
+// consensus, a tier of directory caches fetches it and re-serves it to the
+// client population, and the network is only "up" for a client once its copy
+// arrives and only "down" once that copy expires.
+//
+// The tier runs on simnet as a second, independent simulation phase placed
+// after consensus generation:
+//
+//   - authority stubs hold the consensus document from PublishAt onward and
+//     answer cache fetches (a run that never produced a consensus is modelled
+//     by PublishAt = simnet.Never: every fetch is refused);
+//   - cache nodes fetch the consensus with timeout-driven fallback across
+//     the authorities and then re-serve it downstream, serving cheap
+//     consensus diffs to clients that still hold the previous document and
+//     full documents to the rest;
+//   - fleet nodes statistically aggregate 10⁵–10⁷ clients each: fetch
+//     arrivals are Poisson per tick, spread over the caches by weighted
+//     selection, and one simnet message carries a whole tick's worth of
+//     client downloads (its wire size is exact, so bandwidth contention is
+//     modelled faithfully while the event count stays tiny).
+//
+// Aggregation is what makes million-user scenarios run in seconds: a fleet
+// of a million clients costs the simulator a few hundred messages per hour
+// of virtual time, yet cache uplink saturation, DDoS throttling windows
+// (attack.Plan with Tier == attack.TierCache) and retry storms all shape the
+// coverage curve exactly as they would per-client. The one approximation is
+// batching: the clients of one tick on one cache complete together when the
+// batch transfer completes, so coverage is step-shaped at tick granularity.
+package dircache
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"partialtor/internal/attack"
+)
+
+// Default sizes of the documents moving through the tier. DocBytes
+// approximates a full consensus for ~8000 relays; DiffBytes the hourly
+// consensus diff Tor serves to clients that hold the previous document.
+const (
+	DefaultDocBytes  = 1_200_000
+	DefaultDiffBytes = 25_000
+	// reqBytes is the wire size of one client's fetch request (HTTP GET
+	// with headers); aggregated requests scale linearly with client count.
+	reqBytes = 400
+	// nackBytes is the per-client size of a "no document" refusal.
+	nackBytes = 64
+)
+
+// Spec configures one distribution phase.
+type Spec struct {
+	// Authorities is the number of consensus sources (default 9).
+	Authorities int
+	// Caches is the number of directory caches (default 20).
+	Caches int
+	// Fleets is the number of aggregated client nodes the population is
+	// split into (default 4).
+	Fleets int
+	// Clients is the total modelled client population (default 1e6).
+	Clients int
+
+	// AuthorityBandwidth is each authority's access capacity in bits/s
+	// (default 250 Mbit/s, §4.3).
+	AuthorityBandwidth float64
+	// CacheBandwidth is each cache's access capacity in bits/s (default
+	// 200 Mbit/s).
+	CacheBandwidth float64
+	// FleetBandwidth is one fleet node's aggregate downlink in bits/s
+	// (default 2 Gbit/s; it aggregates many clients' access links).
+	FleetBandwidth float64
+
+	// Weights biases the fleets' cache selection; len(Weights) == Caches,
+	// nil means uniform. Weights need not be normalized.
+	Weights []float64
+
+	// DocBytes is the full consensus size; 0 selects DefaultDocBytes.
+	DocBytes int64
+	// DiffBytes is the consensus-diff size; 0 scales DefaultDiffBytes by
+	// DocBytes so the diff stays ~2% of the document at any scale.
+	DiffBytes int64
+	// DiffFraction is the share of clients that hold the previous consensus
+	// and therefore fetch only a diff (default 0.8; set negative for 0).
+	DiffFraction float64
+
+	// PublishAt is the instant the authorities have the consensus; the
+	// harness sets it to the generation latency of the protocol run.
+	// simnet.Never models a failed run: no document ever exists.
+	PublishAt time.Duration
+	// FetchWindow is the span over which the client population spreads its
+	// fetches (default 30 min, the first half of the freshness interval).
+	FetchWindow time.Duration
+	// Tick is the aggregation granularity of fleet arrivals (default 10s).
+	Tick time.Duration
+	// RetryDelay is how long a refused client batch waits before retrying
+	// (default 60s).
+	RetryDelay time.Duration
+	// CacheFetchTimeout is a cache's per-authority give-up delay before
+	// falling back to the next authority (default 15s).
+	CacheFetchTimeout time.Duration
+	// CacheRetry is how long a cache waits after a "not ready" refusal
+	// before asking the next authority (default 10s).
+	CacheRetry time.Duration
+
+	// TargetCoverage is the population fraction defining "distributed"
+	// (default 0.95).
+	TargetCoverage float64
+
+	// Attacks are DDoS windows applied to the tier named by each plan's
+	// Tier: authority plans throttle the authority stubs, cache plans
+	// throttle caches. Target indices are tier-relative.
+	Attacks []attack.Plan
+
+	// Seed drives all randomness (default 1).
+	Seed int64
+	// RunLimit bounds the simulation (default FetchWindow + 30 min).
+	RunLimit time.Duration
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Authorities == 0 {
+		s.Authorities = 9
+	}
+	if s.Caches == 0 {
+		s.Caches = 20
+	}
+	if s.Fleets == 0 {
+		s.Fleets = 4
+	}
+	if s.Clients == 0 {
+		s.Clients = 1_000_000
+	}
+	if s.AuthorityBandwidth == 0 {
+		s.AuthorityBandwidth = 250e6
+	}
+	if s.CacheBandwidth == 0 {
+		s.CacheBandwidth = 200e6
+	}
+	if s.FleetBandwidth == 0 {
+		s.FleetBandwidth = 2e9
+	}
+	if s.DocBytes == 0 {
+		s.DocBytes = DefaultDocBytes
+	}
+	if s.DiffBytes == 0 {
+		// Scale the diff with the document so a scaled-down consensus
+		// (e.g. derived from a small-relay protocol run) keeps Tor's ~2%
+		// diff-to-document ratio instead of a "diff" larger than the
+		// document it summarizes.
+		s.DiffBytes = s.DocBytes * DefaultDiffBytes / DefaultDocBytes
+		if s.DiffBytes < 1 {
+			s.DiffBytes = 1
+		}
+	}
+	if s.DiffFraction == 0 {
+		s.DiffFraction = 0.8
+	} else if s.DiffFraction < 0 {
+		s.DiffFraction = 0
+	}
+	if s.FetchWindow == 0 {
+		s.FetchWindow = 30 * time.Minute
+	}
+	if s.Tick == 0 {
+		s.Tick = 10 * time.Second
+	}
+	if s.RetryDelay == 0 {
+		s.RetryDelay = time.Minute
+	}
+	if s.CacheFetchTimeout == 0 {
+		s.CacheFetchTimeout = 15 * time.Second
+	}
+	if s.CacheRetry == 0 {
+		s.CacheRetry = 10 * time.Second
+	}
+	if s.TargetCoverage == 0 {
+		s.TargetCoverage = 0.95
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.RunLimit == 0 {
+		s.RunLimit = s.FetchWindow + 30*time.Minute
+	}
+	return s
+}
+
+// Validate rejects specs the simulation cannot run.
+func (s Spec) Validate() error {
+	s0 := s.withDefaults()
+	if s0.Authorities < 1 || s0.Caches < 1 || s0.Fleets < 1 || s0.Clients < 1 {
+		return errors.New("dircache: tier sizes must be positive")
+	}
+	if s0.Fleets > s0.Clients {
+		return fmt.Errorf("dircache: %d fleets cannot split %d clients", s0.Fleets, s0.Clients)
+	}
+	if s.AuthorityBandwidth < 0 || s.CacheBandwidth < 0 || s.FleetBandwidth < 0 {
+		return errors.New("dircache: negative bandwidth")
+	}
+	if s.DocBytes < 0 || s.DiffBytes < 0 {
+		return errors.New("dircache: negative document size")
+	}
+	for _, d := range []time.Duration{s.PublishAt, s.FetchWindow, s.Tick,
+		s.RetryDelay, s.CacheFetchTimeout, s.CacheRetry, s.RunLimit} {
+		if d < 0 {
+			return errors.New("dircache: negative duration")
+		}
+	}
+	if s0.DiffFraction > 1 {
+		return fmt.Errorf("dircache: diff fraction %.2f > 1", s0.DiffFraction)
+	}
+	if s0.TargetCoverage < 0 || s0.TargetCoverage > 1 {
+		return fmt.Errorf("dircache: target coverage %.2f outside [0, 1]", s0.TargetCoverage)
+	}
+	if s.Weights != nil && len(s.Weights) != s0.Caches {
+		return fmt.Errorf("dircache: %d weights for %d caches", len(s.Weights), s0.Caches)
+	}
+	for i, w := range s.Weights {
+		if w < 0 {
+			return fmt.Errorf("dircache: negative weight %g for cache %d", w, i)
+		}
+	}
+	for i := range s.Attacks {
+		p := &s.Attacks[i]
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("dircache: attack %d: %w", i, err)
+		}
+		// A target index beyond the tier would silently under-throttle:
+		// the sweep would report resilience the flood never tested.
+		var tierSize int
+		switch p.Tier {
+		case attack.TierAuthority:
+			tierSize = s0.Authorities
+		case attack.TierCache:
+			tierSize = s0.Caches
+		default:
+			return fmt.Errorf("dircache: attack %d: unknown tier %v", i, p.Tier)
+		}
+		for _, t := range p.Targets {
+			if t >= tierSize {
+				return fmt.Errorf("dircache: attack %d: target %d beyond the %d-node %v tier",
+					i, t, tierSize, p.Tier)
+			}
+		}
+	}
+	return nil
+}
+
+// --- wire messages ---
+
+// dirRequest is one cache's consensus fetch to an authority. seq is the
+// cache's attempt number, echoed in refusals so stale answers are ignored.
+type dirRequest struct{ seq int }
+
+func (dirRequest) Size() int64  { return reqBytes }
+func (dirRequest) Kind() string { return "cache-req" }
+
+// consensusDoc is a full consensus document, authority → cache.
+type consensusDoc struct{ bytes int64 }
+
+func (m *consensusDoc) Size() int64  { return m.bytes }
+func (m *consensusDoc) Kind() string { return "consensus" }
+
+// notReady refuses a cache fetch before the consensus exists, echoing the
+// request's attempt number.
+type notReady struct{ seq int }
+
+func (notReady) Size() int64  { return nackBytes }
+func (notReady) Kind() string { return "not-ready" }
+
+// fleetFetch aggregates one tick of client fetches from a fleet to a cache:
+// fulls clients need the whole document, diffs only the consensus diff.
+type fleetFetch struct{ fulls, diffs int }
+
+func (m *fleetFetch) Size() int64  { return int64(m.fulls+m.diffs) * reqBytes }
+func (m *fleetFetch) Kind() string { return "fleet-req" }
+
+// docBatch carries the downloads for one fleetFetch back to the fleet. Its
+// wire size is the exact sum of the per-client documents, so the transfer
+// contends for cache uplink bandwidth as the individual downloads would.
+type docBatch struct {
+	fulls, diffs int
+	bytes        int64
+}
+
+func (m *docBatch) Size() int64  { return m.bytes }
+func (m *docBatch) Kind() string { return "doc-batch" }
+
+// fetchNack refuses a fleetFetch because the cache has no document yet.
+type fetchNack struct{ fulls, diffs int }
+
+func (m *fetchNack) Size() int64  { return int64(m.fulls+m.diffs) * nackBytes }
+func (m *fetchNack) Kind() string { return "fetch-nack" }

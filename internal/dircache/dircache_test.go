@@ -1,0 +1,341 @@
+package dircache
+
+import (
+	"testing"
+	"time"
+
+	"partialtor/internal/attack"
+	"partialtor/internal/client"
+	"partialtor/internal/simnet"
+)
+
+// smallSpec is a fast spec for unit tests: 50k clients, 8 caches, 10-minute
+// fetch window.
+func smallSpec() Spec {
+	return Spec{
+		Clients:     50_000,
+		Caches:      8,
+		Fleets:      2,
+		FetchWindow: 10 * time.Minute,
+		Tick:        5 * time.Second,
+		Seed:        7,
+	}
+}
+
+func TestHealthyDistributionCoversPopulation(t *testing.T) {
+	res, err := Run(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalClients != 50_000 {
+		t.Fatalf("total clients %d", res.TotalClients)
+	}
+	if res.Coverage() < 0.999 {
+		t.Fatalf("healthy tier covered only %.1f%%", 100*res.Coverage())
+	}
+	if res.TimeToTarget == simnet.Never {
+		t.Fatal("never reached target coverage")
+	}
+	if res.TimeToTarget > res.Spec.FetchWindow+res.Spec.Tick {
+		t.Fatalf("t95 %v beyond the fetch window", res.TimeToTarget)
+	}
+	if res.CachesWithDoc != res.Spec.Caches {
+		t.Fatalf("%d/%d caches got the consensus", res.CachesWithDoc, res.Spec.Caches)
+	}
+	if res.AuthorityEgress <= 0 || res.CacheEgress <= 0 || res.FleetEgress <= 0 {
+		t.Fatalf("egress not accounted: auth=%d cache=%d fleet=%d",
+			res.AuthorityEgress, res.CacheEgress, res.FleetEgress)
+	}
+	// The caches must move roughly the population's worth of documents.
+	expect := int64(float64(res.TotalClients) * (0.2*float64(res.Spec.DocBytes) + 0.8*float64(res.Spec.DiffBytes)))
+	if res.CacheEgress < expect/2 || res.CacheEgress > 2*expect {
+		t.Fatalf("cache egress %d, expected near %d", res.CacheEgress, expect)
+	}
+}
+
+func TestDistributionDeterministic(t *testing.T) {
+	a, err := Run(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Covered != b.Covered || a.TimeToTarget != b.TimeToTarget ||
+		a.CacheEgress != b.CacheEgress || a.FailedFetches != b.FailedFetches {
+		t.Fatalf("same seed diverged: %+v vs %+v", a.Summary(), b.Summary())
+	}
+	c, err := Run(func() Spec { s := smallSpec(); s.Seed = 8; return s }())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.CacheEgress == a.CacheEgress && c.TimeToTarget == a.TimeToTarget {
+		t.Fatal("different seed produced identical run (suspicious)")
+	}
+}
+
+func TestCacheAttackDegradesCoverage(t *testing.T) {
+	healthy, err := Run(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := smallSpec()
+	spec.Attacks = []attack.Plan{{
+		Tier:     attack.TierCache,
+		Targets:  attack.MajorityTargets(spec.Caches),
+		Start:    0,
+		End:      spec.FetchWindow + 30*time.Minute,
+		Residual: 0,
+	}}
+	attacked, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attacked.Coverage() > healthy.Coverage()-0.2 {
+		t.Fatalf("cache DDoS barely moved coverage: healthy %.2f, attacked %.2f",
+			healthy.Coverage(), attacked.Coverage())
+	}
+	if attacked.TimeToTarget != simnet.Never {
+		t.Fatalf("attacked tier still reached target at %v", attacked.TimeToTarget)
+	}
+}
+
+func TestAuthorityTierAttackDelaysCaches(t *testing.T) {
+	// Knock out every authority except the last for the whole run: caches
+	// must fall back until they find the survivor.
+	spec := smallSpec()
+	spec.Authorities = 3
+	spec.Attacks = []attack.Plan{{
+		Tier:     attack.TierAuthority,
+		Targets:  []int{0, 1},
+		Start:    0,
+		End:      spec.FetchWindow + 30*time.Minute,
+		Residual: 0,
+	}}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CachesWithDoc != spec.Caches {
+		t.Fatalf("caches never found the surviving authority: %d/%d", res.CachesWithDoc, spec.Caches)
+	}
+	if res.CacheFallbacks == 0 {
+		t.Fatal("no fallback attempts recorded despite two dead authorities")
+	}
+	if res.Coverage() < 0.99 {
+		t.Fatalf("population not served via surviving authority: %.2f", res.Coverage())
+	}
+}
+
+func TestNoConsensusNeverCovers(t *testing.T) {
+	spec := smallSpec()
+	spec.PublishAt = simnet.Never
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Covered != 0 {
+		t.Fatalf("covered %d clients without a consensus", res.Covered)
+	}
+	if res.FailedFetches == 0 {
+		t.Fatal("no failed fetches recorded")
+	}
+	if res.CachesWithDoc != 0 {
+		t.Fatal("a cache claims to hold a consensus that never existed")
+	}
+	if res.FleetRun(0).Success {
+		t.Fatal("fleet run reported success")
+	}
+}
+
+func TestLatePublishDelaysCoverage(t *testing.T) {
+	early, err := Run(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := smallSpec()
+	spec.PublishAt = 5 * time.Minute
+	late, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if late.TimeToTarget <= early.TimeToTarget {
+		t.Fatalf("late publish (%v) did not delay t95: %v vs %v",
+			spec.PublishAt, late.TimeToTarget, early.TimeToTarget)
+	}
+	if late.FailedFetches == 0 {
+		t.Fatal("fetches before publication should have been refused")
+	}
+	if late.Coverage() < 0.99 {
+		t.Fatalf("retries did not recover the refused clients: %.2f", late.Coverage())
+	}
+}
+
+func TestDiffServingShrinksEgress(t *testing.T) {
+	allFull := smallSpec()
+	allFull.DiffFraction = -1 // every client fetches the full document
+	full, err := Run(allFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allDiff := smallSpec()
+	allDiff.DiffFraction = 1
+	diff, err := Run(allDiff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Diff serving must cut cache egress by roughly DocBytes/DiffBytes.
+	if diff.CacheEgress*10 > full.CacheEgress {
+		t.Fatalf("diff egress %d not ≪ full egress %d", diff.CacheEgress, full.CacheEgress)
+	}
+	if diff.Coverage() < 0.999 || full.Coverage() < 0.999 {
+		t.Fatal("coverage regressed")
+	}
+}
+
+func TestWeightedCacheSelection(t *testing.T) {
+	spec := smallSpec()
+	spec.Caches = 4
+	spec.Weights = []float64{8, 1, 1, 0}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage() < 0.999 {
+		t.Fatalf("coverage %.2f", res.Coverage())
+	}
+	// The 8-weight cache must carry several times the load of a 1-weight
+	// cache, and the zero-weight cache must serve nobody.
+	served := res.CacheServed
+	if len(served) != 4 {
+		t.Fatalf("per-cache load for %d caches", len(served))
+	}
+	if served[3] != 0 {
+		t.Fatalf("zero-weight cache served %d clients", served[3])
+	}
+	if served[0] < 4*served[1] || served[0] < 4*served[2] {
+		t.Fatalf("weight-8 cache served %d vs %d/%d for weight-1 caches", served[0], served[1], served[2])
+	}
+	total := served[0] + served[1] + served[2]
+	if total != res.Covered {
+		t.Fatalf("per-cache loads sum to %d, covered %d", total, res.Covered)
+	}
+}
+
+func TestCoverageCurveMonotonic(t *testing.T) {
+	res, err := Run(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevAt := time.Duration(-1)
+	prevCount := -1
+	for _, p := range res.Points {
+		if p.At <= prevAt {
+			t.Fatalf("points not strictly increasing in time: %v after %v", p.At, prevAt)
+		}
+		if p.Count <= prevCount {
+			t.Fatalf("cumulative count not increasing: %d after %d", p.Count, prevCount)
+		}
+		prevAt, prevCount = p.At, p.Count
+	}
+	if res.Points[len(res.Points)-1].Count != res.Covered {
+		t.Fatal("curve does not end at the covered total")
+	}
+	if got := res.CoverageAt(res.Spec.RunLimit); got != res.Coverage() {
+		t.Fatalf("CoverageAt(end)=%.3f, Coverage()=%.3f", got, res.Coverage())
+	}
+	if res.CoverageAt(0) != 0 {
+		t.Fatal("nonzero coverage at t=0")
+	}
+}
+
+func TestFleetTimelineTiesIntoClientModel(t *testing.T) {
+	policy := client.DefaultPolicy()
+	good, err := Run(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := smallSpec()
+	bad.PublishAt = simnet.Never
+	failed, err := Run(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Periods: good, then three failed ones — the population loses its
+	// consensus exactly ValidFor after the good period's coverage instant.
+	tl := FleetTimeline(policy, []*Result{good, failed, failed, failed})
+	outs := tl.Outages()
+	if len(outs) != 2 {
+		t.Fatalf("outage windows %v, want warmup + post-validity", outs)
+	}
+	// Warmup: nobody has a consensus until the first period's coverage
+	// instant; then the network dies exactly ValidFor later.
+	if outs[0].From != 0 || outs[0].To != good.TimeToTarget {
+		t.Fatalf("warmup window %v, want [0, %v)", outs[0], good.TimeToTarget)
+	}
+	if want := good.TimeToTarget + policy.ValidFor; outs[1].From != want {
+		t.Fatalf("outage at %v, want coverage instant + validity = %v", outs[1].From, want)
+	}
+	if tl.Availability() >= 1 {
+		t.Fatal("availability should dip below 1 with three failed periods")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	bad := []Spec{
+		{Clients: -1},
+		{Fleets: 10, Clients: 5},
+		{DiffFraction: 1.5},
+		{TargetCoverage: 2},
+		{Caches: 3, Weights: []float64{1, 2}},
+		{Caches: 2, Weights: []float64{1, -1}},
+		{Attacks: []attack.Plan{{Start: time.Minute, End: 0}}},
+		// Targets beyond the tier would silently under-throttle.
+		{Caches: 10, Attacks: []attack.Plan{{Tier: attack.TierCache, Targets: attack.MajorityTargets(20), End: time.Hour}}},
+		{Authorities: 5, Attacks: []attack.Plan{{Targets: []int{5}, End: time.Hour}}},
+		{Attacks: []attack.Plan{{Tier: attack.Tier(3), Targets: []int{0}, End: time.Hour}}},
+		{Clients: 1000, Tick: -10 * time.Second},
+		{CacheBandwidth: -5},
+		{DocBytes: -1},
+	}
+	for i, s := range bad {
+		if _, err := Run(s); err == nil {
+			t.Fatalf("case %d: invalid spec %+v accepted", i, s)
+		}
+	}
+	if err := (Spec{}).Validate(); err != nil {
+		t.Fatalf("default spec rejected: %v", err)
+	}
+}
+
+// TestConcurrentRunsSharedAttacks pins the compile-on-private-copy rule: two
+// Runs whose specs share one Attacks backing array must not race on the
+// plans' lazily compiled target sets (run under -race).
+func TestConcurrentRunsSharedAttacks(t *testing.T) {
+	shared := []attack.Plan{{
+		Tier:     attack.TierCache,
+		Targets:  attack.MajorityTargets(8),
+		End:      time.Hour,
+		Residual: 0,
+	}}
+	done := make(chan *Result, 2)
+	for g := 0; g < 2; g++ {
+		go func() {
+			s := smallSpec()
+			s.Attacks = shared
+			r, err := Run(s)
+			if err != nil {
+				t.Error(err)
+			}
+			done <- r
+		}()
+	}
+	a, b := <-done, <-done
+	if a == nil || b == nil {
+		t.Fatal("run failed")
+	}
+	if a.Covered != b.Covered {
+		t.Fatalf("identical specs diverged: %d vs %d covered", a.Covered, b.Covered)
+	}
+}

@@ -1,0 +1,136 @@
+package dircache
+
+import (
+	"time"
+
+	"partialtor/internal/simnet"
+)
+
+// CoveragePoint is one step of a coverage curve. In a fleet's local curve
+// Count is the clients that completed at instant At; in Result.Points the
+// curves are merged and Count is the cumulative covered population.
+type CoveragePoint struct {
+	At    time.Duration
+	Count int
+}
+
+// fleetNode statistically aggregates `clients` Tor clients behind one simnet
+// node. Per tick it draws Poisson fetch arrivals for every cache (thinning
+// the population-wide arrival process by the cache-selection weights), asks
+// each cache for the whole tick's downloads in one aggregated message, and
+// counts the clients covered when the batch transfer completes. Refused
+// batches (cache has no consensus yet) go into a retry pool.
+type fleetNode struct {
+	spec    *Spec
+	clients int
+	caches  []simnet.NodeID
+	weights []float64 // normalized, len == len(caches)
+
+	unrequested int // clients that have not yet issued their first fetch
+	covered     int
+	points      []CoveragePoint
+
+	pendingFulls, pendingDiffs int // refused fetches awaiting retry
+	retryArmed                 bool
+
+	failed int64 // client fetch attempts refused with a nack
+}
+
+func (f *fleetNode) Start(ctx *simnet.Context) {
+	f.unrequested = f.clients
+	f.scheduleTick(ctx, 1)
+}
+
+func (f *fleetNode) numTicks() int {
+	n := int((f.spec.FetchWindow + f.spec.Tick - 1) / f.spec.Tick)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func (f *fleetNode) scheduleTick(ctx *simnet.Context, k int) {
+	if k > f.numTicks() {
+		return
+	}
+	at := time.Duration(k) * f.spec.Tick
+	if at > f.spec.FetchWindow {
+		at = f.spec.FetchWindow
+	}
+	ctx.At(at, func() {
+		f.tick(ctx, k)
+		f.scheduleTick(ctx, k+1)
+	})
+}
+
+// tick issues this interval's fetch arrivals. The final tick flushes every
+// client that the Poisson draws left behind, so exactly `clients` first
+// fetches are issued within the window.
+func (f *fleetNode) tick(ctx *simnet.Context, k int) {
+	if f.unrequested == 0 {
+		return
+	}
+	var counts []int
+	if k == f.numTicks() {
+		counts = splitCounts(ctx.Rand(), f.unrequested, f.weights)
+	} else {
+		frac := float64(f.spec.Tick) / float64(f.spec.FetchWindow)
+		counts = make([]int, len(f.caches))
+		budget := f.unrequested
+		for i, w := range f.weights {
+			n := poisson(ctx.Rand(), float64(f.clients)*w*frac)
+			if n > budget {
+				n = budget
+			}
+			counts[i] = n
+			budget -= n
+		}
+	}
+	for i, n := range counts {
+		if n == 0 {
+			continue
+		}
+		f.unrequested -= n
+		diffs := binomial(ctx.Rand(), n, f.spec.DiffFraction)
+		ctx.Send(f.caches[i], &fleetFetch{fulls: n - diffs, diffs: diffs})
+	}
+}
+
+func (f *fleetNode) Deliver(ctx *simnet.Context, from simnet.NodeID, msg simnet.Message) {
+	switch m := msg.(type) {
+	case *docBatch:
+		n := m.fulls + m.diffs
+		f.covered += n
+		f.points = append(f.points, CoveragePoint{At: ctx.Now(), Count: n})
+
+	case *fetchNack:
+		f.failed += int64(m.fulls + m.diffs)
+		f.pendingFulls += m.fulls
+		f.pendingDiffs += m.diffs
+		f.armRetry(ctx)
+	}
+}
+
+// armRetry coalesces refused fetches into one retry burst per RetryDelay.
+func (f *fleetNode) armRetry(ctx *simnet.Context) {
+	if f.retryArmed {
+		return
+	}
+	f.retryArmed = true
+	ctx.After(f.spec.RetryDelay, func() {
+		f.retryArmed = false
+		fulls, diffs := f.pendingFulls, f.pendingDiffs
+		f.pendingFulls, f.pendingDiffs = 0, 0
+		if fulls+diffs == 0 {
+			return
+		}
+		fullSplit := splitCounts(ctx.Rand(), fulls, f.weights)
+		diffSplit := splitCounts(ctx.Rand(), diffs, f.weights)
+		for i := range f.caches {
+			if fullSplit[i]+diffSplit[i] == 0 {
+				continue
+			}
+			ctx.Send(f.caches[i], &fleetFetch{fulls: fullSplit[i], diffs: diffSplit[i]})
+		}
+	})
+}

@@ -1,0 +1,183 @@
+package dircache
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"partialtor/internal/client"
+	"partialtor/internal/simnet"
+)
+
+// Result is the outcome of one distribution phase.
+type Result struct {
+	Spec Spec
+
+	// TotalClients is the modelled population; Covered how many finished
+	// their download within the run limit.
+	TotalClients int
+	Covered      int
+	// Points is the merged coverage curve: cumulative covered clients,
+	// sorted by time.
+	Points []CoveragePoint
+
+	// TimeToTarget is when coverage first reached Spec.TargetCoverage
+	// (simnet.Never if it didn't).
+	TimeToTarget time.Duration
+
+	// Per-tier egress, in bytes including transport overhead. Bytes are
+	// accounted when handed to a node's uplink, so a throttled node's
+	// queued-but-stalled responses count as offered egress.
+	AuthorityEgress int64
+	CacheEgress     int64
+	FleetEgress     int64
+
+	// FullDocsServed and DiffsServed count the client downloads the cache
+	// tier completed, split by document kind — the diff share is what keeps
+	// steady-state cache egress realistic.
+	FullDocsServed int
+	DiffsServed    int
+	// CacheServed is each cache's completed client downloads (fulls plus
+	// diffs), indexed like CacheFetchedAt — the per-cache load balance.
+	CacheServed []int
+	// FailedFetches counts client fetch attempts refused because the
+	// asked cache had no consensus (each refused client counts once per
+	// attempt, so sustained refusal shows up as a growing number).
+	FailedFetches int64
+	// CacheFallbacks counts extra authority requests the caches needed
+	// beyond their first (timeouts and not-ready retries).
+	CacheFallbacks int64
+	// CachesWithDoc is how many caches held the consensus at the end.
+	CachesWithDoc int
+	// CacheFetchedAt is each cache's consensus arrival instant
+	// (simnet.Never if it never arrived).
+	CacheFetchedAt []time.Duration
+
+	// Stats is the transport-level accounting of the distribution network.
+	Stats simnet.Stats
+}
+
+func collect(spec Spec, net *simnet.Network, authIDs, cacheIDs, fleetIDs []simnet.NodeID, caches []*cacheNode, fleets []*fleetNode) *Result {
+	res := &Result{Spec: spec, TimeToTarget: simnet.Never}
+	for _, f := range fleets {
+		res.TotalClients += f.clients
+		res.Covered += f.covered
+		res.FailedFetches += f.failed
+		res.Points = append(res.Points, f.points...)
+	}
+	sort.Slice(res.Points, func(i, j int) bool { return res.Points[i].At < res.Points[j].At })
+	// Collapse to a cumulative curve with one point per instant.
+	cum := 0
+	merged := res.Points[:0]
+	for _, p := range res.Points {
+		cum += p.Count
+		if n := len(merged); n > 0 && merged[n-1].At == p.At {
+			merged[n-1].Count = cum
+			continue
+		}
+		merged = append(merged, CoveragePoint{At: p.At, Count: cum})
+	}
+	res.Points = merged
+
+	for _, c := range caches {
+		res.CacheFallbacks += int64(c.fallbacks())
+		res.FullDocsServed += c.fullsServed
+		res.DiffsServed += c.diffsServed
+		res.CacheServed = append(res.CacheServed, c.fullsServed+c.diffsServed)
+		at := simnet.Never
+		if c.have {
+			res.CachesWithDoc++
+			at = c.fetchedAt
+		}
+		res.CacheFetchedAt = append(res.CacheFetchedAt, at)
+	}
+	for _, id := range authIDs {
+		res.AuthorityEgress += net.NodeBytesSent(id)
+	}
+	for _, id := range cacheIDs {
+		res.CacheEgress += net.NodeBytesSent(id)
+	}
+	for _, id := range fleetIDs {
+		res.FleetEgress += net.NodeBytesSent(id)
+	}
+	res.Stats = net.Stats()
+	res.TimeToTarget = res.TimeToCoverage(spec.TargetCoverage)
+	return res
+}
+
+// CoverageAt returns the covered population fraction at instant t.
+func (r *Result) CoverageAt(t time.Duration) float64 {
+	if r.TotalClients == 0 {
+		return 0
+	}
+	i := sort.Search(len(r.Points), func(i int) bool { return r.Points[i].At > t })
+	if i == 0 {
+		return 0
+	}
+	return float64(r.Points[i-1].Count) / float64(r.TotalClients)
+}
+
+// Coverage returns the final covered fraction.
+func (r *Result) Coverage() float64 {
+	if r.TotalClients == 0 {
+		return 0
+	}
+	return float64(r.Covered) / float64(r.TotalClients)
+}
+
+// TimeToCoverage returns the first instant at which at least frac of the
+// population held the consensus, or simnet.Never.
+func (r *Result) TimeToCoverage(frac float64) time.Duration {
+	need := int(math.Ceil(frac * float64(r.TotalClients)))
+	if need < 1 {
+		need = 1
+	}
+	for _, p := range r.Points {
+		if p.Count >= need {
+			return p.At
+		}
+	}
+	return simnet.Never
+}
+
+// FleetRun converts the distribution outcome of one consensus period into a
+// client-model run: the period counts as a success once the target fraction
+// of the population actually holds the document, and the document's lifetime
+// runs from that instant. slot is the period's start on the campaign clock.
+func (r *Result) FleetRun(slot time.Duration) client.Run {
+	t := r.TimeToTarget
+	if t == simnet.Never {
+		return client.Run{At: slot, Success: false}
+	}
+	return client.Run{At: slot + t, Success: true}
+}
+
+// FleetTimeline assembles the end-to-end availability timeline of a sequence
+// of consensus periods, one distribution result per period, spaced by the
+// policy interval. This is the population-level analogue of the per-client
+// timeline: validity windows start when the document has actually reached
+// the target coverage, not when the authorities published it.
+func FleetTimeline(p client.Policy, results []*Result) *client.Timeline {
+	runs := make([]client.Run, len(results))
+	for i, r := range results {
+		runs[i] = r.FleetRun(time.Duration(i) * p.Interval)
+	}
+	return client.NewTimeline(p, runs)
+}
+
+// Summary renders the headline distribution metrics.
+func (r *Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "clients %d/%d covered (%.1f%%)", r.Covered, r.TotalClients, 100*r.Coverage())
+	if r.TimeToTarget == simnet.Never {
+		fmt.Fprintf(&b, "; %.0f%% coverage never reached", 100*r.Spec.TargetCoverage)
+	} else {
+		fmt.Fprintf(&b, "; %.0f%% coverage at %v", 100*r.Spec.TargetCoverage, r.TimeToTarget)
+	}
+	fmt.Fprintf(&b, "; egress auth %.1f MB, cache %.1f GB; %d/%d caches served, %d fallbacks, %d failed fetches",
+		float64(r.AuthorityEgress)/1e6, float64(r.CacheEgress)/1e9,
+		r.CachesWithDoc, len(r.CacheFetchedAt), r.CacheFallbacks, r.FailedFetches)
+	return b.String()
+}

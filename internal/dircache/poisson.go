@@ -1,0 +1,84 @@
+package dircache
+
+import (
+	"math"
+	"math/rand"
+)
+
+// poisson samples a Poisson(lambda) count. Small rates use Knuth's product
+// method; large rates the normal approximation, which keeps every fleet tick
+// O(1) regardless of population size.
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda < 30 {
+		limit := math.Exp(-lambda)
+		k := 0
+		p := 1.0
+		for p > limit {
+			k++
+			p *= rng.Float64()
+		}
+		return k - 1
+	}
+	n := int(math.Round(lambda + math.Sqrt(lambda)*rng.NormFloat64()))
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// binomial samples a Binomial(n, p) count, switching to the normal
+// approximation when the variance is large enough for it to be accurate.
+func binomial(rng *rand.Rand, n int, p float64) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	if v := float64(n) * p * (1 - p); v > 25 {
+		k := int(math.Round(float64(n)*p + math.Sqrt(v)*rng.NormFloat64()))
+		if k < 0 {
+			k = 0
+		}
+		if k > n {
+			k = n
+		}
+		return k
+	}
+	k := 0
+	for i := 0; i < n; i++ {
+		if rng.Float64() < p {
+			k++
+		}
+	}
+	return k
+}
+
+// splitCounts distributes n items over len(weights) bins as an exact
+// multinomial draw, via sequential conditional binomials.
+func splitCounts(rng *rand.Rand, n int, weights []float64) []int {
+	out := make([]int, len(weights))
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	remaining := n
+	for i, w := range weights {
+		if remaining == 0 {
+			break
+		}
+		if i == len(weights)-1 || total <= 0 {
+			out[i] = remaining
+			remaining = 0
+			break
+		}
+		k := binomial(rng, remaining, w/total)
+		out[i] = k
+		remaining -= k
+		total -= w
+	}
+	return out
+}

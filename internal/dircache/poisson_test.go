@@ -1,0 +1,81 @@
+package dircache
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPoissonMean(t *testing.T) {
+	for _, lambda := range []float64{0.5, 3, 25, 80, 4000} {
+		rng := rand.New(rand.NewSource(1))
+		const n = 4000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += poisson(rng, lambda)
+		}
+		mean := float64(sum) / n
+		// 5σ tolerance on the sample mean.
+		tol := 5 * math.Sqrt(lambda/n)
+		if math.Abs(mean-lambda) > tol {
+			t.Fatalf("lambda=%g: sample mean %.3f outside ±%.3f", lambda, mean, tol)
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	if poisson(rng, 0) != 0 || poisson(rng, -3) != 0 {
+		t.Fatal("nonpositive rate must yield zero")
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	for _, tc := range []struct {
+		n int
+		p float64
+	}{{10, 0.3}, {500, 0.5}, {100000, 0.8}} {
+		rng := rand.New(rand.NewSource(2))
+		const reps = 2000
+		sum := 0
+		for i := 0; i < reps; i++ {
+			k := binomial(rng, tc.n, tc.p)
+			if k < 0 || k > tc.n {
+				t.Fatalf("binomial(%d,%g) = %d out of range", tc.n, tc.p, k)
+			}
+			sum += k
+		}
+		mean := float64(sum) / reps
+		want := float64(tc.n) * tc.p
+		tol := 5 * math.Sqrt(float64(tc.n)*tc.p*(1-tc.p)/reps)
+		if math.Abs(mean-want) > tol {
+			t.Fatalf("binomial(%d,%g): mean %.2f, want %.2f ± %.2f", tc.n, tc.p, mean, want, tol)
+		}
+	}
+	rng := rand.New(rand.NewSource(2))
+	if binomial(rng, 10, 0) != 0 || binomial(rng, 10, 1) != 10 || binomial(rng, 0, 0.5) != 0 {
+		t.Fatal("degenerate cases wrong")
+	}
+}
+
+func TestSplitCountsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	weights := []float64{5, 3, 2, 0}
+	const n = 100000
+	out := splitCounts(rng, n, weights)
+	total := 0
+	for _, k := range out {
+		total += k
+	}
+	if total != n {
+		t.Fatalf("split lost items: %d != %d", total, n)
+	}
+	if out[3] != 0 {
+		t.Fatalf("zero-weight bin received %d items", out[3])
+	}
+	// Expected shares 50%/30%/20% within 5σ.
+	for i, share := range []float64{0.5, 0.3, 0.2} {
+		want := share * n
+		tol := 5 * math.Sqrt(n*share*(1-share))
+		if math.Abs(float64(out[i])-want) > tol {
+			t.Fatalf("bin %d: %d items, want %.0f ± %.0f", i, out[i], want, tol)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package dircache
+
+import (
+	"partialtor/internal/attack"
+	"partialtor/internal/simnet"
+)
+
+// Run simulates one distribution phase: authority stubs publish at
+// Spec.PublishAt, caches fetch with fallback, fleets drain the client
+// population through the caches. It is deterministic for a fixed Spec.
+func Run(spec Spec) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	spec = spec.withDefaults()
+
+	net := simnet.New(simnet.Config{Seed: spec.Seed, Overhead: 64})
+
+	// Compile private copies of the plans so a spec whose Attacks slice is
+	// shared across concurrently running sweeps is never mutated here.
+	attacks := append([]attack.Plan(nil), spec.Attacks...)
+	for i := range attacks {
+		attacks[i].Compile()
+	}
+
+	// Node layout: [0, A) authorities, [A, A+C) caches, [A+C, A+C+F) fleets.
+	authIDs := make([]simnet.NodeID, spec.Authorities)
+	for i := range authIDs {
+		stub := &authorityStub{spec: &spec, publishAt: spec.PublishAt}
+		up := simnet.NewProfile(spec.AuthorityBandwidth)
+		down := simnet.NewProfile(spec.AuthorityBandwidth)
+		applyAttacks(attacks, attack.TierAuthority, i, up, down)
+		authIDs[i] = net.AddNode(stub, up, down)
+	}
+
+	caches := make([]*cacheNode, spec.Caches)
+	cacheIDs := make([]simnet.NodeID, spec.Caches)
+	for i := range caches {
+		c := &cacheNode{spec: &spec, authOrder: authorityOrder(authIDs, i)}
+		up := simnet.NewProfile(spec.CacheBandwidth)
+		down := simnet.NewProfile(spec.CacheBandwidth)
+		applyAttacks(attacks, attack.TierCache, i, up, down)
+		caches[i] = c
+		cacheIDs[i] = net.AddNode(c, up, down)
+	}
+
+	weights := normalizeWeights(spec.Weights, spec.Caches)
+	fleets := make([]*fleetNode, spec.Fleets)
+	fleetIDs := make([]simnet.NodeID, spec.Fleets)
+	base, extra := spec.Clients/spec.Fleets, spec.Clients%spec.Fleets
+	for i := range fleets {
+		clients := base
+		if i < extra {
+			clients++
+		}
+		f := &fleetNode{spec: &spec, clients: clients, caches: cacheIDs, weights: weights}
+		up := simnet.NewProfile(spec.FleetBandwidth)
+		down := simnet.NewProfile(spec.FleetBandwidth)
+		fleets[i] = f
+		fleetIDs[i] = net.AddNode(f, up, down)
+	}
+
+	net.Run(spec.RunLimit)
+	return collect(spec, net, authIDs, cacheIDs, fleetIDs, caches, fleets), nil
+}
+
+// applyAttacks throttles one node's pipes with every plan of its tier.
+func applyAttacks(plans []attack.Plan, tier attack.Tier, index int, up, down *simnet.Profile) {
+	for i := range plans {
+		if plans[i].Tier == tier {
+			plans[i].Throttle(index, up, down)
+		}
+	}
+}
+
+// authorityOrder is cache i's fallback order: a rotation of the authority
+// list, so the initial fetch load spreads evenly over the authorities.
+func authorityOrder(auths []simnet.NodeID, i int) []simnet.NodeID {
+	out := make([]simnet.NodeID, len(auths))
+	for k := range out {
+		out[k] = auths[(i+k)%len(auths)]
+	}
+	return out
+}
+
+// normalizeWeights returns a positive-sum weight vector over n caches.
+func normalizeWeights(w []float64, n int) []float64 {
+	out := make([]float64, n)
+	total := 0.0
+	for i := range out {
+		if w != nil {
+			out[i] = w[i]
+		} else {
+			out[i] = 1
+		}
+		total += out[i]
+	}
+	if total <= 0 {
+		for i := range out {
+			out[i] = 1.0 / float64(n)
+		}
+		return out
+	}
+	for i := range out {
+		out[i] /= total
+	}
+	return out
+}

@@ -1,15 +1,13 @@
 package harness
 
 import (
+	"fmt"
 	"time"
 
 	"partialtor/internal/attack"
 	"partialtor/internal/chain"
 	"partialtor/internal/client"
-	"partialtor/internal/core"
-	"partialtor/internal/dirv3"
 	"partialtor/internal/sig"
-	"partialtor/internal/syncdir"
 )
 
 // CampaignParams describes a multi-period simulation: a sequence of hourly
@@ -122,13 +120,9 @@ func Campaign(p CampaignParams) *CampaignResult {
 // consensusDigest extracts the agreed consensus digest from a successful
 // run of any protocol.
 func consensusDigest(run *RunResult) sig.Digest {
-	switch d := run.Detail.(type) {
-	case *dirv3.Result:
-		return d.Consensus.Digest()
-	case *syncdir.Result:
-		return d.Consensus.Digest()
-	case *core.Result:
-		return d.Consensus.Digest()
+	c := resultConsensus(run)
+	if c == nil {
+		panic(fmt.Sprintf("harness: no consensus in result detail %T", run.Detail))
 	}
-	panic("harness: unknown result detail type")
+	return c.Digest()
 }

@@ -1,0 +1,152 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"partialtor/internal/attack"
+	"partialtor/internal/dircache"
+	"partialtor/internal/simnet"
+)
+
+func testDistSpec() *dircache.Spec {
+	return &dircache.Spec{
+		Clients:     20_000,
+		Caches:      5,
+		Fleets:      2,
+		FetchWindow: 10 * time.Minute,
+		Tick:        5 * time.Second,
+	}
+}
+
+func TestScenarioWithDistribution(t *testing.T) {
+	res := Run(Scenario{
+		Protocol:     Current,
+		Relays:       300,
+		EntryPadding: -1,
+		Round:        15 * time.Second,
+		Distribution: testDistSpec(),
+		Seed:         3,
+	})
+	if !res.Success {
+		t.Fatal("healthy scaled run failed")
+	}
+	d := res.Distribution
+	if d == nil {
+		t.Fatal("no distribution result despite Distribution spec")
+	}
+	if d.Spec.PublishAt != res.Latency {
+		t.Fatalf("publish at %v, want protocol latency %v", d.Spec.PublishAt, res.Latency)
+	}
+	c := resultConsensus(res)
+	if c == nil || d.Spec.DocBytes != c.EncodedSize() {
+		t.Fatalf("distributed doc size %d, want measured consensus size", d.Spec.DocBytes)
+	}
+	if d.Coverage() < 0.99 {
+		t.Fatalf("population coverage %.2f after a successful run", d.Coverage())
+	}
+	if d.TimeToTarget == simnet.Never || d.TimeToTarget < res.Latency {
+		t.Fatalf("target coverage at %v, must follow publication at %v", d.TimeToTarget, res.Latency)
+	}
+}
+
+// TestAuthorityAttackStarvesDistribution checks the end-to-end story: the
+// seed's authority-tier five-minute attack still breaks consensus generation
+// exactly as before, and the new distribution phase then shows the
+// population-level consequence — nothing to distribute, zero coverage.
+func TestAuthorityAttackStarvesDistribution(t *testing.T) {
+	plan := attack.Plan{
+		Targets:  attack.MajorityTargets(9),
+		Start:    0,
+		End:      40 * time.Second, // covers both scaled vote rounds
+		Residual: 0,
+	}
+	res := Run(Scenario{
+		Protocol:     Current,
+		Relays:       300,
+		EntryPadding: -1,
+		Round:        15 * time.Second,
+		Attack:       &plan,
+		Distribution: testDistSpec(),
+		Seed:         3,
+	})
+	if res.Success {
+		t.Fatal("five-minute attack no longer breaks the current protocol")
+	}
+	d := res.Distribution
+	if d == nil {
+		t.Fatal("no distribution result")
+	}
+	if d.Spec.PublishAt != simnet.Never {
+		t.Fatalf("failed run must never publish, got %v", d.Spec.PublishAt)
+	}
+	// The authority flood must carry over into the distribution phase:
+	// the caches fetch from the same throttled authorities.
+	carried := false
+	for i := range d.Spec.Attacks {
+		if d.Spec.Attacks[i].Tier == attack.TierAuthority {
+			carried = true
+		}
+	}
+	if !carried {
+		t.Fatal("authority-tier Scenario.Attack not propagated into the distribution spec")
+	}
+	if d.Covered != 0 {
+		t.Fatalf("covered %d clients without a consensus", d.Covered)
+	}
+	if d.FailedFetches == 0 {
+		t.Fatal("clients should have been refused all period")
+	}
+}
+
+// TestCacheTierPlanRejectedByProtocolPhase pins the routing rule: a
+// cache-tier plan on Scenario.Attack is a configuration bug — silently
+// running the healthy network would hand back wrong experiment data — so
+// Run must refuse it, as it refuses malformed plans.
+func TestCacheTierPlanRejectedByProtocolPhase(t *testing.T) {
+	mustPanic := func(name string, plan attack.Plan) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Run accepted the plan", name)
+			}
+		}()
+		Run(Scenario{
+			Protocol:     Current,
+			Relays:       300,
+			EntryPadding: -1,
+			Round:        15 * time.Second,
+			Attack:       &plan,
+			Seed:         3,
+		})
+	}
+	mustPanic("cache tier", attack.Plan{
+		Tier:     attack.TierCache,
+		Targets:  attack.MajorityTargets(9),
+		End:      40 * time.Second,
+		Residual: 0,
+	})
+	mustPanic("inverted window", attack.Plan{
+		Targets: attack.MajorityTargets(9),
+		Start:   time.Minute,
+		End:     30 * time.Second,
+	})
+}
+
+func TestInputsConcurrentUse(t *testing.T) {
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		g := g
+		go func() {
+			defer func() { done <- struct{}{} }()
+			// Alternate two cache keys to force rebuilds under contention.
+			relays := 200 + 100*(g%2)
+			keys, docs := Inputs(Scenario{Relays: relays, EntryPadding: -1, Seed: 5})
+			if len(keys) != 9 || len(docs) != 9 {
+				t.Errorf("inputs wrong shape: %d keys, %d docs", len(keys), len(docs))
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}

@@ -7,10 +7,12 @@ package harness
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"partialtor/internal/attack"
 	"partialtor/internal/core"
+	"partialtor/internal/dircache"
 	"partialtor/internal/dirv3"
 	"partialtor/internal/relay"
 	"partialtor/internal/sig"
@@ -75,8 +77,17 @@ type Scenario struct {
 	Delta time.Duration
 	// BaseTimeout is the ICPS pacemaker base timeout (default 10s).
 	BaseTimeout time.Duration
-	// Attack, if non-nil, throttles its targets during its window.
+	// Attack, if non-nil, throttles its targets during its window. It must
+	// be an authority-tier plan: Run panics on a cache-tier or otherwise
+	// invalid plan (cache plans belong in Distribution.Attacks).
 	Attack *attack.Plan
+	// Distribution, if non-nil, runs the dircache distribution phase after
+	// the protocol run: the generated consensus propagates through a cache
+	// tier to aggregated client fleets. The spec's PublishAt, DocBytes and
+	// Seed default to the protocol run's outcome (latency, consensus size,
+	// scenario seed) when left zero, and Attack is carried over into the
+	// spec's Attacks unless it already holds an authority-tier plan.
+	Distribution *dircache.Spec
 	// Seed drives all randomness.
 	Seed int64
 	// RunLimit bounds the simulation; 0 derives a sensible limit.
@@ -120,6 +131,9 @@ type RunResult struct {
 	KindBytes map[string]int64
 	// Net allows callers (e.g. Figure 1) to read authority logs.
 	Net *simnet.Network
+	// Distribution is the outcome of the cache/fleet phase (nil unless the
+	// scenario requested one).
+	Distribution *dircache.Result
 	// Protocol-specific result for detailed inspection.
 	Detail any
 }
@@ -132,38 +146,67 @@ type inputsKey struct {
 	seed               int64
 }
 
-var inputsCache struct {
-	key  inputsKey
+// inputsEntry memoizes one key's build; the sync.Once lets concurrent sweeps
+// build different keys in parallel while building each key exactly once.
+type inputsEntry struct {
+	once sync.Once
 	keys []*sig.KeyPair
 	docs []*vote.Document
 }
 
+var inputsCache struct {
+	mu sync.Mutex
+	m  map[inputsKey]*inputsEntry
+}
+
+// inputsCacheLimit bounds the cache: entries are megabytes (nine pre-encoded
+// vote documents each), and the figure generators sweep Relays over ~10
+// values, so a small cap keeps a sweep's working set without letting a
+// long-lived process accumulate every combination it ever ran.
+const inputsCacheLimit = 8
+
 // Inputs builds (and caches) the authority keys and vote documents for a
-// scenario.
+// scenario. It is safe for concurrent use, so sweeps may run scenarios in
+// parallel; the expensive build happens outside the cache lock, and each
+// distinct key is built exactly once while it stays cached.
 func Inputs(s Scenario) ([]*sig.KeyPair, []*vote.Document) {
 	s = s.withDefaults()
 	key := inputsKey{n: s.N, relays: s.Relays, padding: s.EntryPadding, seed: s.Seed}
-	if inputsCache.key == key && inputsCache.keys != nil {
-		return inputsCache.keys, inputsCache.docs
+	inputsCache.mu.Lock()
+	if inputsCache.m == nil {
+		inputsCache.m = make(map[inputsKey]*inputsEntry)
 	}
-	keys := sig.Authorities(s.Seed, s.N)
-	pop := relay.Population(s.Relays, s.Seed)
-	docs := make([]*vote.Document, s.N)
-	for i, k := range keys {
-		view := relay.View(pop, i, s.Seed, relay.DefaultViewConfig())
-		name := fmt.Sprintf("auth%d", i)
-		if i < len(relay.AuthorityNames) {
-			name = relay.AuthorityNames[i]
+	e, ok := inputsCache.m[key]
+	if !ok {
+		if len(inputsCache.m) >= inputsCacheLimit {
+			// Evict an arbitrary entry; callers mid-build hold their own
+			// references, so eviction only costs a potential rebuild.
+			for k := range inputsCache.m {
+				delete(inputsCache.m, k)
+				break
+			}
 		}
-		d := vote.NewDocument(i, name, k.Fingerprint, 1, view)
-		d.EntryPadding = s.EntryPadding
-		docs[i] = d
-		_ = d.Encode() // pre-encode so size accounting is O(1) afterwards
+		e = &inputsEntry{}
+		inputsCache.m[key] = e
 	}
-	inputsCache.key = key
-	inputsCache.keys = keys
-	inputsCache.docs = docs
-	return keys, docs
+	inputsCache.mu.Unlock()
+	e.once.Do(func() {
+		e.keys = sig.Authorities(s.Seed, s.N)
+		pop := relay.Population(s.Relays, s.Seed)
+		e.docs = make([]*vote.Document, s.N)
+		for i, k := range e.keys {
+			view := relay.View(pop, i, s.Seed, relay.DefaultViewConfig())
+			name := fmt.Sprintf("auth%d", i)
+			if i < len(relay.AuthorityNames) {
+				name = relay.AuthorityNames[i]
+			}
+			d := vote.NewDocument(i, name, k.Fingerprint, 1, view)
+			d.EntryPadding = s.EntryPadding
+			e.docs[i] = d
+			_ = d.Encode() // pre-encode so size accounting is O(1) afterwards
+		}
+	})
+	return e.keys, e.docs
 }
 
 // buildNetwork wires an n-node network with the scenario's bandwidth and
@@ -172,11 +215,19 @@ func buildNetwork(s Scenario) (*simnet.Network, []*simnet.Profile, []*simnet.Pro
 	net := simnet.New(simnet.Config{Seed: s.Seed, Overhead: 128})
 	ups := make([]*simnet.Profile, s.N)
 	downs := make([]*simnet.Profile, s.N)
+	// Compile a private copy so a plan shared across concurrently running
+	// scenarios is never mutated here.
+	var plan *attack.Plan
+	if s.Attack != nil {
+		pc := *s.Attack
+		pc.Compile()
+		plan = &pc
+	}
 	for i := 0; i < s.N; i++ {
 		ups[i] = simnet.NewProfile(s.Bandwidth)
 		downs[i] = simnet.NewProfile(s.Bandwidth)
-		if s.Attack != nil {
-			s.Attack.Throttle(i, ups[i], downs[i])
+		if plan != nil {
+			plan.Throttle(i, ups[i], downs[i])
 		}
 	}
 	return net, ups, downs
@@ -185,6 +236,29 @@ func buildNetwork(s Scenario) (*simnet.Network, []*simnet.Profile, []*simnet.Pro
 // Run executes one scenario.
 func Run(s Scenario) *RunResult {
 	s = s.withDefaults()
+	if s.Attack != nil {
+		// A malformed or mis-tiered plan is a configuration bug, like a
+		// chain violation in Campaign: silently running the healthy
+		// network would hand back wrong experiment data.
+		if err := s.Attack.Validate(); err != nil {
+			panic("harness: " + err.Error())
+		}
+		if s.Attack.Tier != attack.TierAuthority {
+			panic("harness: Scenario.Attack must be an authority-tier plan; cache plans belong in Distribution.Attacks")
+		}
+		for _, t := range s.Attack.Targets {
+			if t >= s.N {
+				panic(fmt.Sprintf("harness: attack target %d beyond the %d authorities", t, s.N))
+			}
+		}
+	}
+	// Resolve and validate the distribution phase up front, so a
+	// configuration bug fails before the expensive protocol phase.
+	var distSpec *dircache.Spec
+	if s.Distribution != nil {
+		sp := effectiveDistribution(s)
+		distSpec = &sp
+	}
 	keys, docs := Inputs(s)
 	net, ups, downs := buildNetwork(s)
 	res := &RunResult{Scenario: s, Latency: simnet.Never, DoneAt: simnet.Never, Net: net}
@@ -242,5 +316,87 @@ func Run(s Scenario) *RunResult {
 	res.BytesSent = st.BytesSent
 	res.Messages = st.MessagesSent
 	res.KindBytes = st.KindBytes
+	if distSpec != nil {
+		res.Distribution = runDistribution(*distSpec, res)
+	}
 	return res
+}
+
+// effectiveDistribution resolves the distribution-spec fields knowable
+// before the protocol phase — seed, the authority tier sized to the run, and
+// the carried-over authority attack — validating as it goes so configuration
+// bugs fail before the expensive simulation. The distribution phase shares
+// the protocol run's clock origin, so a flood that is still open when the
+// consensus publishes must also throttle the authority stubs the caches
+// fetch from — otherwise an attacked-but-surviving protocol distributes at
+// full speed; that is why Scenario.Attack carries over.
+func effectiveDistribution(s Scenario) dircache.Spec {
+	spec := *s.Distribution
+	if spec.Seed == 0 {
+		spec.Seed = s.Seed
+	}
+	if spec.Authorities == 0 {
+		spec.Authorities = s.N
+	}
+	if err := spec.Validate(); err != nil {
+		panic("harness: " + err.Error())
+	}
+	if s.Attack != nil && !hasAuthorityPlan(spec.Attacks) {
+		for _, t := range s.Attack.Targets {
+			if t >= spec.Authorities {
+				panic(fmt.Sprintf("harness: Scenario.Attack targets authority %d but the distribution tier has %d; size Distribution.Authorities to the protocol run or set Distribution.Attacks explicitly", t, spec.Authorities))
+			}
+		}
+		spec.Attacks = append(append([]attack.Plan(nil), spec.Attacks...), *s.Attack)
+	}
+	return spec
+}
+
+// runDistribution executes the cache/fleet phase on an effectiveDistribution
+// spec, deriving the publication instant and document size from the protocol
+// run unless the spec pins them.
+func runDistribution(spec dircache.Spec, res *RunResult) *dircache.Result {
+	if spec.PublishAt == 0 {
+		if res.Success {
+			spec.PublishAt = res.Latency
+		} else {
+			spec.PublishAt = simnet.Never
+		}
+	}
+	if spec.DocBytes == 0 {
+		if c := resultConsensus(res); c != nil {
+			spec.DocBytes = c.EncodedSize()
+		}
+	}
+	dres, err := dircache.Run(spec)
+	if err != nil {
+		// A spec that fails validation is a configuration bug, like a
+		// chain violation in Campaign.
+		panic("harness: distribution spec invalid: " + err.Error())
+	}
+	return dres
+}
+
+// hasAuthorityPlan reports whether any plan targets the authority tier.
+func hasAuthorityPlan(plans []attack.Plan) bool {
+	for i := range plans {
+		if plans[i].Tier == attack.TierAuthority {
+			return true
+		}
+	}
+	return false
+}
+
+// resultConsensus extracts the consensus document from a successful run of
+// any protocol, or nil.
+func resultConsensus(run *RunResult) *vote.Consensus {
+	switch d := run.Detail.(type) {
+	case *dirv3.Result:
+		return d.Consensus
+	case *syncdir.Result:
+		return d.Consensus
+	case *core.Result:
+		return d.Consensus
+	}
+	return nil
 }

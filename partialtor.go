@@ -2,20 +2,36 @@
 // DDoS Brings down Tor: DDoS Attacks on the Tor Directory Protocol and
 // Mitigations" (EUROSYS '26).
 //
-// It bundles, over a deterministic discrete-event network simulator:
+// The simulation models the directory system as four layers, each feeding
+// the next:
 //
-//   - the current Tor directory protocol v3 (internal/dirv3),
-//   - Luo et al.'s synchronous Dolev-Strong protocol (internal/syncdir),
-//   - the paper's partially synchronous protocol — interactive consistency
-//     under partial synchrony on two-chain HotStuff (internal/core and
-//     internal/hotstuff),
-//   - the DDoS attack and cost model (internal/attack), and
-//   - the full evaluation harness regenerating every figure and table
-//     (internal/harness).
+//   - authorities generate the hourly consensus by running one of three
+//     protocols over a deterministic discrete-event network simulator
+//     (internal/simnet): the current Tor directory protocol v3
+//     (internal/dirv3), Luo et al.'s synchronous Dolev-Strong protocol
+//     (internal/syncdir), or the paper's partially synchronous protocol —
+//     interactive consistency on two-chain HotStuff (internal/core,
+//     internal/hotstuff);
+//   - directory caches fetch the published consensus with retry/fallback
+//     and re-serve it — full documents and consensus diffs — downstream
+//     (internal/dircache);
+//   - client fleets statistically aggregate 10⁵–10⁷ Tor clients per simnet
+//     node (Poisson fetch arrivals, weighted cache selection), so
+//     million-user distribution scenarios run in seconds
+//     (internal/dircache);
+//   - the availability model turns per-period outcomes into the validity
+//     windows clients actually experience — fresh one hour, valid three
+//     (internal/client).
+//
+// The DDoS adversary (internal/attack) floods either tier: authority plans
+// reproduce the paper's five-minute consensus-breaking attack, cache plans
+// the "flood the mirrors, not the authorities" family. The evaluation
+// harness (internal/harness) assembles full scenarios across all four
+// layers and regenerates every figure and table of the paper.
 //
 // This package is the stable facade used by the examples, the commands in
 // cmd/, and the benchmarks: it re-exports the scenario runner, the attack
-// model and the per-figure generators.
+// model, the distribution tier and the per-figure generators.
 //
 // Quick start:
 //
@@ -30,6 +46,8 @@ import (
 	"time"
 
 	"partialtor/internal/attack"
+	"partialtor/internal/client"
+	"partialtor/internal/dircache"
 	"partialtor/internal/harness"
 	"partialtor/internal/relay"
 	"partialtor/internal/simnet"
@@ -55,8 +73,33 @@ type Scenario = harness.Scenario
 // RunResult is the protocol-independent outcome of a scenario.
 type RunResult = harness.RunResult
 
-// AttackPlan is a DDoS window against a set of authorities.
+// AttackPlan is a DDoS window against a set of nodes in one tier.
 type AttackPlan = attack.Plan
+
+// AttackTier selects which layer of the directory system a plan floods.
+type AttackTier = attack.Tier
+
+// The attackable tiers.
+const (
+	// TierAuthority targets consensus generation (the default).
+	TierAuthority = attack.TierAuthority
+	// TierCache targets the distribution tier — "flood the mirrors".
+	TierCache = attack.TierCache
+)
+
+// DistributionSpec configures the cache/fleet distribution phase.
+type DistributionSpec = dircache.Spec
+
+// DistributionResult is the outcome of a distribution phase: coverage
+// curve, time-to-target-coverage, per-tier egress and failure counters.
+type DistributionResult = dircache.Result
+
+// ClientPolicy models the consensus lifetime rules (fresh 1h, valid 3h).
+type ClientPolicy = client.Policy
+
+// ClientTimeline is the availability timeline a sequence of consensus
+// periods produces under a ClientPolicy.
+type ClientTimeline = client.Timeline
 
 // CostModel reproduces the paper's §4.3 attack pricing.
 type CostModel = attack.CostModel
@@ -74,6 +117,20 @@ const FallbackLatency = harness.FallbackLatency
 
 // Run executes one scenario and returns its outcome.
 func Run(s Scenario) *RunResult { return harness.Run(s) }
+
+// RunDistribution executes one standalone distribution phase: authorities
+// publish at the spec's PublishAt, caches fetch with fallback, aggregated
+// client fleets drain the population through the caches.
+func RunDistribution(s DistributionSpec) (*DistributionResult, error) { return dircache.Run(s) }
+
+// FleetTimeline assembles the end-to-end availability timeline of a
+// sequence of consensus periods, one distribution result per period.
+func FleetTimeline(p ClientPolicy, results []*DistributionResult) *ClientTimeline {
+	return dircache.FleetTimeline(p, results)
+}
+
+// DefaultClientPolicy returns the deployed consensus lifetimes.
+func DefaultClientPolicy() ClientPolicy { return client.DefaultPolicy() }
 
 // FiveMinuteOutage is the paper's headline attack: the majority of the
 // authorities knocked offline for five minutes.
