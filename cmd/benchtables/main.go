@@ -12,7 +12,10 @@
 //
 // By default everything runs at paper scale (150s rounds, up to 10000
 // relays), which takes a few minutes; -quick shrinks the sweeps for a fast
-// smoke pass. Select individual artifacts with -only.
+// smoke pass. Select individual artifacts with -only. Every sweep fans its
+// grid out over -workers goroutines (default: all cores) on the shared
+// sweep engine; the rendered tables are byte-identical for any worker
+// count.
 package main
 
 import (
@@ -27,8 +30,9 @@ import (
 
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "run reduced sweeps (seconds instead of minutes)")
-		only  = flag.String("only", "", "comma-separated subset: fig1,fig6,fig7,fig10,fig11,tab1,tab2,cost")
+		quick   = flag.Bool("quick", false, "run reduced sweeps (seconds instead of minutes)")
+		only    = flag.String("only", "", "comma-separated subset: fig1,fig6,fig7,fig10,fig11,tab1,tab2,cost")
+		workers = flag.Int("workers", 0, "sweep worker pool (0 = all cores, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -61,6 +65,7 @@ func main() {
 		if *quick {
 			p = partialtor.Table1Params{Relays: 300, Bandwidth: 100e6, Round: 20 * time.Second}
 		}
+		p.Workers = *workers
 		fmt.Println(partialtor.Table1(p).Render())
 	}
 	if sel("fig7") {
@@ -73,6 +78,7 @@ func main() {
 				Precision:   0.5,
 			}
 		}
+		p.Workers = *workers
 		fmt.Println(partialtor.Figure7(p).Render())
 	}
 	if sel("fig10") {
@@ -84,6 +90,7 @@ func main() {
 				Round:          15 * time.Second,
 			}
 		}
+		p.Workers = *workers
 		fmt.Println(partialtor.Figure10(p).Render())
 	}
 	if sel("fig11") {
@@ -91,6 +98,7 @@ func main() {
 		if *quick {
 			p = partialtor.Figure11Params{RelayCounts: []int{200, 800}, Outage: time.Minute}
 		}
+		p.Workers = *workers
 		fmt.Println(partialtor.Figure11(p).Render())
 	}
 	if sel("ablation") {
@@ -107,6 +115,7 @@ func main() {
 			dp = partialtor.DeltaParams{Relays: 200}
 			tp = partialtor.TimeoutParams{Outage: 30 * time.Second, Relays: 150}
 		}
+		es.Workers, dp.Workers, tp.Workers = *workers, *workers, *workers
 		fmt.Println(partialtor.AblationEntrySize(es).Render())
 		fmt.Println(partialtor.AblationDelta(dp).Render())
 		fmt.Println(partialtor.AblationTimeout(tp).Render())

@@ -1,37 +1,35 @@
 // Command cachesweep maps out the distribution tier's resilience surface:
-// it sweeps cache count × client population × attack residual and reports,
-// for each cell, the time to target coverage, the final coverage and the
-// per-tier egress. The residual axis prices the "flood the mirrors" family:
-// -1 means no attack, 0 knocks the flooded caches offline, positive values
-// model a stressor that leaves that much bandwidth (bits/s).
+// it sweeps cache count × client population × attack residual on the grid
+// engine and reports, for each cell, the time to target coverage, the final
+// coverage, the per-tier egress and the attack's stressor price. The
+// residual axis spans the "flood the mirrors" family: -1 means no attack,
+// 0 knocks the flooded caches offline, positive values model a stressor
+// that leaves that much bandwidth (bits/s).
+//
+// Cells fan out over -workers goroutines (default: all cores); the table is
+// printed in grid order after the sweep, so any worker count produces
+// byte-identical output. A failing cell costs one row, not the sweep: its
+// error is reported with the full cell coordinates at the end.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 	"time"
 
 	"partialtor"
 )
 
-func parseList(s string, parse func(string) (float64, error)) ([]float64, error) {
-	var out []float64
-	for _, f := range strings.Split(s, ",") {
-		v, err := parse(strings.TrimSpace(f))
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, v)
-	}
-	return out, nil
-}
-
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "cachesweep: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// cellRow is one sweep cell's rendered outcome.
+type cellRow struct {
+	result *partialtor.DistributionResult
+	cost   float64 // stressor price of the cell's attack; <0 = no attack
 }
 
 func main() {
@@ -42,76 +40,98 @@ func main() {
 		window        = flag.Duration("window", 30*time.Minute, "client fetch window")
 		target        = flag.Float64("target", 0.95, "coverage fraction defining success")
 		seed          = flag.Int64("seed", 42, "simulation seed")
+		workers       = flag.Int("workers", 0, "sweep worker pool (0 = all cores, 1 = serial)")
 	)
 	flag.Parse()
 
-	atoi := func(s string) (float64, error) { v, err := strconv.Atoi(s); return float64(v), err }
-	caches, err := parseList(*cachesFlag, atoi)
+	cacheCounts, err := partialtor.ParseSweepCounts(*cachesFlag)
 	if err != nil {
 		fatalf("invalid -caches: %v", err)
 	}
-	clients, err := parseList(*clientsFlag, atoi)
+	populations, err := partialtor.ParseSweepCounts(*clientsFlag)
 	if err != nil {
 		fatalf("invalid -clients: %v", err)
 	}
-	residuals, err := parseList(*residualsFlag, func(s string) (float64, error) {
-		return strconv.ParseFloat(s, 64)
-	})
+	residuals, err := partialtor.ParseSweepFloats(*residualsFlag)
 	if err != nil {
 		fatalf("invalid -residuals: %v", err)
 	}
-	for _, nc := range caches {
-		if nc < 1 {
-			fatalf("-caches values must be >= 1 (got %d)", int(nc))
-		}
-	}
-	for _, pop := range clients {
-		if pop < 1 {
-			fatalf("-clients values must be >= 1 (got %d)", int(pop))
-		}
-	}
 
+	grid := partialtor.MustNewSweepGrid(
+		partialtor.SweepInts("caches", cacheCounts...),
+		partialtor.SweepInts("clients", populations...),
+		partialtor.SweepFloats("residual", residuals...),
+	)
+	pricing := partialtor.DefaultCostModel()
 	start := time.Now()
-	fmt.Printf("%-8s %-10s %-12s %-12s %-10s %-12s %-10s\n",
-		"caches", "clients", "residual", "t95", "coverage", "cache-egress", "failed")
-	for _, nc := range caches {
-		for _, pop := range clients {
-			for _, res := range residuals {
-				spec := partialtor.DistributionSpec{
-					Caches:         int(nc),
-					Clients:        int(pop),
-					FetchWindow:    *window,
-					TargetCoverage: *target,
-					Seed:           *seed,
-				}
-				label := "none"
-				if res >= 0 {
-					plan := partialtor.AttackPlan{
-						Tier:     partialtor.TierCache,
-						Targets:  partialtor.MajorityTargets(int(nc)),
-						Start:    0,
-						End:      *window + 30*time.Minute,
-						Residual: res,
-					}
-					spec.Attacks = []partialtor.AttackPlan{plan}
-					label = fmt.Sprintf("%.1fMbit", res/1e6)
-				}
-				r, err := partialtor.RunDistribution(spec)
-				if err != nil {
-					fatalf("run (caches=%d clients=%d): %v", int(nc), int(pop), err)
-				}
-				t95 := "never"
-				if r.TimeToTarget != partialtor.Never {
-					t95 = r.TimeToTarget.Round(time.Second).String()
-				}
-				fmt.Printf("%-8d %-10d %-12s %-12s %-10s %-12s %-10d\n",
-					int(nc), int(pop), label, t95,
-					fmt.Sprintf("%.1f%%", 100*r.Coverage()),
-					fmt.Sprintf("%.1fGB", float64(r.CacheEgress)/1e9),
-					r.FailedFetches)
+	results := partialtor.RunSweep(grid, *workers, func(c partialtor.SweepCell) (cellRow, error) {
+		spec := partialtor.DistributionSpec{
+			Caches:         c.Int("caches"),
+			Clients:        c.Int("clients"),
+			FetchWindow:    *window,
+			TargetCoverage: *target,
+			Seed:           *seed,
+		}
+		row := cellRow{cost: -1}
+		if res := c.Float("residual"); res >= 0 {
+			plan := partialtor.AttackPlan{
+				Tier:     partialtor.TierCache,
+				Targets:  partialtor.MajorityTargets(spec.Caches),
+				Start:    0,
+				End:      *window + 30*time.Minute,
+				Residual: res,
+			}
+			spec.Attacks = []partialtor.AttackPlan{plan}
+			row.cost = pricing.PlanCost(plan)
+		}
+		r, err := partialtor.RunDistribution(spec)
+		if err != nil {
+			return cellRow{}, err
+		}
+		row.result = r
+		return row, nil
+	})
+
+	fmt.Printf("%-8s %-10s %-12s %-12s %-10s %-12s %-10s %-10s\n",
+		"caches", "clients", "residual", "t95", "coverage", "cache-egress", "failed", "cost")
+	failed := 0
+	for _, r := range results {
+		nc, pop := r.Cell.Int("caches"), r.Cell.Int("clients")
+		res := r.Cell.Float("residual")
+		label := "none"
+		if res >= 0 {
+			label = fmt.Sprintf("%.1fMbit", res/1e6)
+		}
+		if r.Err != nil {
+			failed++
+			fmt.Printf("%-8d %-10d %-12s %-12s %-10s %-12s %-10s %-10s\n",
+				nc, pop, label, "ERROR", "-", "-", "-", "-")
+			continue
+		}
+		t95 := "never"
+		if r.Value.result.TimeToTarget != partialtor.Never {
+			t95 = r.Value.result.TimeToTarget.Round(time.Second).String()
+		}
+		cost := "-"
+		if r.Value.cost >= 0 {
+			cost = fmt.Sprintf("$%.2f", r.Value.cost)
+		}
+		fmt.Printf("%-8d %-10d %-12s %-12s %-10s %-12s %-10d %-10s\n",
+			nc, pop, label, t95,
+			fmt.Sprintf("%.1f%%", 100*r.Value.result.Coverage()),
+			fmt.Sprintf("%.1fGB", float64(r.Value.result.CacheEgress)/1e9),
+			r.Value.result.FailedFetches, cost)
+	}
+	// Timing goes to stderr: stdout is the table, byte-identical across
+	// worker counts and wall clocks.
+	fmt.Fprintf(os.Stderr, "\n%d cells in %v\n", grid.Size(), time.Since(start).Round(time.Millisecond))
+	if failed > 0 {
+		for _, r := range results {
+			if r.Err != nil {
+				// The cell coordinates carry every axis, residual included.
+				fmt.Fprintf(os.Stderr, "cachesweep: cell %s: %v\n", r.Cell, r.Err)
 			}
 		}
+		os.Exit(1)
 	}
-	fmt.Printf("\n%d runs in %v\n",
-		len(caches)*len(clients)*len(residuals), time.Since(start).Round(time.Millisecond))
 }

@@ -132,18 +132,35 @@ func (p *Plan) IsTarget(index int) bool {
 // Duration returns the window length.
 func (p *Plan) Duration() time.Duration { return p.End - p.Start }
 
-// MajorityTargets returns the canonical target set: the first ⌊n/2⌋+1
-// authorities (5 of 9).
-func MajorityTargets(n int) []int {
-	k := n/2 + 1
-	out := make([]int, k)
+// FirstTargets returns the first n node indices — the target set for a
+// flood of exactly n nodes of a tier. n <= 0 yields an empty set.
+func FirstTargets(n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]int, n)
 	for i := range out {
 		out[i] = i
 	}
 	return out
 }
 
-// CostModel reproduces the paper's §4.3 attack-cost estimate.
+// MajorityTargets returns the canonical target set: the first ⌊n/2⌋+1
+// node indices (5 of 9 authorities). An empty tier (n <= 0) has no
+// majority, so the result is empty — not the phantom index 0, which would
+// poison plans built from an empty node set.
+func MajorityTargets(n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	return FirstTargets(n/2 + 1)
+}
+
+// CostModel reproduces the paper's §4.3 attack-cost estimate, and extends
+// it tier-aware: the same stressor pricing applied to the directory caches
+// lets a TierCache plan against thousands of mirrors be priced — the
+// over-provisioning defense economics (a mirror tier wide enough that
+// flooding it costs more than flooding the nine authorities).
 type CostModel struct {
 	// PricePerMbitHour is the amortized stressor price to flood one target
 	// with 1 Mbit/s for one hour (Jansen et al.): $0.00074.
@@ -153,6 +170,10 @@ type CostModel struct {
 	// RequiredMbit is the bandwidth an authority needs to complete the
 	// directory protocol at the current network size (~8000 relays): 10.
 	RequiredMbit float64
+	// CacheLinkMbit is the estimated per-cache link capacity for pricing
+	// TierCache floods: 200, matching the distribution tier's default
+	// cache bandwidth (dircache.Spec.CacheBandwidth).
+	CacheLinkMbit float64
 }
 
 // DefaultCostModel returns the constants the paper uses.
@@ -161,24 +182,47 @@ func DefaultCostModel() CostModel {
 		PricePerMbitHour:  0.00074,
 		AuthorityLinkMbit: 250,
 		RequiredMbit:      10,
+		CacheLinkMbit:     200,
 	}
 }
 
+// LinkMbit returns the priced link capacity of one node in the tier.
+func (m CostModel) LinkMbit(t Tier) float64 {
+	if t == TierCache {
+		return m.CacheLinkMbit
+	}
+	return m.AuthorityLinkMbit
+}
+
 // FloodMbit is the attack traffic needed per target: enough to leave the
-// authority below its protocol requirement (250 − 10 = 240 Mbit/s).
-func (m CostModel) FloodMbit() float64 { return m.AuthorityLinkMbit - m.RequiredMbit }
+// authority below its protocol requirement (250 − 10 = 240 Mbit/s). A
+// requirement above the link means there is nothing to flood: 0.
+func (m CostModel) FloodMbit() float64 {
+	f := m.AuthorityLinkMbit - m.RequiredMbit
+	if f < 0 {
+		f = 0
+	}
+	return f
+}
 
 // CostPerInstance is the dollar cost of breaking one consensus run by
-// flooding `targets` authorities for `d`.
+// flooding `targets` authorities for `d` — the paper's accounting, i.e.
+// the PlanCost of flooding each authority down to its protocol
+// requirement. One pricing formula serves both paths, so the headline
+// numbers and the plan-level grid can never diverge.
 func (m CostModel) CostPerInstance(targets int, d time.Duration) float64 {
-	hours := d.Hours()
-	return float64(targets) * hours * m.FloodMbit() * m.PricePerMbitHour
+	return m.PlanCost(Plan{
+		Tier:     TierAuthority,
+		Targets:  FirstTargets(targets),
+		End:      d,
+		Residual: m.RequiredMbit * 1e6,
+	})
 }
 
 // CostPerMonth is the cost of breaching every hourly consensus run for 30
 // days (24 × 30 instances).
 func (m CostModel) CostPerMonth(targets int, d time.Duration) float64 {
-	return m.CostPerInstance(targets, d) * 24 * 30
+	return m.PerMonth(m.CostPerInstance(targets, d))
 }
 
 // Summary renders the headline numbers as the paper states them.
@@ -186,4 +230,33 @@ func (m CostModel) Summary(targets int, d time.Duration) string {
 	return fmt.Sprintf(
 		"flood %d authorities with %.0f Mbit/s for %v: $%.3f per instance, $%.2f per month",
 		targets, m.FloodMbit(), d, m.CostPerInstance(targets, d), m.CostPerMonth(targets, d))
+}
+
+// PlanCost prices one plan's single window: pinning a target at the plan's
+// residual bandwidth takes (link − residual) Mbit/s of stressor traffic per
+// target for the window's duration. The link capacity is the plan's tier's
+// (authorities 250 Mbit/s, caches 200), which is what makes flooding
+// thousands of mirrors cost thousands of times the nine-authority attack.
+func (m CostModel) PlanCost(p Plan) float64 {
+	flood := m.LinkMbit(p.Tier) - p.Residual/1e6
+	if flood < 0 {
+		flood = 0
+	}
+	return float64(len(p.Targets)) * p.Duration().Hours() * flood * m.PricePerMbitHour
+}
+
+// PlansCost sums PlanCost over a slice of plans (one spec's Attacks) — the
+// price tag the sweep engine attaches to every attacked cell.
+func (m CostModel) PlansCost(plans []Plan) float64 {
+	total := 0.0
+	for i := range plans {
+		total += m.PlanCost(plans[i])
+	}
+	return total
+}
+
+// PerMonth scales a per-instance cost to the paper's monthly accounting:
+// one instance per hourly consensus run for 30 days (24 × 30 instances).
+func (m CostModel) PerMonth(instanceCost float64) float64 {
+	return instanceCost * 24 * 30
 }

@@ -134,3 +134,128 @@ func TestFiveMinuteOutage(t *testing.T) {
 		t.Fatal("outage did not zero the uplink")
 	}
 }
+
+func TestMajorityTargetsOfEmptyTier(t *testing.T) {
+	// n <= 0 has no majority: the old [0] result was a phantom target that
+	// poisoned plans built from an empty authority set.
+	for _, n := range []int{0, -1, -9} {
+		if got := MajorityTargets(n); len(got) != 0 {
+			t.Fatalf("MajorityTargets(%d) = %v, want empty", n, got)
+		}
+	}
+	if got := MajorityTargets(1); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("MajorityTargets(1) = %v, want [0]", got)
+	}
+}
+
+func TestTierAwareLinkCapacity(t *testing.T) {
+	m := DefaultCostModel()
+	if m.LinkMbit(TierAuthority) != 250 {
+		t.Fatalf("authority link %.0f, want 250", m.LinkMbit(TierAuthority))
+	}
+	if m.LinkMbit(TierCache) != 200 {
+		t.Fatalf("cache link %.0f, want 200 (dircache's default CacheBandwidth)", m.LinkMbit(TierCache))
+	}
+}
+
+func TestPlanCostPricesCacheTier(t *testing.T) {
+	m := DefaultCostModel()
+	// Knocking 1000 mirrors offline for one hour: 1000 × 200 Mbit/s ×
+	// $0.00074 = $148 per instance.
+	flood := Plan{
+		Tier:    TierCache,
+		Targets: MajorityTargets(1999), // 1000 of 1999 mirrors
+		End:     time.Hour,
+	}
+	got := m.PlanCost(flood)
+	if math.Abs(got-148) > 1e-9 {
+		t.Fatalf("cache flood cost $%.3f, want $148", got)
+	}
+	if month := m.PerMonth(got); math.Abs(month-148*720) > 1e-6 {
+		t.Fatalf("monthly cache flood $%.2f, want $%.2f", month, 148*720.0)
+	}
+	// A residual-bandwidth stressor buys less traffic: leaving each mirror
+	// 100 Mbit/s halves the per-target flood.
+	flood.Residual = 100e6
+	if got := m.PlanCost(flood); math.Abs(got-74) > 1e-9 {
+		t.Fatalf("residual flood cost $%.3f, want $74", got)
+	}
+	// A residual above the link costs nothing: there is nothing to flood.
+	flood.Residual = 300e6
+	if got := m.PlanCost(flood); got != 0 {
+		t.Fatalf("super-link residual cost $%.3f, want $0", got)
+	}
+}
+
+func TestCacheTierFloodCostsMoreThanAuthorities(t *testing.T) {
+	// The over-provisioning defense economics: the paper's five-minute
+	// authority attack costs cents, but the same stressor pricing against a
+	// wide mirror tier for a whole fetch window costs orders of magnitude
+	// more — the reason distribution survives on cache count.
+	m := DefaultCostModel()
+	authorities := FiveMinuteOutage(MajorityTargets(9))
+	mirrors := Plan{
+		Tier:    TierCache,
+		Targets: MajorityTargets(4000),
+		End:     time.Hour,
+	}
+	authCost := m.PlanCost(authorities)
+	mirrorCost := m.PlanCost(mirrors)
+	if authCost <= 0 || mirrorCost <= 0 {
+		t.Fatalf("degenerate costs: auth $%.4f mirrors $%.4f", authCost, mirrorCost)
+	}
+	if mirrorCost < 1000*authCost {
+		t.Fatalf("mirror flood $%.2f not ≫ authority flood $%.4f", mirrorCost, authCost)
+	}
+}
+
+func TestPlansCostSumsTiers(t *testing.T) {
+	m := DefaultCostModel()
+	a := FiveMinuteOutage(MajorityTargets(9))
+	c := Plan{Tier: TierCache, Targets: MajorityTargets(20), End: 30 * time.Minute}
+	want := m.PlanCost(a) + m.PlanCost(c)
+	if got := m.PlansCost([]Plan{a, c}); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("PlansCost %.6f, want %.6f", got, want)
+	}
+	if m.PlansCost(nil) != 0 {
+		t.Fatal("empty plan set has nonzero cost")
+	}
+}
+
+func TestFirstTargets(t *testing.T) {
+	if got := FirstTargets(3); len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Fatalf("FirstTargets(3) = %v", got)
+	}
+	for _, n := range []int{0, -2} {
+		if got := FirstTargets(n); len(got) != 0 {
+			t.Fatalf("FirstTargets(%d) = %v, want empty", n, got)
+		}
+	}
+}
+
+// TestCostPathsAgree pins that the paper's per-instance accounting and the
+// plan-level pricing are one formula: CostPerInstance(n, d) must equal the
+// PlanCost of flooding n authorities down to the protocol requirement —
+// including under hostile parameters, where both clamp at $0 instead of
+// going negative.
+func TestCostPathsAgree(t *testing.T) {
+	models := []CostModel{
+		DefaultCostModel(),
+		{PricePerMbitHour: 0.001, AuthorityLinkMbit: 250, RequiredMbit: 300, CacheLinkMbit: 200},
+	}
+	for _, m := range models {
+		plan := Plan{
+			Tier:     TierAuthority,
+			Targets:  FirstTargets(5),
+			End:      5 * time.Minute,
+			Residual: m.RequiredMbit * 1e6,
+		}
+		inst := m.CostPerInstance(5, 5*time.Minute)
+		if pc := m.PlanCost(plan); math.Abs(inst-pc) > 1e-12 {
+			t.Fatalf("pricing paths diverge: CostPerInstance %.6f, PlanCost %.6f", inst, pc)
+		}
+		if inst < 0 || m.FloodMbit() < 0 {
+			t.Fatalf("negative pricing: instance %.6f, flood %.2f", inst, m.FloodMbit())
+		}
+	}
+}

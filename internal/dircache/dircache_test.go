@@ -339,3 +339,58 @@ func TestConcurrentRunsSharedAttacks(t *testing.T) {
 		t.Fatalf("identical specs diverged: %d vs %d covered", a.Covered, b.Covered)
 	}
 }
+
+// TestFinalTickSpanShortened pins the fleet tick geometry: when Tick does
+// not divide FetchWindow the final tick covers only the clamped remainder,
+// and the Poisson rate must scale with that shortened span — not a full
+// tick's worth of arrivals squeezed into the remainder.
+func TestFinalTickSpanShortened(t *testing.T) {
+	spec := (&Spec{FetchWindow: 25 * time.Second, Tick: 10 * time.Second}).withDefaults()
+	f := &fleetNode{spec: &spec}
+	if n := f.numTicks(); n != 3 {
+		t.Fatalf("numTicks=%d, want 3", n)
+	}
+	for k, want := range map[int][2]time.Duration{
+		1: {0, 10 * time.Second},
+		2: {10 * time.Second, 20 * time.Second},
+		3: {20 * time.Second, 25 * time.Second}, // clamped: 5s, not 10s
+	} {
+		start, end := f.tickSpan(k)
+		if start != want[0] || end != want[1] {
+			t.Fatalf("tickSpan(%d) = (%v, %v), want (%v, %v)", k, start, end, want[0], want[1])
+		}
+	}
+	// An exactly dividing window has no shortened tick.
+	even := (&Spec{FetchWindow: 30 * time.Second, Tick: 10 * time.Second}).withDefaults()
+	f2 := &fleetNode{spec: &even}
+	if n := f2.numTicks(); n != 3 {
+		t.Fatalf("even numTicks=%d, want 3", n)
+	}
+	if start, end := f2.tickSpan(3); start != 20*time.Second || end != 30*time.Second {
+		t.Fatalf("even final span (%v, %v)", start, end)
+	}
+}
+
+// TestNonDividingTickWindowStillCoversEveryone runs a whole distribution
+// whose Tick does not divide FetchWindow: every client must still issue its
+// first fetch inside the window and the population must end covered.
+func TestNonDividingTickWindowStillCoversEveryone(t *testing.T) {
+	spec := smallSpec()
+	spec.Tick = 7 * time.Second // 600s window: 85 full ticks + a 5s remainder
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage() < 0.999 {
+		t.Fatalf("coverage %.3f with a non-dividing tick", res.Coverage())
+	}
+	if res.TimeToTarget == simnet.Never || res.TimeToTarget > res.Spec.FetchWindow+res.Spec.Tick {
+		t.Fatalf("t95 %v beyond the fetch window", res.TimeToTarget)
+	}
+	// No coverage point may land beyond the run limit, and the curve must
+	// account for every covered client exactly once.
+	last := res.Points[len(res.Points)-1]
+	if last.Count != res.Covered {
+		t.Fatalf("curve ends at %d, covered %d", last.Count, res.Covered)
+	}
+}

@@ -63,27 +63,47 @@ func (f *fleetNode) scheduleTick(ctx *simnet.Context, k int) {
 	})
 }
 
-// tick issues this interval's fetch arrivals. The final tick flushes every
-// client that the Poisson draws left behind, so exactly `clients` first
-// fetches are issued within the window.
+// tickSpan returns the (start, end] interval tick k covers. Only the final
+// tick can be shortened: its end is clamped to FetchWindow when Tick does
+// not divide the window.
+func (f *fleetNode) tickSpan(k int) (start, end time.Duration) {
+	start = time.Duration(k-1) * f.spec.Tick
+	end = time.Duration(k) * f.spec.Tick
+	if end > f.spec.FetchWindow {
+		end = f.spec.FetchWindow
+	}
+	return start, end
+}
+
+// tick issues this interval's fetch arrivals: per-cache Poisson draws whose
+// rate is proportional to the interval's *actual* length — the clamped
+// final tick must not draw at the full-tick rate, which would over-draw
+// arrivals in the shortened interval. The final tick then flushes every
+// client the Poisson draws left behind, so exactly `clients` first fetches
+// are issued within the window.
 func (f *fleetNode) tick(ctx *simnet.Context, k int) {
 	if f.unrequested == 0 {
 		return
 	}
-	var counts []int
-	if k == f.numTicks() {
-		counts = splitCounts(ctx.Rand(), f.unrequested, f.weights)
-	} else {
-		frac := float64(f.spec.Tick) / float64(f.spec.FetchWindow)
-		counts = make([]int, len(f.caches))
-		budget := f.unrequested
-		for i, w := range f.weights {
-			n := poisson(ctx.Rand(), float64(f.clients)*w*frac)
-			if n > budget {
-				n = budget
-			}
-			counts[i] = n
-			budget -= n
+	start, end := f.tickSpan(k)
+	frac := float64(end-start) / float64(f.spec.FetchWindow)
+	counts := make([]int, len(f.caches))
+	total := 0
+	for i, w := range f.weights {
+		counts[i] = poisson(ctx.Rand(), float64(f.clients)*w*frac)
+		total += counts[i]
+	}
+	if total > f.unrequested {
+		// The draws exceed the remaining budget: apportion the budget over
+		// the caches in proportion to their draws instead of truncating
+		// whatever the low-index caches left over — a first-come clamp
+		// systematically starves the high-index caches.
+		counts = clampDraws(counts, f.unrequested)
+	} else if k == f.numTicks() {
+		// Final tick: flush the clients the Poisson draws left behind.
+		extra := splitCounts(ctx.Rand(), f.unrequested-total, f.weights)
+		for i := range counts {
+			counts[i] += extra[i]
 		}
 	}
 	for i, n := range counts {

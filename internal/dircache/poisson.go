@@ -3,6 +3,7 @@ package dircache
 import (
 	"math"
 	"math/rand"
+	"sort"
 )
 
 // poisson samples a Poisson(lambda) count. Small rates use Knuth's product
@@ -55,6 +56,40 @@ func binomial(rng *rand.Rand, n int, p float64) int {
 		}
 	}
 	return k
+}
+
+// clampDraws scales a tick's per-cache draws down to the remaining client
+// budget when they exceed it, allocating the budget in proportion to the
+// draws (largest-remainder apportionment; remainder ties go to the lower
+// index, so the result is deterministic). Unlike a sequential clamp, no
+// cache is favored by its position: a first-come truncation hands the
+// low-index caches their full draw and systematically starves the rest.
+// No cache is allocated more than it drew.
+func clampDraws(draws []int, budget int) []int {
+	total := 0
+	for _, d := range draws {
+		total += d
+	}
+	if total <= budget {
+		return draws
+	}
+	out := make([]int, len(draws))
+	fracs := make([]float64, len(draws))
+	order := make([]int, len(draws))
+	assigned := 0
+	for i, d := range draws {
+		exact := float64(d) * float64(budget) / float64(total)
+		out[i] = int(exact)
+		assigned += out[i]
+		fracs[i] = exact - float64(out[i])
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return fracs[order[a]] > fracs[order[b]] })
+	for j := 0; assigned < budget; j++ {
+		out[order[j]]++
+		assigned++
+	}
+	return out
 }
 
 // splitCounts distributes n items over len(weights) bins as an exact

@@ -79,3 +79,63 @@ func TestSplitCountsExact(t *testing.T) {
 		}
 	}
 }
+
+func TestClampDrawsFairApportionment(t *testing.T) {
+	cases := []struct {
+		draws  []int
+		budget int
+		want   []int
+	}{
+		// Proportional, exact division.
+		{[]int{10, 10, 10, 10}, 20, []int{5, 5, 5, 5}},
+		// The old sequential clamp produced {10, 10, 0, 0} here: the
+		// low-index caches absorbed the whole budget.
+		{[]int{10, 10, 10, 10}, 2, []int{1, 1, 0, 0}},
+		// Zero draws stay zero; others split proportionally.
+		{[]int{4, 0, 4}, 4, []int{2, 0, 2}},
+		// Largest remainders win the leftover units (6*5/11=2.7, 5*5/11=2.3).
+		{[]int{6, 5}, 5, []int{3, 2}},
+		// Budget >= total: nothing to clamp.
+		{[]int{3, 1}, 4, []int{3, 1}},
+		{[]int{3, 1}, 9, []int{3, 1}},
+	}
+	for i, tc := range cases {
+		got := clampDraws(append([]int(nil), tc.draws...), tc.budget)
+		if len(got) != len(tc.want) {
+			t.Fatalf("case %d: len %d", i, len(got))
+		}
+		for j := range got {
+			if got[j] != tc.want[j] {
+				t.Fatalf("case %d: clampDraws(%v, %d) = %v, want %v", i, tc.draws, tc.budget, got, tc.want)
+			}
+		}
+	}
+}
+
+func TestClampDrawsInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(12)
+		draws := make([]int, n)
+		total := 0
+		for i := range draws {
+			draws[i] = rng.Intn(40)
+			total += draws[i]
+		}
+		if total == 0 {
+			continue
+		}
+		budget := rng.Intn(total) // strictly below total: the clamp binds
+		got := clampDraws(append([]int(nil), draws...), budget)
+		sum := 0
+		for i, g := range got {
+			if g < 0 || g > draws[i] {
+				t.Fatalf("trial %d: bin %d allocated %d of draw %d", trial, i, g, draws[i])
+			}
+			sum += g
+		}
+		if sum != budget {
+			t.Fatalf("trial %d: allocated %d of budget %d (draws %v)", trial, sum, budget, got)
+		}
+	}
+}

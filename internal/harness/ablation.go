@@ -7,6 +7,7 @@ import (
 	"partialtor/internal/attack"
 	"partialtor/internal/core"
 	"partialtor/internal/simnet"
+	"partialtor/internal/sweep"
 )
 
 // This file holds the ablations DESIGN.md §6 calls out: how sensitive the
@@ -38,10 +39,12 @@ type EntrySizeParams struct {
 	BandwidthMbit float64       // default 10
 	Round         time.Duration // default 150s
 	Seed          int64
+	Workers       int // sweep worker pool: 0 = all cores, 1 = serial
 }
 
 // AblationEntrySize sweeps the current protocol's failure threshold across
-// entry sizes.
+// entry sizes. The entry sizes fan out over the sweep engine; each cell's
+// threshold scan stays sequential because it stops at the first failure.
 func AblationEntrySize(p EntrySizeParams) *EntrySizeResult {
 	if len(p.EntrySizes) == 0 {
 		p.EntrySizes = []int{625, 1250, 2500}
@@ -58,7 +61,9 @@ func AblationEntrySize(p EntrySizeParams) *EntrySizeResult {
 		p.Round = 150 * time.Second
 	}
 	res := &EntrySizeResult{BandwidthMbit: p.BandwidthMbit, Relays: p.RelayCounts}
-	for _, entry := range p.EntrySizes {
+	grid := sweep.MustNew(sweep.Ints("entry", p.EntrySizes...))
+	results := mustSweep(grid, p.Workers, func(c sweep.Cell) (EntrySizeRow, error) {
+		entry := c.Int("entry")
 		threshold := 0
 		for _, relays := range p.RelayCounts {
 			run := Run(Scenario{
@@ -74,7 +79,10 @@ func AblationEntrySize(p EntrySizeParams) *EntrySizeResult {
 				break
 			}
 		}
-		res.Rows = append(res.Rows, EntrySizeRow{EntryBytes: entry, ThresholdRelays: threshold})
+		return EntrySizeRow{EntryBytes: entry, ThresholdRelays: threshold}, nil
+	})
+	for _, r := range results {
+		res.Rows = append(res.Rows, r.Value)
 	}
 	return res
 }
@@ -113,13 +121,14 @@ type DeltaResult struct {
 
 // DeltaParams scales the ablation.
 type DeltaParams struct {
-	Deltas []time.Duration // default {2s, 10s, 30s}
-	Relays int             // default 500
-	Seed   int64
+	Deltas  []time.Duration // default {2s, 10s, 30s}
+	Relays  int             // default 500
+	Seed    int64
+	Workers int // sweep worker pool: 0 = all cores, 1 = serial
 }
 
 // AblationDelta sweeps Δ with one crashed authority (and, as control, with
-// none).
+// none) — a crash × Δ grid on the sweep engine.
 func AblationDelta(p DeltaParams) *DeltaResult {
 	if len(p.Deltas) == 0 {
 		p.Deltas = []time.Duration{2 * time.Second, 10 * time.Second, 30 * time.Second}
@@ -128,26 +137,31 @@ func AblationDelta(p DeltaParams) *DeltaResult {
 		p.Relays = 500
 	}
 	res := &DeltaResult{}
-	for _, crash := range []bool{true, false} {
-		for _, delta := range p.Deltas {
-			keys, docs := Inputs(Scenario{Relays: p.Relays, EntryPadding: -1, Seed: p.Seed}.withDefaults())
-			cfg := core.Config{Keys: keys, Docs: docs, Delta: delta, BaseTimeout: 10 * time.Second}
-			if crash {
-				cfg.Silent = map[int]bool{8: true}
-			}
-			net, ups, downs := buildNetwork(Scenario{N: 9, Bandwidth: DefaultBandwidth, Seed: p.Seed}.withDefaults())
-			auths := core.NewAuthorities(cfg)
-			for i, a := range auths {
-				net.AddNode(a, ups[i], downs[i])
-			}
-			net.Run(time.Hour)
-			r := core.Collect(auths, cfg, func(i int) bool { return !cfg.Silent[i] })
-			row := DeltaRow{Delta: delta, Latency: r.Latency, OKCount: r.OKCount}
-			if crash {
-				res.Rows = append(res.Rows, row)
-			} else {
-				res.HealthyRows = append(res.HealthyRows, row)
-			}
+	grid := sweep.MustNew(
+		sweep.Of("crash", true, false),
+		sweep.Durations("delta", p.Deltas...),
+	)
+	results := mustSweep(grid, p.Workers, func(c sweep.Cell) (DeltaRow, error) {
+		delta := c.Duration("delta")
+		keys, docs := Inputs(Scenario{Relays: p.Relays, EntryPadding: -1, Seed: p.Seed}.withDefaults())
+		cfg := core.Config{Keys: keys, Docs: docs, Delta: delta, BaseTimeout: 10 * time.Second}
+		if c.Value("crash").(bool) {
+			cfg.Silent = map[int]bool{8: true}
+		}
+		net, ups, downs := buildNetwork(Scenario{N: 9, Bandwidth: DefaultBandwidth, Seed: p.Seed}.withDefaults())
+		auths := core.NewAuthorities(cfg)
+		for i, a := range auths {
+			net.AddNode(a, ups[i], downs[i])
+		}
+		net.Run(time.Hour)
+		r := core.Collect(auths, cfg, func(i int) bool { return !cfg.Silent[i] })
+		return DeltaRow{Delta: delta, Latency: r.Latency, OKCount: r.OKCount}, nil
+	})
+	for _, r := range results {
+		if r.Cell.Value("crash").(bool) {
+			res.Rows = append(res.Rows, r.Value)
+		} else {
+			res.HealthyRows = append(res.HealthyRows, r.Value)
 		}
 	}
 	return res
@@ -192,9 +206,11 @@ type TimeoutParams struct {
 	Outage       time.Duration   // default 60s
 	Relays       int             // default 400
 	Seed         int64
+	Workers      int // sweep worker pool: 0 = all cores, 1 = serial
 }
 
-// AblationTimeout sweeps the pacemaker base timeout under an outage.
+// AblationTimeout sweeps the pacemaker base timeout under an outage on the
+// sweep engine.
 func AblationTimeout(p TimeoutParams) *TimeoutResult {
 	if len(p.BaseTimeouts) == 0 {
 		p.BaseTimeouts = []time.Duration{5 * time.Second, 20 * time.Second, 80 * time.Second}
@@ -206,7 +222,9 @@ func AblationTimeout(p TimeoutParams) *TimeoutResult {
 		p.Relays = 400
 	}
 	res := &TimeoutResult{Outage: p.Outage}
-	for _, bt := range p.BaseTimeouts {
+	grid := sweep.MustNew(sweep.Durations("timeout", p.BaseTimeouts...))
+	results := mustSweep(grid, p.Workers, func(c sweep.Cell) (TimeoutRow, error) {
+		bt := c.Duration("timeout")
 		plan := attack.Plan{Targets: attack.MajorityTargets(9), Start: 0, End: p.Outage, Residual: 0}
 		run := Run(Scenario{
 			Protocol:     ICPS,
@@ -223,7 +241,10 @@ func AblationTimeout(p TimeoutParams) *TimeoutResult {
 				row.Recovery = 0
 			}
 		}
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	for _, r := range results {
+		res.Rows = append(res.Rows, r.Value)
 	}
 	return res
 }

@@ -24,22 +24,17 @@ type CampaignParams struct {
 	Relays       int
 	Round        time.Duration
 	AttackWindow time.Duration
-	Residual     float64
-	Seed         int64
+	// Residual is the bandwidth (bits/s) the attack leaves each flooded
+	// authority. It follows the dircache.Spec.DiffFraction convention: the
+	// zero value selects the scaled default (5 kbit/s); set it negative
+	// for a true 0 — the paper's knock-offline full outage, which a plain
+	// "0 means default" rule could not express.
+	Residual float64
+	Seed     int64
 }
 
-// CampaignResult ties the three layers together.
-type CampaignResult struct {
-	Outcomes     []bool
-	Successes    int
-	Timeline     *client.Timeline
-	Chain        *chain.Chain
-	Availability float64
-	FirstOutage  time.Duration // -1 if never down
-}
-
-// Campaign simulates the periods and assembles chain + availability.
-func Campaign(p CampaignParams) *CampaignResult {
+// withDefaults resolves the zero values to the scaled campaign defaults.
+func (p CampaignParams) withDefaults() CampaignParams {
 	if p.Periods == 0 {
 		p.Periods = 6
 	}
@@ -57,10 +52,28 @@ func Campaign(p CampaignParams) *CampaignResult {
 	}
 	if p.Residual == 0 {
 		p.Residual = 5e3
+	} else if p.Residual < 0 {
+		p.Residual = 0 // full outage: the targets are knocked offline
 	}
 	if p.Seed == 0 {
 		p.Seed = 1
 	}
+	return p
+}
+
+// CampaignResult ties the three layers together.
+type CampaignResult struct {
+	Outcomes     []bool
+	Successes    int
+	Timeline     *client.Timeline
+	Chain        *chain.Chain
+	Availability float64
+	FirstOutage  time.Duration // -1 if never down
+}
+
+// Campaign simulates the periods and assembles chain + availability.
+func Campaign(p CampaignParams) *CampaignResult {
+	p = p.withDefaults()
 
 	keys, _ := Inputs(Scenario{Relays: p.Relays, EntryPadding: -1, Seed: p.Seed}.withDefaults())
 	pubs := sig.PublicSet(keys)

@@ -96,3 +96,41 @@ func TestCrossProtocolConsensusAgreement(t *testing.T) {
 		t.Fatalf("protocols disagree on the consensus document: %v", digest)
 	}
 }
+
+// TestCampaignResidualConvention pins the DiffFraction-style convention on
+// CampaignParams.Residual: the zero value keeps selecting the scaled
+// default, a negative value means a literal 0 — the paper's knock-offline
+// full outage, which "0 means default" left unrepresentable.
+func TestCampaignResidualConvention(t *testing.T) {
+	if got := (CampaignParams{}).withDefaults().Residual; got != 5e3 {
+		t.Fatalf("zero-value Residual resolved to %g, want the 5e3 default", got)
+	}
+	if got := (CampaignParams{Residual: -1}).withDefaults().Residual; got != 0 {
+		t.Fatalf("negative Residual resolved to %g, want 0 (full outage)", got)
+	}
+	if got := (CampaignParams{Residual: 7e4}).withDefaults().Residual; got != 7e4 {
+		t.Fatalf("explicit Residual overridden: %g", got)
+	}
+}
+
+// TestCampaignFullOutage runs the knock-offline case end to end: with
+// Residual < 0 the attacked periods flood the majority down to zero
+// bandwidth, and the current protocol still loses every attacked period.
+func TestCampaignFullOutage(t *testing.T) {
+	r := Campaign(CampaignParams{
+		Protocol: Current,
+		Periods:  5,
+		Relays:   150,
+		Residual: -1,
+		Attacked: func(i int) bool { return i > 0 },
+	})
+	if r.Successes != 1 {
+		t.Fatalf("successes=%d, want only the healthy period: %v", r.Successes, r.Outcomes)
+	}
+	if r.FirstOutage != 3*time.Hour {
+		t.Fatalf("network died at %v, want validity end 3h", r.FirstOutage)
+	}
+	if r.Availability >= 1 {
+		t.Fatal("availability did not drop under the full outage")
+	}
+}

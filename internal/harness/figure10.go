@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"partialtor/internal/simnet"
+	"partialtor/internal/sweep"
 )
 
 // Fig10Cell is one measurement of the latency comparison grid.
@@ -33,10 +34,14 @@ type Figure10Params struct {
 	Round          time.Duration // default 150s
 	EntryPadding   int           // default calibrated
 	Seed           int64
+	Workers        int // sweep worker pool: 0 = all cores, 1 = serial
 }
 
 // Figure10 measures the latency (or failure) of each protocol on every
-// (bandwidth, relays) cell.
+// (bandwidth, relays) cell. The full relays × bandwidth × protocol grid
+// fans out over the sweep engine; relays is the slowest axis so the cached
+// document sets (Inputs) are reused across the inner cells, and the result
+// order matches the serial nested loops regardless of worker count.
 func Figure10(p Figure10Params) *Figure10Result {
 	if len(p.BandwidthsMbit) == 0 {
 		p.BandwidthsMbit = []float64{50, 20, 10, 1, 0.5}
@@ -56,31 +61,34 @@ func Figure10(p Figure10Params) *Figure10Result {
 		p.EntryPadding = -1
 	}
 	res := &Figure10Result{Bandwidths: p.BandwidthsMbit, Relays: p.RelayCounts, Protocols: p.Protocols}
-	// Relays on the outer loop: document construction is cached per count.
-	for _, relays := range p.RelayCounts {
-		for _, mbit := range p.BandwidthsMbit {
-			for _, proto := range p.Protocols {
-				run := Run(Scenario{
-					Protocol:     proto,
-					Relays:       relays,
-					EntryPadding: p.EntryPadding,
-					Bandwidth:    mbit * 1e6,
-					Round:        p.Round,
-					Seed:         p.Seed,
-				})
-				lat := run.Latency
-				if !run.Success {
-					lat = simnet.Never
-				}
-				res.Cells = append(res.Cells, Fig10Cell{
-					Protocol:      proto,
-					BandwidthMbit: mbit,
-					Relays:        relays,
-					Success:       run.Success,
-					Latency:       lat,
-				})
-			}
+	grid := sweep.MustNew(
+		sweep.Ints("relays", p.RelayCounts...),
+		sweep.Floats("mbit", p.BandwidthsMbit...),
+		sweep.Of("protocol", p.Protocols...),
+	)
+	results := mustSweep(grid, p.Workers, func(c sweep.Cell) (Fig10Cell, error) {
+		run := Run(Scenario{
+			Protocol:     c.Value("protocol").(Protocol),
+			Relays:       c.Int("relays"),
+			EntryPadding: p.EntryPadding,
+			Bandwidth:    c.Float("mbit") * 1e6,
+			Round:        p.Round,
+			Seed:         p.Seed,
+		})
+		lat := run.Latency
+		if !run.Success {
+			lat = simnet.Never
 		}
+		return Fig10Cell{
+			Protocol:      c.Value("protocol").(Protocol),
+			BandwidthMbit: c.Float("mbit"),
+			Relays:        c.Int("relays"),
+			Success:       run.Success,
+			Latency:       lat,
+		}, nil
+	})
+	for _, r := range results {
+		res.Cells = append(res.Cells, r.Value)
 	}
 	return res
 }

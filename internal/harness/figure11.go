@@ -6,6 +6,7 @@ import (
 
 	"partialtor/internal/attack"
 	"partialtor/internal/simnet"
+	"partialtor/internal/sweep"
 )
 
 // Fig11Row is one point of the outage-recovery experiment.
@@ -33,11 +34,12 @@ type Figure11Params struct {
 	Outage       time.Duration // default 5 minutes
 	EntryPadding int           // default calibrated
 	Seed         int64
+	Workers      int // sweep worker pool: 0 = all cores, 1 = serial
 }
 
 // Figure11 runs the ICPS protocol under a complete outage of the majority
 // of the authorities and reports how quickly consensus lands once the
-// attack ends.
+// attack ends. The relay counts fan out over the sweep engine.
 func Figure11(p Figure11Params) *Figure11Result {
 	if len(p.RelayCounts) == 0 {
 		for r := 1000; r <= 10000; r += 1000 {
@@ -51,7 +53,9 @@ func Figure11(p Figure11Params) *Figure11Result {
 		p.EntryPadding = -1
 	}
 	res := &Figure11Result{Outage: p.Outage}
-	for _, relays := range p.RelayCounts {
+	grid := sweep.MustNew(sweep.Ints("relays", p.RelayCounts...))
+	results := mustSweep(grid, p.Workers, func(c sweep.Cell) (Fig11Row, error) {
+		relays := c.Int("relays")
 		plan := attack.FiveMinuteOutage(attack.MajorityTargets(9))
 		plan.End = p.Outage
 		run := Run(Scenario{
@@ -72,7 +76,10 @@ func Figure11(p Figure11Params) *Figure11Result {
 			row.TotalLatency = simnet.Never
 			row.Recovery = simnet.Never
 		}
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	for _, r := range results {
+		res.Rows = append(res.Rows, r.Value)
 	}
 	return res
 }

@@ -8,7 +8,20 @@ import (
 	"partialtor/internal/attack"
 	"partialtor/internal/relay"
 	"partialtor/internal/simnet"
+	"partialtor/internal/sweep"
 )
+
+// mustSweep runs a figure generator's grid on the sweep engine. The
+// generators build their own scenarios, so a failed cell is a programming
+// bug, not an input condition — it panics like the misconfiguration panics
+// in Run.
+func mustSweep[T any](g sweep.Grid, workers int, fn func(sweep.Cell) (T, error)) []sweep.Result[T] {
+	results := sweep.Run(g, workers, fn)
+	if err := sweep.FirstErr(results); err != nil {
+		panic("harness: " + err.Error())
+	}
+	return results
+}
 
 // ---------------------------------------------------------------- Figure 1
 
@@ -129,10 +142,13 @@ type Figure7Params struct {
 	MaxMbit      float64       // search ceiling, default 30
 	Precision    float64       // Mbit, default 0.25
 	Seed         int64
+	Workers      int // sweep worker pool: 0 = all cores, 1 = serial
 }
 
 // Figure7 binary-searches, per relay count, the minimal bandwidth the five
-// attacked authorities need for the current protocol to still succeed.
+// attacked authorities need for the current protocol to still succeed. The
+// relay counts fan out over the sweep engine; each cell runs its own
+// (inherently sequential) binary search.
 func Figure7(p Figure7Params) *Figure7Result {
 	if len(p.RelayCounts) == 0 {
 		for r := 1000; r <= 10000; r += 1000 {
@@ -152,7 +168,9 @@ func Figure7(p Figure7Params) *Figure7Result {
 		p.EntryPadding = -1
 	}
 	res := &Figure7Result{Residual: attack.ResidualUnderDDoS / 1e6}
-	for _, relays := range p.RelayCounts {
+	grid := sweep.MustNew(sweep.Ints("relays", p.RelayCounts...))
+	results := mustSweep(grid, p.Workers, func(c sweep.Cell) (Fig7Row, error) {
+		relays := c.Int("relays")
 		succeeds := func(mbit float64) bool {
 			plan := attack.Plan{
 				Targets:  attack.MajorityTargets(9),
@@ -172,8 +190,7 @@ func Figure7(p Figure7Params) *Figure7Result {
 		}
 		lo, hi := 0.0, p.MaxMbit
 		if !succeeds(hi) {
-			res.Rows = append(res.Rows, Fig7Row{Relays: relays, RequiredMbit: -1})
-			continue
+			return Fig7Row{Relays: relays, RequiredMbit: -1}, nil
 		}
 		for hi-lo > p.Precision {
 			mid := (lo + hi) / 2
@@ -183,7 +200,10 @@ func Figure7(p Figure7Params) *Figure7Result {
 				lo = mid
 			}
 		}
-		res.Rows = append(res.Rows, Fig7Row{Relays: relays, RequiredMbit: hi})
+		return Fig7Row{Relays: relays, RequiredMbit: hi}, nil
+	})
+	for _, r := range results {
+		res.Rows = append(res.Rows, r.Value)
 	}
 	return res
 }

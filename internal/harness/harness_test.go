@@ -274,3 +274,31 @@ func TestRunProducesTransportStats(t *testing.T) {
 		t.Fatal("vote bytes not accounted")
 	}
 }
+
+// TestParallelSweepByteIdentical is the grid engine's end-to-end guarantee:
+// the same figure sweep run serially (1 worker) and fanned out over 8
+// workers must render byte-identical tables — result order is by cell rank,
+// never by completion order, and every scenario run is deterministic.
+func TestParallelSweepByteIdentical(t *testing.T) {
+	fig10 := func(workers int) string {
+		return Figure10(Figure10Params{
+			BandwidthsMbit: []float64{100, 10},
+			RelayCounts:    []int{200, 400, 800},
+			Round:          15 * time.Second,
+			Workers:        workers,
+		}).Render()
+	}
+	if serial, parallel := fig10(1), fig10(8); serial != parallel {
+		t.Fatalf("Figure 10 diverged between serial and 8-worker runs:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+	fig11 := func(workers int) string {
+		return Figure11(Figure11Params{
+			RelayCounts: []int{150, 250, 350},
+			Outage:      time.Minute,
+			Workers:     workers,
+		}).Render()
+	}
+	if serial, parallel := fig11(1), fig11(8); serial != parallel {
+		t.Fatalf("Figure 11 diverged between serial and 8-worker runs:\n%s\nvs\n%s", serial, parallel)
+	}
+}

@@ -3,6 +3,14 @@
 // network shape, attack plans), runs each of the three directory protocols
 // on the simulator, and regenerates every figure and table of the paper
 // (Figures 1, 6, 7, 10, 11; Tables 1, 2; the §4.3 cost analysis).
+//
+// Every figure and ablation sweep runs on the internal/sweep grid engine:
+// the parameter grid (relays × bandwidth × protocol, entry sizes, Δ, ...)
+// fans out over a bounded worker pool — Inputs is concurrency-safe, so
+// cells share the cached multi-megabyte document sets — and results come
+// back in cell-rank order, so a parallel sweep renders the exact bytes the
+// serial nested loops used to produce. Each Params struct carries a
+// Workers knob (0 = all cores, 1 = the serial baseline).
 package harness
 
 import (

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"partialtor/internal/attack"
+	"partialtor/internal/sweep"
 )
 
 // ---------------------------------------------------------------- Table 1
@@ -36,6 +37,7 @@ type Table1Params struct {
 	Round        time.Duration
 	EntryPadding int
 	Seed         int64
+	Workers      int // sweep worker pool: 0 = all cores, 1 = serial
 }
 
 var table1Design = map[Protocol][3]string{
@@ -57,7 +59,9 @@ func Table1(p Table1Params) *Table1Result {
 		p.EntryPadding = -1
 	}
 	res := &Table1Result{Relays: p.Relays, BandwidthMbit: p.Bandwidth / 1e6}
-	for _, proto := range []Protocol{Current, Synchronous, ICPS} {
+	grid := sweep.MustNew(sweep.Of("protocol", Current, Synchronous, ICPS))
+	results := mustSweep(grid, p.Workers, func(c sweep.Cell) (Table1Row, error) {
+		proto := c.Value("protocol").(Protocol)
 		run := Run(Scenario{
 			Protocol:     proto,
 			Relays:       p.Relays,
@@ -67,7 +71,7 @@ func Table1(p Table1Params) *Table1Result {
 			Seed:         p.Seed,
 		})
 		d := table1Design[proto]
-		res.Rows = append(res.Rows, Table1Row{
+		return Table1Row{
 			Protocol:         proto,
 			NetworkModel:     d[0],
 			Security:         d[1],
@@ -75,7 +79,10 @@ func Table1(p Table1Params) *Table1Result {
 			MeasuredBytes:    run.BytesSent,
 			MeasuredMessages: run.Messages,
 			Success:          run.Success,
-		})
+		}, nil
+	})
+	for _, r := range results {
+		res.Rows = append(res.Rows, r.Value)
 	}
 	return res
 }

@@ -1,0 +1,244 @@
+// Package sweep is the generic grid engine every parameter sweep in this
+// repository runs on: the paper's headline results are sweep tables (attack
+// duration × targets × residual, §4.3, Figures 7/10/11), and a reproduction
+// lives or dies on how dense a parameter grid it can afford.
+//
+// A Grid is the cartesian product of named Axes, enumerated row-major (the
+// first axis varies slowest, exactly like the nested loops it replaces). Run
+// evaluates a callback on every cell with a bounded worker pool and returns
+// the results ordered by cell rank — independent of completion order, so a
+// parallel sweep renders byte-identically to a serial one. Failures are
+// captured per cell (including recovered panics) instead of aborting the
+// sweep: one bad configuration costs one cell, not the whole table.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Axis is one named dimension of a grid. Values are heterogeneous on
+// purpose: sweeps mix relay counts (int), bandwidths (float64), durations
+// and protocol enums along different axes.
+type Axis struct {
+	Name   string
+	Values []any
+}
+
+// Ints builds an axis of integer values (relay counts, cache counts, ...).
+func Ints(name string, vals ...int) Axis {
+	a := Axis{Name: name, Values: make([]any, len(vals))}
+	for i, v := range vals {
+		a.Values[i] = v
+	}
+	return a
+}
+
+// Floats builds an axis of float values (bandwidths, residuals, ...).
+func Floats(name string, vals ...float64) Axis {
+	a := Axis{Name: name, Values: make([]any, len(vals))}
+	for i, v := range vals {
+		a.Values[i] = v
+	}
+	return a
+}
+
+// Durations builds an axis of durations (attack windows, timeouts, ...).
+func Durations(name string, vals ...time.Duration) Axis {
+	a := Axis{Name: name, Values: make([]any, len(vals))}
+	for i, v := range vals {
+		a.Values[i] = v
+	}
+	return a
+}
+
+// Of builds an axis from any value slice (protocol enums, booleans, ...).
+func Of[T any](name string, vals ...T) Axis {
+	a := Axis{Name: name, Values: make([]any, len(vals))}
+	for i, v := range vals {
+		a.Values[i] = v
+	}
+	return a
+}
+
+// Grid is the cartesian product of its axes.
+type Grid struct {
+	Axes []Axis
+}
+
+// New assembles a grid. Every axis must be named and non-empty; duplicate
+// names are rejected (a cell could not address the earlier axis).
+func New(axes ...Axis) (Grid, error) {
+	seen := make(map[string]bool, len(axes))
+	for _, a := range axes {
+		if a.Name == "" {
+			return Grid{}, fmt.Errorf("sweep: unnamed axis")
+		}
+		if len(a.Values) == 0 {
+			return Grid{}, fmt.Errorf("sweep: axis %q has no values", a.Name)
+		}
+		if seen[a.Name] {
+			return Grid{}, fmt.Errorf("sweep: duplicate axis %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	return Grid{Axes: axes}, nil
+}
+
+// MustNew is New for statically known axes, where a malformed grid is a
+// programming error.
+func MustNew(axes ...Axis) Grid {
+	g, err := New(axes...)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Size is the number of cells (the product of the axis lengths; 1 for the
+// empty grid, which has exactly one cell: the empty coordinate).
+func (g Grid) Size() int {
+	n := 1
+	for _, a := range g.Axes {
+		n *= len(a.Values)
+	}
+	return n
+}
+
+// Cell returns the rank-th cell in row-major order (first axis slowest).
+func (g Grid) Cell(rank int) Cell {
+	if rank < 0 || rank >= g.Size() {
+		panic(fmt.Sprintf("sweep: cell rank %d outside grid of %d", rank, g.Size()))
+	}
+	coords := make([]int, len(g.Axes))
+	r := rank
+	for i := len(g.Axes) - 1; i >= 0; i-- {
+		n := len(g.Axes[i].Values)
+		coords[i] = r % n
+		r /= n
+	}
+	return Cell{Rank: rank, coords: coords, axes: g.Axes}
+}
+
+// Cell is one grid point: a rank plus a value per axis.
+type Cell struct {
+	// Rank is the cell's row-major position; Run's result slice is indexed
+	// by it.
+	Rank   int
+	coords []int
+	axes   []Axis
+}
+
+// Value returns the cell's value on the named axis; it panics on an unknown
+// axis name (a typo in sweep code, not an input condition).
+func (c Cell) Value(name string) any {
+	for i, a := range c.axes {
+		if a.Name == name {
+			return a.Values[c.coords[i]]
+		}
+	}
+	panic(fmt.Sprintf("sweep: no axis %q in cell %s", name, c))
+}
+
+// Index returns the cell's position along the named axis.
+func (c Cell) Index(name string) int {
+	for i, a := range c.axes {
+		if a.Name == name {
+			return c.coords[i]
+		}
+	}
+	panic(fmt.Sprintf("sweep: no axis %q in cell %s", name, c))
+}
+
+// Int returns the named axis value as an int.
+func (c Cell) Int(name string) int { return c.Value(name).(int) }
+
+// Float returns the named axis value as a float64.
+func (c Cell) Float(name string) float64 { return c.Value(name).(float64) }
+
+// Duration returns the named axis value as a time.Duration.
+func (c Cell) Duration(name string) time.Duration { return c.Value(name).(time.Duration) }
+
+// String renders the cell's coordinates ("caches=10 clients=100000"), the
+// context every per-cell error is wrapped with.
+func (c Cell) String() string {
+	var b strings.Builder
+	for i, a := range c.axes {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%v", a.Name, a.Values[c.coords[i]])
+	}
+	return b.String()
+}
+
+// Result pairs one cell with its outcome. Exactly one of Value and Err is
+// meaningful: Err captures the callback's error (or recovered panic) and
+// leaves Value at the zero value.
+type Result[T any] struct {
+	Cell  Cell
+	Value T
+	Err   error
+}
+
+// Run evaluates fn on every cell of the grid with a pool of `workers`
+// goroutines (workers <= 0 selects GOMAXPROCS; 1 is the serial baseline).
+// The returned slice is indexed by cell rank, so the result order is
+// deterministic and independent of completion order — a parallel run of a
+// deterministic fn is indistinguishable from a serial one. A panicking fn
+// fails its own cell only; the panic is captured as that cell's Err.
+func Run[T any](g Grid, workers int, fn func(Cell) (T, error)) []Result[T] {
+	n := g.Size()
+	results := make([]Result[T], n)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	ranks := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rank := range ranks {
+				cell := g.Cell(rank)
+				results[rank] = runCell(cell, fn)
+			}
+		}()
+	}
+	for rank := 0; rank < n; rank++ {
+		ranks <- rank
+	}
+	close(ranks)
+	wg.Wait()
+	return results
+}
+
+// runCell evaluates one cell, converting a panic into the cell's error so a
+// single bad configuration cannot abort a long sweep.
+func runCell[T any](cell Cell, fn func(Cell) (T, error)) (res Result[T]) {
+	res.Cell = cell
+	defer func() {
+		if r := recover(); r != nil {
+			res.Err = fmt.Errorf("sweep: cell %s panicked: %v", cell, r)
+		}
+	}()
+	res.Value, res.Err = fn(cell)
+	return res
+}
+
+// FirstErr returns the first failed cell's error (by rank), or nil if the
+// whole sweep succeeded.
+func FirstErr[T any](results []Result[T]) error {
+	for _, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("%s: %w", r.Cell, r.Err)
+		}
+	}
+	return nil
+}

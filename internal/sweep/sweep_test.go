@@ -1,0 +1,217 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGridEnumeratesRowMajor(t *testing.T) {
+	g := MustNew(
+		Ints("a", 1, 2),
+		Floats("b", 0.5, 1.5, 2.5),
+		Of("c", "x", "y"),
+	)
+	if g.Size() != 12 {
+		t.Fatalf("size=%d, want 12", g.Size())
+	}
+	// The enumeration must match the nested loops the engine replaces:
+	// first axis slowest.
+	var want []string
+	for _, a := range []int{1, 2} {
+		for _, b := range []float64{0.5, 1.5, 2.5} {
+			for _, c := range []string{"x", "y"} {
+				want = append(want, fmt.Sprintf("a=%d b=%g c=%s", a, b, c))
+			}
+		}
+	}
+	for rank := 0; rank < g.Size(); rank++ {
+		cell := g.Cell(rank)
+		if cell.String() != want[rank] {
+			t.Fatalf("cell %d = %q, want %q", rank, cell, want[rank])
+		}
+		if cell.Rank != rank {
+			t.Fatalf("cell %d reports rank %d", rank, cell.Rank)
+		}
+	}
+}
+
+func TestCellAccessors(t *testing.T) {
+	g := MustNew(
+		Ints("relays", 100),
+		Floats("mbit", 2.5),
+		Durations("window", 5*time.Minute),
+		Of("attacked", true),
+	)
+	c := g.Cell(0)
+	if c.Int("relays") != 100 || c.Float("mbit") != 2.5 ||
+		c.Duration("window") != 5*time.Minute || c.Value("attacked") != true {
+		t.Fatalf("accessors wrong: %s", c)
+	}
+	if c.Index("mbit") != 0 {
+		t.Fatalf("index=%d", c.Index("mbit"))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown axis name did not panic")
+		}
+	}()
+	c.Value("nope")
+}
+
+func TestNewRejectsMalformedGrids(t *testing.T) {
+	cases := [][]Axis{
+		{{Name: "", Values: []any{1}}},
+		{{Name: "a"}},
+		{Ints("a", 1), Ints("a", 2)},
+	}
+	for i, axes := range cases {
+		if _, err := New(axes...); err == nil {
+			t.Fatalf("case %d: malformed grid accepted", i)
+		}
+	}
+	if _, err := New(); err != nil {
+		t.Fatalf("empty grid rejected: %v", err)
+	}
+	if g := MustNew(); g.Size() != 1 {
+		t.Fatalf("empty grid size %d, want 1 (a single empty cell)", MustNew().Size())
+	}
+}
+
+// TestParallelMatchesSerial is the engine's core guarantee: an 8-worker run
+// of a deterministic callback produces results identical — same values, same
+// order — to the serial baseline, independent of completion order. The
+// callback sleeps inversely to rank so late cells finish first.
+func TestParallelMatchesSerial(t *testing.T) {
+	g := MustNew(Ints("x", 0, 1, 2, 3), Ints("y", 0, 1, 2, 3, 4))
+	fn := func(c Cell) (string, error) {
+		// Finish in roughly reverse rank order to exercise reordering.
+		time.Sleep(time.Duration(g.Size()-c.Rank) * time.Millisecond)
+		if c.Int("x") == 2 && c.Int("y") == 3 {
+			return "", fmt.Errorf("boom at %s", c)
+		}
+		return fmt.Sprintf("%d*%d", c.Int("x"), c.Int("y")), nil
+	}
+	serial := Run(g, 1, fn)
+	parallel := Run(g, 8, fn)
+	if len(serial) != g.Size() || len(parallel) != g.Size() {
+		t.Fatalf("lengths %d/%d, want %d", len(serial), len(parallel), g.Size())
+	}
+	for i := range serial {
+		if serial[i].Cell.Rank != i || parallel[i].Cell.Rank != i {
+			t.Fatalf("result %d out of rank order", i)
+		}
+		if serial[i].Value != parallel[i].Value {
+			t.Fatalf("cell %d diverged: %q vs %q", i, serial[i].Value, parallel[i].Value)
+		}
+		se, pe := serial[i].Err, parallel[i].Err
+		if (se == nil) != (pe == nil) || (se != nil && se.Error() != pe.Error()) {
+			t.Fatalf("cell %d errors diverged: %v vs %v", i, se, pe)
+		}
+	}
+}
+
+func TestPerCellErrorCapture(t *testing.T) {
+	g := MustNew(Ints("i", 0, 1, 2, 3))
+	sentinel := errors.New("bad cell")
+	results := Run(g, 4, func(c Cell) (int, error) {
+		switch c.Int("i") {
+		case 1:
+			return 0, sentinel
+		case 2:
+			panic("cell exploded")
+		}
+		return 10 * c.Int("i"), nil
+	})
+	if results[0].Err != nil || results[3].Err != nil {
+		t.Fatalf("healthy cells failed: %v %v", results[0].Err, results[3].Err)
+	}
+	if results[0].Value != 0 || results[3].Value != 30 {
+		t.Fatalf("healthy values wrong: %d %d", results[0].Value, results[3].Value)
+	}
+	if !errors.Is(results[1].Err, sentinel) {
+		t.Fatalf("error cell: %v", results[1].Err)
+	}
+	// A panicking cell fails alone, with the panic and coordinates captured.
+	if results[2].Err == nil || !strings.Contains(results[2].Err.Error(), "cell exploded") ||
+		!strings.Contains(results[2].Err.Error(), "i=2") {
+		t.Fatalf("panic cell: %v", results[2].Err)
+	}
+	if err := FirstErr(results); err == nil || !strings.Contains(err.Error(), "i=1") {
+		t.Fatalf("FirstErr = %v, want the rank-1 failure", err)
+	}
+	if err := FirstErr(results[:1]); err != nil {
+		t.Fatalf("FirstErr on clean prefix: %v", err)
+	}
+}
+
+// TestWorkerPoolActuallyFansOut asserts the pool runs cells concurrently:
+// with 8 workers and cells that block until at least 4 run at once, the
+// sweep can only finish if the pool really fans out.
+func TestWorkerPoolActuallyFansOut(t *testing.T) {
+	g := MustNew(Ints("i", 0, 1, 2, 3, 4, 5, 6, 7))
+	var running, peak atomic.Int32
+	results := Run(g, 8, func(c Cell) (int, error) {
+		now := running.Add(1)
+		defer running.Add(-1)
+		for {
+			old := peak.Load()
+			if now <= old || peak.CompareAndSwap(old, now) {
+				break
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+		return 0, nil
+	})
+	if err := FirstErr(results); err != nil {
+		t.Fatal(err)
+	}
+	// On a single-core box the scheduler still interleaves the sleeps, so
+	// at least two cells must have been in flight together.
+	if peak.Load() < 2 {
+		t.Fatalf("peak concurrency %d, want >= 2", peak.Load())
+	}
+}
+
+func TestRunDefaultsWorkers(t *testing.T) {
+	g := MustNew(Ints("i", 1, 2, 3))
+	results := Run(g, 0, func(c Cell) (int, error) { return c.Int("i") * 2, nil })
+	for i, r := range results {
+		if r.Value != (i+1)*2 {
+			t.Fatalf("cell %d value %d", i, r.Value)
+		}
+	}
+}
+
+func TestParseIntsAndFloats(t *testing.T) {
+	ints, err := ParseInts(" 10, 20,40")
+	if err != nil || len(ints) != 3 || ints[0] != 10 || ints[2] != 40 {
+		t.Fatalf("ParseInts: %v %v", ints, err)
+	}
+	// The offending element is named — "10,,40" used to surface as a bare
+	// strconv error with no hint which element was empty.
+	if _, err := ParseInts("10,,40"); err == nil || !strings.Contains(err.Error(), `element 2 ("")`) {
+		t.Fatalf("ParseInts empty element: %v", err)
+	}
+	floats, err := ParseFloats("-1,0.5,2.5e6")
+	if err != nil || len(floats) != 3 || floats[0] != -1 || floats[2] != 2.5e6 {
+		t.Fatalf("ParseFloats: %v %v", floats, err)
+	}
+	if _, err := ParseFloats("1,x"); err == nil || !strings.Contains(err.Error(), `element 2 ("x")`) {
+		t.Fatalf("ParseFloats bad element: %v", err)
+	}
+}
+
+func TestParsePositiveInts(t *testing.T) {
+	if got, err := ParsePositiveInts("5,10"); err != nil || len(got) != 2 {
+		t.Fatalf("ParsePositiveInts: %v %v", got, err)
+	}
+	for _, bad := range []string{"0", "5,-1", "5,,10"} {
+		if _, err := ParsePositiveInts(bad); err == nil {
+			t.Fatalf("ParsePositiveInts(%q) accepted", bad)
+		}
+	}
+}

@@ -25,13 +25,22 @@
 //
 // The DDoS adversary (internal/attack) floods either tier: authority plans
 // reproduce the paper's five-minute consensus-breaking attack, cache plans
-// the "flood the mirrors, not the authorities" family. The evaluation
-// harness (internal/harness) assembles full scenarios across all four
-// layers and regenerates every figure and table of the paper.
+// the "flood the mirrors, not the authorities" family. The tier-aware cost
+// model prices both: the paper's $0.074-per-instance authority flood and
+// the far more expensive job of flooding thousands of mirrors. The
+// evaluation harness (internal/harness) assembles full scenarios across
+// all four layers and regenerates every figure and table of the paper.
+//
+// Every parameter sweep — the figure generators, the ablations,
+// cmd/cachesweep — runs on one grid engine (internal/sweep, re-exported
+// here as SweepGrid/RunSweep): named axes spanning a cartesian grid, a
+// bounded worker pool, deterministic result ordering (parallel and serial
+// runs render byte-identical tables) and per-cell error capture.
 //
 // This package is the stable facade used by the examples, the commands in
 // cmd/, and the benchmarks: it re-exports the scenario runner, the attack
-// model, the distribution tier and the per-figure generators.
+// model, the distribution tier, the sweep engine and the per-figure
+// generators.
 //
 // Quick start:
 //
@@ -51,6 +60,7 @@ import (
 	"partialtor/internal/harness"
 	"partialtor/internal/relay"
 	"partialtor/internal/simnet"
+	"partialtor/internal/sweep"
 )
 
 // Protocol selects one of the three directory protocol designs.
@@ -139,11 +149,76 @@ func FiveMinuteOutage(targets []int) AttackPlan { return attack.FiveMinuteOutage
 // MajorityTargets returns the canonical target set (5 of 9 authorities).
 func MajorityTargets(n int) []int { return attack.MajorityTargets(n) }
 
+// FirstTargets returns the first n node indices — a flood of exactly n
+// nodes of a tier.
+func FirstTargets(n int) []int { return attack.FirstTargets(n) }
+
 // DefaultCostModel returns the paper's pricing constants.
 func DefaultCostModel() CostModel { return attack.DefaultCostModel() }
 
 // AuthorityNames lists the nine live directory authority nicknames.
 func AuthorityNames() []string { return append([]string(nil), relay.AuthorityNames...) }
+
+// --- sweep engine re-exports ---
+//
+// Every sweep in this repository — cmd/cachesweep, the figure generators,
+// the ablations — runs on the same grid engine: named axes spanning a
+// cartesian grid, a bounded worker pool evaluating one cell per goroutine,
+// results ordered by cell rank so parallel and serial runs render
+// byte-identical tables, and per-cell error capture so one bad
+// configuration costs one cell instead of the sweep.
+
+// SweepGrid is the cartesian product of named axes.
+type SweepGrid = sweep.Grid
+
+// SweepAxis is one named dimension of a sweep grid.
+type SweepAxis = sweep.Axis
+
+// SweepCell is one grid point, addressed by axis name.
+type SweepCell = sweep.Cell
+
+// SweepResult pairs one cell with the callback's outcome (or captured
+// error).
+type SweepResult[T any] = sweep.Result[T]
+
+// NewSweepGrid assembles a grid, rejecting unnamed, empty or duplicate
+// axes.
+func NewSweepGrid(axes ...SweepAxis) (SweepGrid, error) { return sweep.New(axes...) }
+
+// MustNewSweepGrid is NewSweepGrid for statically known axes.
+func MustNewSweepGrid(axes ...SweepAxis) SweepGrid { return sweep.MustNew(axes...) }
+
+// SweepInts builds an integer axis (relay counts, cache counts, ...).
+func SweepInts(name string, vals ...int) SweepAxis { return sweep.Ints(name, vals...) }
+
+// SweepFloats builds a float axis (bandwidths, residuals, ...).
+func SweepFloats(name string, vals ...float64) SweepAxis { return sweep.Floats(name, vals...) }
+
+// SweepDurations builds a duration axis (attack windows, timeouts, ...).
+func SweepDurations(name string, vals ...time.Duration) SweepAxis {
+	return sweep.Durations(name, vals...)
+}
+
+// RunSweep evaluates fn on every cell of the grid with `workers`
+// goroutines (0 selects all cores, 1 is the serial baseline). Results come
+// back in cell-rank order independent of completion order.
+func RunSweep[T any](g SweepGrid, workers int, fn func(SweepCell) (T, error)) []SweepResult[T] {
+	return sweep.Run(g, workers, fn)
+}
+
+// SweepFirstErr returns the first failed cell's error, or nil.
+func SweepFirstErr[T any](results []SweepResult[T]) error { return sweep.FirstErr(results) }
+
+// ParseSweepInts parses a comma-separated integer axis flag ("10,20,40"),
+// reporting the offending element on error.
+func ParseSweepInts(s string) ([]int, error) { return sweep.ParseInts(s) }
+
+// ParseSweepCounts is ParseSweepInts plus a values-must-be->=-1 check, for
+// axes of counts (caches, clients, targets).
+func ParseSweepCounts(s string) ([]int, error) { return sweep.ParsePositiveInts(s) }
+
+// ParseSweepFloats parses a comma-separated float axis flag ("0.5,1,2.5").
+func ParseSweepFloats(s string) ([]float64, error) { return sweep.ParseFloats(s) }
 
 // --- evaluation re-exports (one per paper artifact) ---
 
