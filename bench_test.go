@@ -8,23 +8,30 @@
 package partialtor_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
 	"partialtor"
 )
 
+// bench is the context the benchmarks run under.
+var bench = context.Background()
+
 // BenchmarkFigure1AttackLog regenerates the Figure 1 attack run (current
 // protocol, majority throttled during the vote rounds).
 func BenchmarkFigure1AttackLog(b *testing.B) {
 	var lines int
 	for i := 0; i < b.N; i++ {
-		r := partialtor.Figure1(partialtor.Figure1Params{
+		r, err := partialtor.Figure1(bench, partialtor.Figure1Params{
 			Relays:   400,
 			Round:    15 * time.Second,
 			Residual: 5e3,
 			Seed:     int64(i + 1),
 		})
+		if err != nil {
+			b.Fatal(err)
+		}
 		if r.Run.Success {
 			b.Fatal("attack run unexpectedly succeeded")
 		}
@@ -47,13 +54,16 @@ func BenchmarkFigure6RelaySeries(b *testing.B) {
 func BenchmarkFigure7BandwidthRequirement(b *testing.B) {
 	var req float64
 	for i := 0; i < b.N; i++ {
-		r := partialtor.Figure7(partialtor.Figure7Params{
+		r, err := partialtor.Figure7(bench, partialtor.Figure7Params{
 			RelayCounts: []int{800},
 			Round:       15 * time.Second,
 			MaxMbit:     60,
 			Precision:   1,
 			Seed:        int64(i + 1),
 		})
+		if err != nil {
+			b.Fatal(err)
+		}
 		req = r.Rows[0].RequiredMbit
 	}
 	b.ReportMetric(req, "required_mbit")
@@ -64,12 +74,15 @@ func BenchmarkFigure7BandwidthRequirement(b *testing.B) {
 func BenchmarkFigure10Latency(b *testing.B) {
 	var ours time.Duration
 	for i := 0; i < b.N; i++ {
-		r := partialtor.Figure10(partialtor.Figure10Params{
+		r, err := partialtor.Figure10(bench, partialtor.Figure10Params{
 			BandwidthsMbit: []float64{10},
 			RelayCounts:    []int{600},
 			Round:          15 * time.Second,
 			Seed:           int64(i + 1),
 		})
+		if err != nil {
+			b.Fatal(err)
+		}
 		c, ok := r.Cell(partialtor.ICPS, 10, 600)
 		if !ok || !c.Success {
 			b.Fatal("ICPS cell failed")
@@ -84,11 +97,14 @@ func BenchmarkFigure10Latency(b *testing.B) {
 func BenchmarkFigure11Recovery(b *testing.B) {
 	var rec time.Duration
 	for i := 0; i < b.N; i++ {
-		r := partialtor.Figure11(partialtor.Figure11Params{
+		r, err := partialtor.Figure11(bench, partialtor.Figure11Params{
 			RelayCounts: []int{400},
 			Outage:      time.Minute,
 			Seed:        int64(i + 1),
 		})
+		if err != nil {
+			b.Fatal(err)
+		}
 		if r.Rows[0].Recovery == partialtor.Never {
 			b.Fatal("no recovery")
 		}
@@ -104,12 +120,15 @@ func BenchmarkFigure11Recovery(b *testing.B) {
 func BenchmarkTable1Communication(b *testing.B) {
 	var ratio float64
 	for i := 0; i < b.N; i++ {
-		r := partialtor.Table1(partialtor.Table1Params{
+		r, err := partialtor.Table1(bench, partialtor.Table1Params{
 			Relays:    300,
 			Bandwidth: 100e6,
 			Round:     20 * time.Second,
 			Seed:      int64(i + 1),
 		})
+		if err != nil {
+			b.Fatal(err)
+		}
 		var syncBytes, oursBytes int64
 		for _, row := range r.Rows {
 			switch row.Protocol {
@@ -131,7 +150,11 @@ func BenchmarkTable1Communication(b *testing.B) {
 func BenchmarkTable2Rounds(b *testing.B) {
 	var total int
 	for i := 0; i < b.N; i++ {
-		total = partialtor.Table2().Total
+		r, err := partialtor.Table2(bench)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = r.Total
 	}
 	if total != 9 {
 		b.Fatalf("total rounds %d, want 9", total)

@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"partialtor"
@@ -33,12 +35,12 @@ type priced struct {
 // target: the paper's authority attack floods to just below the protocol
 // requirement (250 − 10 = 240 Mbit/s of stressor traffic), a cache
 // knockout floods the whole link.
-func costGrid(m attack.CostModel, tier attack.Tier, residual float64, targets []int, windows []time.Duration) []priced {
+func costGrid(ctx context.Context, m attack.CostModel, tier attack.Tier, residual float64, targets []int, windows []time.Duration) []priced {
 	grid := partialtor.MustNewSweepGrid(
 		partialtor.SweepInts("targets", targets...),
 		partialtor.SweepDurations("window", windows...),
 	)
-	results := partialtor.RunSweep(grid, 0, func(c partialtor.SweepCell) (priced, error) {
+	results := partialtor.RunSweepCtx(ctx, grid, 0, func(_ context.Context, c partialtor.SweepCell) (priced, error) {
 		n, d := c.Int("targets"), c.Duration("window")
 		plan := attack.Plan{
 			Tier:     tier,
@@ -121,16 +123,18 @@ func main() {
 		RequiredMbit:      *required,
 		CacheLinkMbit:     *cacheLink,
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	// The authority grid prices the paper's attack: flood each authority
 	// down to just below its protocol requirement, so with the defaults the
 	// 5-target 5-minute cell is the headline $0.074 / $53.28.
 	printGrid(
 		fmt.Sprintf("Authority-tier flood to below the %.0f Mbit/s requirement (%.0f Mbit/s links, $%.5f per Mbit/s/h):",
 			m.RequiredMbit, m.AuthorityLinkMbit, m.PricePerMbitHour),
-		costGrid(m, attack.TierAuthority, m.RequiredMbit*1e6, targetCounts, windows))
+		costGrid(ctx, m, attack.TierAuthority, m.RequiredMbit*1e6, targetCounts, windows))
 	printGrid(
 		fmt.Sprintf("Cache-tier knockout for one %v fetch window (%.0f Mbit/s links fully flooded):", *cacheWin, m.CacheLinkMbit),
-		costGrid(m, attack.TierCache, 0, cacheCounts, []time.Duration{*cacheWin}))
+		costGrid(ctx, m, attack.TierCache, 0, cacheCounts, []time.Duration{*cacheWin}))
 
 	fmt.Printf("headline accounting: %s\n", m.Summary(5, 5*time.Minute))
 	fmt.Printf("with the paper's defaults: %s\n", partialtor.DefaultCostModel().Summary(5, 5*time.Minute))

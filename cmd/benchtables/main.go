@@ -15,119 +15,310 @@
 // smoke pass. Select individual artifacts with -only. Every sweep fans its
 // grid out over -workers goroutines (default: all cores) on the shared
 // sweep engine; the rendered tables are byte-identical for any worker
-// count.
+// count. Ctrl-C cancels the run cleanly between sweep cells.
+//
+// -json additionally writes BENCH_tables.json: per-artifact wall time plus
+// the headline metrics (latencies, requirements, costs), so the repo's
+// performance trajectory is tracked run over run.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
 	"partialtor"
 )
 
+// artifact is one regenerable piece of the evaluation: its renderer plus
+// the headline metrics the JSON report tracks.
+type artifact struct {
+	name string
+	run  func(ctx context.Context) (render string, metrics map[string]float64, err error)
+}
+
+// benchRecord is one artifact's entry in BENCH_tables.json.
+type benchRecord struct {
+	Name    string             `json:"name"`
+	WallMS  float64            `json:"wall_ms"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// benchReport is the file's top-level shape.
+type benchReport struct {
+	GeneratedBy string        `json:"generated_by"`
+	Quick       bool          `json:"quick"`
+	Workers     int           `json:"workers"`
+	TotalMS     float64       `json:"total_ms"`
+	Artifacts   []benchRecord `json:"artifacts"`
+}
+
 func main() {
 	var (
-		quick   = flag.Bool("quick", false, "run reduced sweeps (seconds instead of minutes)")
-		only    = flag.String("only", "", "comma-separated subset: fig1,fig6,fig7,fig10,fig11,tab1,tab2,cost")
-		workers = flag.Int("workers", 0, "sweep worker pool (0 = all cores, 1 = serial)")
+		quick    = flag.Bool("quick", false, "run reduced sweeps (seconds instead of minutes)")
+		only     = flag.String("only", "", "comma-separated subset: fig1,fig6,fig7,fig10,fig11,tab1,tab2,cost,ablation")
+		workers  = flag.Int("workers", 0, "sweep worker pool (0 = all cores, 1 = serial)")
+		jsonOut  = flag.Bool("json", false, "write BENCH_tables.json with per-artifact wall time + headline metrics")
+		jsonPath = flag.String("json-path", "BENCH_tables.json", "where -json writes the report")
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	artifacts := buildArtifacts(*quick, *workers)
 	want := map[string]bool{}
 	if *only != "" {
+		known := map[string]bool{}
+		for _, a := range artifacts {
+			known[a.name] = true
+		}
 		for _, k := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(strings.ToLower(k))] = true
+			k = strings.TrimSpace(strings.ToLower(k))
+			if !known[k] {
+				fmt.Fprintf(os.Stderr, "unknown artifact %q\n", k)
+				os.Exit(2)
+			}
+			want[k] = true
 		}
 	}
 	sel := func(k string) bool { return len(want) == 0 || want[k] }
 
-	if sel("fig6") {
-		fmt.Println(partialtor.Figure6().Render())
-	}
-	if sel("cost") {
-		fmt.Println(partialtor.CostTable().Render())
-	}
-	if sel("tab2") {
-		fmt.Println(partialtor.Table2().Render())
-	}
-	if sel("fig1") {
-		p := partialtor.Figure1Params{}
-		if *quick {
-			p = partialtor.Figure1Params{Relays: 400, Round: 15 * time.Second, Residual: 5e3}
+	report := benchReport{GeneratedBy: "benchtables", Quick: *quick, Workers: *workers}
+	start := time.Now()
+	for _, a := range artifacts {
+		if !sel(a.name) {
+			continue
 		}
-		fmt.Println(partialtor.Figure1(p).Render())
-	}
-	if sel("tab1") {
-		p := partialtor.Table1Params{}
-		if *quick {
-			p = partialtor.Table1Params{Relays: 300, Bandwidth: 100e6, Round: 20 * time.Second}
-		}
-		p.Workers = *workers
-		fmt.Println(partialtor.Table1(p).Render())
-	}
-	if sel("fig7") {
-		p := partialtor.Figure7Params{}
-		if *quick {
-			p = partialtor.Figure7Params{
-				RelayCounts: []int{200, 600, 1200},
-				Round:       15 * time.Second,
-				MaxMbit:     60,
-				Precision:   0.5,
+		t0 := time.Now()
+		render, metrics, err := a.run(ctx)
+		wall := time.Since(t0)
+		if err != nil {
+			// A failed (or Ctrl-C'd) artifact must not discard the wall
+			// times already measured, nor leave a stale report lying about
+			// this build: flush what completed before exiting.
+			fmt.Fprintf(os.Stderr, "benchtables: %s: %v\n", a.name, err)
+			report.TotalMS = float64(time.Since(start).Microseconds()) / 1e3
+			if *jsonOut {
+				writeReport(*jsonPath, report)
 			}
+			os.Exit(1)
 		}
-		p.Workers = *workers
-		fmt.Println(partialtor.Figure7(p).Render())
+		fmt.Println(render)
+		report.Artifacts = append(report.Artifacts, benchRecord{
+			Name:    a.name,
+			WallMS:  float64(wall.Microseconds()) / 1e3,
+			Metrics: metrics,
+		})
 	}
-	if sel("fig10") {
-		p := partialtor.Figure10Params{}
-		if *quick {
-			p = partialtor.Figure10Params{
-				BandwidthsMbit: []float64{100, 10, 1},
-				RelayCounts:    []int{300, 900, 1500},
-				Round:          15 * time.Second,
+	report.TotalMS = float64(time.Since(start).Microseconds()) / 1e3
+
+	if *jsonOut {
+		if !writeReport(*jsonPath, report) {
+			os.Exit(1)
+		}
+	}
+}
+
+// writeReport writes the JSON perf report, reporting success.
+func writeReport(path string, report benchReport) bool {
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchtables: marshal report: %v\n", err)
+		return false
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchtables: write %s: %v\n", path, err)
+		return false
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d artifacts)\n", path, len(report.Artifacts))
+	return true
+}
+
+// buildArtifacts assembles the artifact list at the requested scale. The
+// order matches the paper's presentation (cheap artifacts first).
+func buildArtifacts(quick bool, workers int) []artifact {
+	return []artifact{
+		{name: "fig6", run: func(context.Context) (string, map[string]float64, error) {
+			r := partialtor.Figure6()
+			return r.Render(), map[string]float64{"avg_relays": r.Average}, nil
+		}},
+		{name: "cost", run: func(context.Context) (string, map[string]float64, error) {
+			r := partialtor.CostTable()
+			return r.Render(), map[string]float64{
+				"usd_per_instance": r.CostPerInstance,
+				"usd_per_month":    r.CostPerMonth,
+			}, nil
+		}},
+		{name: "tab2", run: func(ctx context.Context) (string, map[string]float64, error) {
+			r, err := partialtor.Table2(ctx)
+			if err != nil {
+				return "", nil, err
 			}
-		}
-		p.Workers = *workers
-		fmt.Println(partialtor.Figure10(p).Render())
-	}
-	if sel("fig11") {
-		p := partialtor.Figure11Params{}
-		if *quick {
-			p = partialtor.Figure11Params{RelayCounts: []int{200, 800}, Outage: time.Minute}
-		}
-		p.Workers = *workers
-		fmt.Println(partialtor.Figure11(p).Render())
-	}
-	if sel("ablation") {
-		es := partialtor.EntrySizeParams{}
-		dp := partialtor.DeltaParams{}
-		tp := partialtor.TimeoutParams{}
-		if *quick {
-			es = partialtor.EntrySizeParams{
-				EntrySizes:    []int{625, 2500},
-				RelayCounts:   []int{500, 1000, 2000, 4000, 8000},
-				BandwidthMbit: 10,
-				Round:         15 * time.Second,
+			return r.Render(), map[string]float64{"rounds_total": float64(r.Total)}, nil
+		}},
+		{name: "fig1", run: func(ctx context.Context) (string, map[string]float64, error) {
+			p := partialtor.Figure1Params{}
+			if quick {
+				p = partialtor.Figure1Params{Relays: 400, Round: 15 * time.Second, Residual: 5e3}
 			}
-			dp = partialtor.DeltaParams{Relays: 200}
-			tp = partialtor.TimeoutParams{Outage: 30 * time.Second, Relays: 150}
-		}
-		es.Workers, dp.Workers, tp.Workers = *workers, *workers, *workers
-		fmt.Println(partialtor.AblationEntrySize(es).Render())
-		fmt.Println(partialtor.AblationDelta(dp).Render())
-		fmt.Println(partialtor.AblationTimeout(tp).Render())
-	}
-	if len(want) > 0 {
-		for k := range want {
-			switch k {
-			case "fig1", "fig6", "fig7", "fig10", "fig11", "tab1", "tab2", "cost", "ablation":
-			default:
-				fmt.Fprintf(os.Stderr, "unknown artifact %q\n", k)
-				os.Exit(2)
+			r, err := partialtor.Figure1(ctx, p)
+			if err != nil {
+				return "", nil, err
 			}
-		}
+			return r.Render(), map[string]float64{
+				"log_lines":      float64(len(r.Lines)),
+				"attack_success": boolMetric(!r.Run.Success),
+			}, nil
+		}},
+		{name: "tab1", run: func(ctx context.Context) (string, map[string]float64, error) {
+			p := partialtor.Table1Params{}
+			if quick {
+				p = partialtor.Table1Params{Relays: 300, Bandwidth: 100e6, Round: 20 * time.Second}
+			}
+			p.Workers = workers
+			r, err := partialtor.Table1(ctx, p)
+			if err != nil {
+				return "", nil, err
+			}
+			metrics := map[string]float64{}
+			for _, row := range r.Rows {
+				key := strings.ToLower(row.Protocol.String())
+				metrics[key+"_bytes"] = float64(row.MeasuredBytes)
+				metrics[key+"_messages"] = float64(row.MeasuredMessages)
+			}
+			return r.Render(), metrics, nil
+		}},
+		{name: "fig7", run: func(ctx context.Context) (string, map[string]float64, error) {
+			p := partialtor.Figure7Params{}
+			if quick {
+				p = partialtor.Figure7Params{
+					RelayCounts: []int{200, 600, 1200},
+					Round:       15 * time.Second,
+					MaxMbit:     60,
+					Precision:   0.5,
+				}
+			}
+			p.Workers = workers
+			r, err := partialtor.Figure7(ctx, p)
+			if err != nil {
+				return "", nil, err
+			}
+			// RequiredMbit < 0 is the "above the search ceiling" sentinel,
+			// not a bandwidth; track those rows separately so the report
+			// never plots -1 as a requirement.
+			metrics := map[string]float64{}
+			maxReq, unbounded := -1.0, 0
+			for _, row := range r.Rows {
+				if row.RequiredMbit < 0 {
+					unbounded++
+				} else if row.RequiredMbit > maxReq {
+					maxReq = row.RequiredMbit
+				}
+			}
+			if maxReq >= 0 {
+				metrics["max_required_mbit"] = maxReq
+			}
+			metrics["above_ceiling_rows"] = float64(unbounded)
+			return r.Render(), metrics, nil
+		}},
+		{name: "fig10", run: func(ctx context.Context) (string, map[string]float64, error) {
+			p := partialtor.Figure10Params{}
+			if quick {
+				p = partialtor.Figure10Params{
+					BandwidthsMbit: []float64{100, 10, 1},
+					RelayCounts:    []int{300, 900, 1500},
+					Round:          15 * time.Second,
+				}
+			}
+			p.Workers = workers
+			r, err := partialtor.Figure10(ctx, p)
+			if err != nil {
+				return "", nil, err
+			}
+			failures := 0
+			for _, c := range r.Cells {
+				if !c.Success {
+					failures++
+				}
+			}
+			return r.Render(), map[string]float64{
+				"cells":        float64(len(r.Cells)),
+				"failed_cells": float64(failures),
+			}, nil
+		}},
+		{name: "fig11", run: func(ctx context.Context) (string, map[string]float64, error) {
+			p := partialtor.Figure11Params{}
+			if quick {
+				p = partialtor.Figure11Params{RelayCounts: []int{200, 800}, Outage: time.Minute}
+			}
+			p.Workers = workers
+			r, err := partialtor.Figure11(ctx, p)
+			if err != nil {
+				return "", nil, err
+			}
+			// Recovery == Never is a sentinel, not an instant recovery:
+			// only report max_recovery_s over rows that recovered, and
+			// count the rest so the trajectory can't read a total failure
+			// as a perfect run.
+			metrics := map[string]float64{"baseline_s": partialtor.FallbackLatency.Seconds()}
+			worst, neverRecovered := time.Duration(-1), 0
+			for _, row := range r.Rows {
+				if row.Recovery == partialtor.Never {
+					neverRecovered++
+				} else if row.Recovery > worst {
+					worst = row.Recovery
+				}
+			}
+			if worst >= 0 {
+				metrics["max_recovery_s"] = worst.Seconds()
+			}
+			metrics["never_recovered_rows"] = float64(neverRecovered)
+			return r.Render(), metrics, nil
+		}},
+		{name: "ablation", run: func(ctx context.Context) (string, map[string]float64, error) {
+			es := partialtor.EntrySizeParams{}
+			dp := partialtor.DeltaParams{}
+			tp := partialtor.TimeoutParams{}
+			if quick {
+				es = partialtor.EntrySizeParams{
+					EntrySizes:    []int{625, 2500},
+					RelayCounts:   []int{500, 1000, 2000, 4000, 8000},
+					BandwidthMbit: 10,
+					Round:         15 * time.Second,
+				}
+				dp = partialtor.DeltaParams{Relays: 200}
+				tp = partialtor.TimeoutParams{Outage: 30 * time.Second, Relays: 150}
+			}
+			es.Workers, dp.Workers, tp.Workers = workers, workers, workers
+			esr, err := partialtor.AblationEntrySize(ctx, es)
+			if err != nil {
+				return "", nil, err
+			}
+			dpr, err := partialtor.AblationDelta(ctx, dp)
+			if err != nil {
+				return "", nil, err
+			}
+			tpr, err := partialtor.AblationTimeout(ctx, tp)
+			if err != nil {
+				return "", nil, err
+			}
+			out := esr.Render() + "\n" + dpr.Render() + "\n" + tpr.Render()
+			return out, nil, nil
+		}},
 	}
+}
+
+// boolMetric folds a verdict into the numeric metrics map.
+func boolMetric(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }

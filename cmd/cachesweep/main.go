@@ -9,13 +9,16 @@
 // Cells fan out over -workers goroutines (default: all cores); the table is
 // printed in grid order after the sweep, so any worker count produces
 // byte-identical output. A failing cell costs one row, not the sweep: its
-// error is reported with the full cell coordinates at the end.
+// error is reported with the full cell coordinates at the end. Ctrl-C
+// cancels the sweep between cells; completed cells still print.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"partialtor"
@@ -63,8 +66,10 @@ func main() {
 		partialtor.SweepFloats("residual", residuals...),
 	)
 	pricing := partialtor.DefaultCostModel()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	start := time.Now()
-	results := partialtor.RunSweep(grid, *workers, func(c partialtor.SweepCell) (cellRow, error) {
+	results := partialtor.RunSweepCtx(ctx, grid, *workers, func(_ context.Context, c partialtor.SweepCell) (cellRow, error) {
 		spec := partialtor.DistributionSpec{
 			Caches:         c.Int("caches"),
 			Clients:        c.Int("clients"),

@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -70,7 +72,13 @@ func main() {
 
 	fmt.Printf("running %v with %d relays at %.2f Mbit/s (seed %d)...\n",
 		proto, *relays, *bandwidthMbit, *seed)
-	res := partialtor.Run(s)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := partialtor.RunE(ctx, s)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tordirsim: %v\n", err)
+		os.Exit(1)
+	}
 
 	if res.Success {
 		fmt.Printf("SUCCESS: consensus generated, network-time latency %.1fs\n", res.Latency.Seconds())

@@ -8,7 +8,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 	"time"
 
 	"partialtor"
@@ -30,7 +32,7 @@ func main() {
 			End:      time.Minute, // covers both scaled vote rounds
 			Residual: 5e3,
 		}
-		res := partialtor.Run(partialtor.Scenario{
+		res, err := partialtor.RunE(context.Background(), partialtor.Scenario{
 			Protocol:     proto,
 			Relays:       400,
 			EntryPadding: -1,
@@ -38,6 +40,9 @@ func main() {
 			Attack:       &plan,
 			Seed:         9,
 		})
+		if err != nil {
+			log.Fatalf("availability: %v", err)
+		}
 		return res.Success
 	}
 

@@ -4,11 +4,15 @@
 // This example distributes one consensus to 1,000,000 modelled clients over
 // 24 caches, then repeats the experiment with a DDoS-for-hire flood aimed at
 // the caches instead of the authorities ("flood the mirrors"), and finally
-// ties a multi-period campaign into the client availability model.
+// composes the full pipeline — consensus generation, cache distribution,
+// population-level availability — as one declarative Experiment
+// (Generate → Distribute → Avail).
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 	"time"
 
 	"partialtor"
@@ -41,13 +45,14 @@ func report(name string, r *partialtor.DistributionResult) {
 }
 
 func main() {
+	ctx := context.Background()
 	start := time.Now()
 	fmt.Println("== distributing one consensus to 1,000,000 clients over 24 caches ==")
 	fmt.Println()
 
 	healthy, err := partialtor.RunDistribution(spec())
 	if err != nil {
-		panic(err)
+		log.Fatalf("cachedistribution: %v", err)
 	}
 	report("healthy tier", healthy)
 
@@ -64,7 +69,7 @@ func main() {
 	s.Attacks = []partialtor.AttackPlan{cachePlan}
 	attacked, err := partialtor.RunDistribution(s)
 	if err != nil {
-		panic(err)
+		log.Fatalf("cachedistribution: %v", err)
 	}
 	report(fmt.Sprintf("flooding %d of %d caches (0.5 Mbit/s residual)",
 		len(cachePlan.Targets), s.Caches), attacked)
@@ -90,7 +95,7 @@ func main() {
 		{"no attack", nil},
 		{"five-minute authority attack", &authPlan},
 	} {
-		res := partialtor.Run(partialtor.Scenario{
+		res, err := partialtor.RunE(ctx, partialtor.Scenario{
 			Protocol:     partialtor.Current,
 			Relays:       300,
 			EntryPadding: -1,
@@ -99,19 +104,47 @@ func main() {
 			Distribution: &dist,
 			Seed:         3,
 		})
+		if err != nil {
+			log.Fatalf("cachedistribution: %v", err)
+		}
 		fmt.Printf("%s: consensus success=%v\n", tc.name, res.Success)
 		report("  distribution", res.Distribution)
 	}
 
-	// Population-level availability: four hourly periods, the last three
-	// under the cache flood. Validity windows start when the document has
-	// actually reached 95% of clients, not when the authorities signed it.
-	fmt.Println("== four hourly periods, caches flooded from hour 1 ==")
+	// The full pipeline as one declarative experiment: four hourly periods
+	// distributing to the million-client tier, the caches flooded from
+	// hour 1. Each period runs the protocol, distributes the consensus it
+	// produced, and the availability phase starts every validity window
+	// when the document actually reached 95% of clients — not when the
+	// authorities signed it.
+	fmt.Println("== experiment: four hourly periods, caches flooded from hour 1 ==")
 	fmt.Println()
-	periods := []*partialtor.DistributionResult{healthy, attacked, attacked, attacked}
-	tl := partialtor.FleetTimeline(partialtor.DefaultClientPolicy(), periods)
-	fmt.Printf("availability: %.1f%%\n", 100*tl.Availability())
-	for _, w := range tl.Outages() {
+	exp, err := partialtor.NewExperiment(
+		partialtor.WithScenario(partialtor.Scenario{
+			Protocol:     partialtor.Current,
+			Relays:       300,
+			EntryPadding: -1,
+			Round:        15 * time.Second,
+			Seed:         3,
+		}),
+		partialtor.WithPeriods(4),
+		partialtor.WithDistribution(spec()),
+		partialtor.WithAttack(cachePlan),
+		partialtor.WithAttackSchedule(func(i int) bool { return i > 0 }),
+	)
+	if err != nil {
+		log.Fatalf("cachedistribution: %v", err)
+	}
+	fmt.Printf("phases: %v\n", exp.Phases())
+	er, err := exp.Run(ctx)
+	if err != nil {
+		log.Fatalf("cachedistribution: %v", err)
+	}
+	for i, d := range er.Distributions {
+		fmt.Printf("period %d: consensus=%v coverage=%.1f%%\n", i, er.Outcomes[i], 100*d.Coverage())
+	}
+	fmt.Printf("availability: %.1f%%\n", 100*er.Availability)
+	for _, w := range er.Timeline.Outages() {
 		fmt.Printf("population-level outage: %v (%v)\n", w, w.Duration().Round(time.Second))
 	}
 	fmt.Println()

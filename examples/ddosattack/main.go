@@ -5,7 +5,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 	"time"
 
 	"partialtor"
@@ -17,11 +19,14 @@ func main() {
 
 	// Scaled-down rounds keep the demo quick; pass Figure1Params{} for the
 	// full 150-second rounds with 8000 relays.
-	fig1 := partialtor.Figure1(partialtor.Figure1Params{
+	fig1, err := partialtor.Figure1(context.Background(), partialtor.Figure1Params{
 		Relays:   1000,
 		Round:    30 * time.Second,
 		Residual: 5e3, // the stressor leaves almost nothing
 	})
+	if err != nil {
+		log.Fatalf("ddosattack: %v", err)
+	}
 	fmt.Println(fig1.Render())
 
 	if fig1.Run.Success {

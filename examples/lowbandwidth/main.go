@@ -5,7 +5,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"partialtor"
 )
@@ -18,13 +20,16 @@ func main() {
 	for _, proto := range []partialtor.Protocol{
 		partialtor.Current, partialtor.Synchronous, partialtor.ICPS,
 	} {
-		res := partialtor.Run(partialtor.Scenario{
+		res, err := partialtor.RunE(context.Background(), partialtor.Scenario{
 			Protocol:     proto,
 			Relays:       relays,
 			EntryPadding: -1,
 			Bandwidth:    bandwidth,
 			Seed:         7,
 		})
+		if err != nil {
+			log.Fatalf("lowbandwidth: %v", err)
+		}
 		if res.Success {
 			fmt.Printf("%-12v SUCCESS  latency %7.1fs   (%6.1f MB moved)\n",
 				proto, res.Latency.Seconds(), float64(res.BytesSent)/1e6)

@@ -1,7 +1,10 @@
 package partialtor_test
 
 import (
+	"context"
+	"errors"
 	"math"
+	"strings"
 	"testing"
 	"time"
 
@@ -41,7 +44,7 @@ func TestFacadeHeadlineAttack(t *testing.T) {
 	plan := partialtor.FiveMinuteOutage(partialtor.MajorityTargets(9))
 	plan.End = time.Minute
 
-	cur := partialtor.Run(partialtor.Scenario{
+	cur, err := partialtor.RunE(context.Background(), partialtor.Scenario{
 		Protocol:     partialtor.Current,
 		Relays:       200,
 		EntryPadding: 0,
@@ -49,20 +52,29 @@ func TestFacadeHeadlineAttack(t *testing.T) {
 		Attack:       &plan,
 		Seed:         4,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if cur.Success {
 		t.Fatal("current protocol survived the outage")
+	}
+	if cur.Consensus() != nil {
+		t.Fatal("failed run reports a consensus document")
 	}
 	if _, ok := cur.Detail.(*dirv3.Result); !ok {
 		t.Fatalf("detail type %T", cur.Detail)
 	}
 
-	ours := partialtor.Run(partialtor.Scenario{
+	ours, err := partialtor.RunE(context.Background(), partialtor.Scenario{
 		Protocol:     partialtor.ICPS,
 		Relays:       200,
 		EntryPadding: 0,
 		Attack:       &plan,
 		Seed:         4,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !ours.Success {
 		t.Fatal("ICPS failed to recover from the outage")
 	}
@@ -70,8 +82,95 @@ func TestFacadeHeadlineAttack(t *testing.T) {
 	if recovery < 0 || recovery > 30*time.Second {
 		t.Fatalf("recovery %v, want within seconds of the attack end", recovery)
 	}
+	// The typed accessor replaces reaching through Detail.
+	if ours.Consensus() == nil {
+		t.Fatal("successful run lost its consensus document")
+	}
 	if _, ok := ours.Detail.(*core.Result); !ok {
 		t.Fatalf("detail type %T", ours.Detail)
+	}
+}
+
+// TestFacadeRunEErrors pins the error contract at the facade: invalid
+// configuration is an error, never a panic.
+func TestFacadeRunEErrors(t *testing.T) {
+	plan := partialtor.AttackPlan{
+		Tier:    partialtor.TierCache,
+		Targets: partialtor.MajorityTargets(9),
+		End:     time.Minute,
+	}
+	if _, err := partialtor.RunE(context.Background(), partialtor.Scenario{
+		Protocol: partialtor.Current,
+		Relays:   150,
+		Attack:   &plan,
+	}); err == nil || !strings.Contains(err.Error(), "authority-tier") {
+		t.Fatalf("cache-tier plan error %v", err)
+	}
+	if _, err := partialtor.CampaignE(context.Background(), partialtor.CampaignParams{
+		Protocol: partialtor.Protocol(404),
+		Periods:  1,
+		Relays:   100,
+	}); err == nil || !strings.Contains(err.Error(), "no driver") {
+		t.Fatalf("unknown protocol error %v", err)
+	}
+}
+
+// TestFacadeExperimentPipeline drives the declarative pipeline end to end
+// through the facade.
+func TestFacadeExperimentPipeline(t *testing.T) {
+	exp, err := partialtor.NewExperiment(
+		partialtor.WithScenario(partialtor.Scenario{
+			Protocol:     partialtor.Current,
+			Relays:       150,
+			EntryPadding: -1,
+			Round:        15 * time.Second,
+			Seed:         3,
+		}),
+		partialtor.WithPeriods(2),
+		partialtor.WithDistribution(partialtor.DistributionSpec{
+			Clients:     20_000,
+			Caches:      5,
+			Fleets:      2,
+			FetchWindow: 10 * time.Minute,
+			Tick:        5 * time.Second,
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases := exp.Phases()
+	if len(phases) != 3 || phases[0] != partialtor.PhaseGenerate ||
+		phases[1] != partialtor.PhaseDistribute || phases[2] != partialtor.PhaseAvail {
+		t.Fatalf("phases %v", phases)
+	}
+	res, err := exp.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Successes != 2 || len(res.Distributions) != 2 {
+		t.Fatalf("successes=%d distributions=%d", res.Successes, len(res.Distributions))
+	}
+	if res.Timeline == nil || res.Availability <= 0 {
+		t.Fatalf("availability %v", res.Availability)
+	}
+}
+
+// TestFacadeSweepCancellation: RunSweepCtx keeps completed cells and marks
+// skipped ones with SweepCellSkipped.
+func TestFacadeSweepCancellation(t *testing.T) {
+	grid := partialtor.MustNewSweepGrid(partialtor.SweepInts("i", 0, 1, 2, 3))
+	ctx, cancel := context.WithCancel(context.Background())
+	results := partialtor.RunSweepCtx(ctx, grid, 1, func(_ context.Context, c partialtor.SweepCell) (int, error) {
+		if c.Int("i") == 1 {
+			cancel()
+		}
+		return c.Int("i") * 2, nil
+	})
+	if results[0].Err != nil || results[0].Value != 0 || results[1].Err != nil || results[1].Value != 2 {
+		t.Fatalf("completed cells lost: %+v", results[:2])
+	}
+	if !errors.Is(results[3].Err, partialtor.SweepCellSkipped) {
+		t.Fatalf("cell 3 error %v, want SweepCellSkipped", results[3].Err)
 	}
 }
 
@@ -113,5 +212,18 @@ func TestFacadeFigure6(t *testing.T) {
 	f := partialtor.Figure6()
 	if math.Abs(f.Average-7141.79) > 0.05 {
 		t.Fatalf("average %.2f", f.Average)
+	}
+}
+
+// TestFacadeDriverRegistry: the pluggable-protocol surface is reachable
+// from the facade.
+func TestFacadeDriverRegistry(t *testing.T) {
+	d, err := partialtor.DriverFor(partialtor.ICPS)
+	if err != nil || d.Name() != "Ours" {
+		t.Fatalf("ICPS driver %v err %v", d, err)
+	}
+	ps := partialtor.Protocols()
+	if len(ps) < 3 {
+		t.Fatalf("protocols %v", ps)
 	}
 }

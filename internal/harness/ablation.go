@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -45,7 +46,7 @@ type EntrySizeParams struct {
 // AblationEntrySize sweeps the current protocol's failure threshold across
 // entry sizes. The entry sizes fan out over the sweep engine; each cell's
 // threshold scan stays sequential because it stops at the first failure.
-func AblationEntrySize(p EntrySizeParams) *EntrySizeResult {
+func AblationEntrySize(ctx context.Context, p EntrySizeParams) (*EntrySizeResult, error) {
 	if len(p.EntrySizes) == 0 {
 		p.EntrySizes = []int{625, 1250, 2500}
 	}
@@ -62,11 +63,11 @@ func AblationEntrySize(p EntrySizeParams) *EntrySizeResult {
 	}
 	res := &EntrySizeResult{BandwidthMbit: p.BandwidthMbit, Relays: p.RelayCounts}
 	grid := sweep.MustNew(sweep.Ints("entry", p.EntrySizes...))
-	results := mustSweep(grid, p.Workers, func(c sweep.Cell) (EntrySizeRow, error) {
+	results, err := sweepE(ctx, grid, p.Workers, func(ctx context.Context, c sweep.Cell) (EntrySizeRow, error) {
 		entry := c.Int("entry")
 		threshold := 0
 		for _, relays := range p.RelayCounts {
-			run := Run(Scenario{
+			run, err := RunE(ctx, Scenario{
 				Protocol:     Current,
 				Relays:       relays,
 				EntryPadding: entry,
@@ -74,6 +75,9 @@ func AblationEntrySize(p EntrySizeParams) *EntrySizeResult {
 				Round:        p.Round,
 				Seed:         p.Seed,
 			})
+			if err != nil {
+				return EntrySizeRow{}, err
+			}
 			if !run.Success {
 				threshold = relays
 				break
@@ -81,10 +85,13 @@ func AblationEntrySize(p EntrySizeParams) *EntrySizeResult {
 		}
 		return EntrySizeRow{EntryBytes: entry, ThresholdRelays: threshold}, nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	for _, r := range results {
 		res.Rows = append(res.Rows, r.Value)
 	}
-	return res
+	return res, nil
 }
 
 // Render prints the calibration table.
@@ -129,7 +136,7 @@ type DeltaParams struct {
 
 // AblationDelta sweeps Δ with one crashed authority (and, as control, with
 // none) — a crash × Δ grid on the sweep engine.
-func AblationDelta(p DeltaParams) *DeltaResult {
+func AblationDelta(ctx context.Context, p DeltaParams) (*DeltaResult, error) {
 	if len(p.Deltas) == 0 {
 		p.Deltas = []time.Duration{2 * time.Second, 10 * time.Second, 30 * time.Second}
 	}
@@ -141,7 +148,7 @@ func AblationDelta(p DeltaParams) *DeltaResult {
 		sweep.Of("crash", true, false),
 		sweep.Durations("delta", p.Deltas...),
 	)
-	results := mustSweep(grid, p.Workers, func(c sweep.Cell) (DeltaRow, error) {
+	results, err := sweepE(ctx, grid, p.Workers, func(_ context.Context, c sweep.Cell) (DeltaRow, error) {
 		delta := c.Duration("delta")
 		keys, docs := Inputs(Scenario{Relays: p.Relays, EntryPadding: -1, Seed: p.Seed}.withDefaults())
 		cfg := core.Config{Keys: keys, Docs: docs, Delta: delta, BaseTimeout: 10 * time.Second}
@@ -157,6 +164,9 @@ func AblationDelta(p DeltaParams) *DeltaResult {
 		r := core.Collect(auths, cfg, func(i int) bool { return !cfg.Silent[i] })
 		return DeltaRow{Delta: delta, Latency: r.Latency, OKCount: r.OKCount}, nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	for _, r := range results {
 		if r.Cell.Value("crash").(bool) {
 			res.Rows = append(res.Rows, r.Value)
@@ -164,7 +174,7 @@ func AblationDelta(p DeltaParams) *DeltaResult {
 			res.HealthyRows = append(res.HealthyRows, r.Value)
 		}
 	}
-	return res
+	return res, nil
 }
 
 // Render prints both sweeps.
@@ -211,7 +221,7 @@ type TimeoutParams struct {
 
 // AblationTimeout sweeps the pacemaker base timeout under an outage on the
 // sweep engine.
-func AblationTimeout(p TimeoutParams) *TimeoutResult {
+func AblationTimeout(ctx context.Context, p TimeoutParams) (*TimeoutResult, error) {
 	if len(p.BaseTimeouts) == 0 {
 		p.BaseTimeouts = []time.Duration{5 * time.Second, 20 * time.Second, 80 * time.Second}
 	}
@@ -223,10 +233,10 @@ func AblationTimeout(p TimeoutParams) *TimeoutResult {
 	}
 	res := &TimeoutResult{Outage: p.Outage}
 	grid := sweep.MustNew(sweep.Durations("timeout", p.BaseTimeouts...))
-	results := mustSweep(grid, p.Workers, func(c sweep.Cell) (TimeoutRow, error) {
+	results, err := sweepE(ctx, grid, p.Workers, func(ctx context.Context, c sweep.Cell) (TimeoutRow, error) {
 		bt := c.Duration("timeout")
 		plan := attack.Plan{Targets: attack.MajorityTargets(9), Start: 0, End: p.Outage, Residual: 0}
-		run := Run(Scenario{
+		run, err := RunE(ctx, Scenario{
 			Protocol:     ICPS,
 			Relays:       p.Relays,
 			EntryPadding: -1,
@@ -234,6 +244,9 @@ func AblationTimeout(p TimeoutParams) *TimeoutResult {
 			BaseTimeout:  bt,
 			Seed:         p.Seed,
 		})
+		if err != nil {
+			return TimeoutRow{}, err
+		}
 		row := TimeoutRow{BaseTimeout: bt, Recovery: simnet.Never}
 		if run.Success && run.DoneAt != simnet.Never {
 			row.Recovery = run.DoneAt - p.Outage
@@ -243,10 +256,13 @@ func AblationTimeout(p TimeoutParams) *TimeoutResult {
 		}
 		return row, nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	for _, r := range results {
 		res.Rows = append(res.Rows, r.Value)
 	}
-	return res
+	return res, nil
 }
 
 // Render prints the sweep.

@@ -9,12 +9,15 @@ import (
 )
 
 func TestAblationEntrySizeThresholdScalesInversely(t *testing.T) {
-	r := AblationEntrySize(EntrySizeParams{
+	r, err := AblationEntrySize(bg, EntrySizeParams{
 		EntrySizes:    []int{625, 2500},
 		RelayCounts:   []int{500, 1000, 2000, 4000, 8000},
 		BandwidthMbit: 10,
 		Round:         15 * time.Second,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Rows) != 2 {
 		t.Fatalf("rows=%d", len(r.Rows))
 	}
@@ -35,10 +38,13 @@ func TestAblationEntrySizeThresholdScalesInversely(t *testing.T) {
 }
 
 func TestAblationDeltaBindsOnlyUnderFaults(t *testing.T) {
-	r := AblationDelta(DeltaParams{
+	r, err := AblationDelta(bg, DeltaParams{
 		Deltas: []time.Duration{2 * time.Second, 20 * time.Second},
 		Relays: 200,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Rows) != 2 || len(r.HealthyRows) != 2 {
 		t.Fatalf("rows=%d healthy=%d", len(r.Rows), len(r.HealthyRows))
 	}
@@ -70,11 +76,14 @@ func TestAblationDeltaBindsOnlyUnderFaults(t *testing.T) {
 }
 
 func TestAblationTimeoutRecoveryInsensitive(t *testing.T) {
-	r := AblationTimeout(TimeoutParams{
+	r, err := AblationTimeout(bg, TimeoutParams{
 		BaseTimeouts: []time.Duration{5 * time.Second, 80 * time.Second},
 		Outage:       30 * time.Second,
 		Relays:       150,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, row := range r.Rows {
 		if row.Recovery == simnet.Never {
 			t.Fatalf("no recovery with base timeout %v", row.BaseTimeout)

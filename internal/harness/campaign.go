@@ -1,19 +1,20 @@
 package harness
 
 import (
-	"fmt"
+	"context"
 	"time"
 
 	"partialtor/internal/attack"
 	"partialtor/internal/chain"
 	"partialtor/internal/client"
-	"partialtor/internal/sig"
 )
 
 // CampaignParams describes a multi-period simulation: a sequence of hourly
 // consensus runs, some of them under attack, whose outcomes feed the
 // consensus hash chain (proposal 239 extension) and the client availability
-// model (§2.1).
+// model (§2.1). It is a convenience front end for the Experiment pipeline —
+// CampaignE assembles an equivalent multi-period Experiment with the chain
+// and availability phases enabled.
 type CampaignParams struct {
 	Protocol Protocol
 	Periods  int
@@ -71,71 +72,53 @@ type CampaignResult struct {
 	FirstOutage  time.Duration // -1 if never down
 }
 
-// Campaign simulates the periods and assembles chain + availability.
-func Campaign(p CampaignParams) *CampaignResult {
+// CampaignE simulates the periods and assembles chain + availability,
+// returning an error — rather than panicking — on invalid configuration.
+func CampaignE(ctx context.Context, p CampaignParams) (*CampaignResult, error) {
 	p = p.withDefaults()
-
-	keys, _ := Inputs(Scenario{Relays: p.Relays, EntryPadding: -1, Seed: p.Seed}.withDefaults())
-	pubs := sig.PublicSet(keys)
-	majority := len(keys)/2 + 1
-	ch := chain.New(pubs, majority)
-
-	res := &CampaignResult{Chain: ch, FirstOutage: -1}
-	policy := client.DefaultPolicy()
-	var runs []client.Run
-	var prev sig.Digest
-	epoch := uint64(0)
-	for i := 0; i < p.Periods; i++ {
-		s := Scenario{
-			Protocol:     p.Protocol,
-			Relays:       p.Relays,
-			EntryPadding: -1,
-			Round:        p.Round,
-			Seed:         p.Seed, // same input docs per period: cache-friendly
-		}
-		if p.Attacked(i) {
-			plan := attack.Plan{
-				Targets:  attack.MajorityTargets(len(keys)),
-				Start:    0,
-				End:      p.AttackWindow,
-				Residual: p.Residual,
-			}
-			s.Attack = &plan
-		}
-		run := Run(s)
-		ok := run.Success
-		res.Outcomes = append(res.Outcomes, ok)
-		runs = append(runs, client.Run{At: time.Duration(i) * policy.Interval, Success: ok})
-		if !ok {
-			continue
-		}
-		res.Successes++
-		// Chain the consensus digest; signed by the majority that signed
-		// the consensus itself (represented by the first `majority` keys).
-		digest := consensusDigest(run)
-		epoch++
-		link := chain.Link{Epoch: epoch, Digest: digest, Prev: prev}
-		for k := 0; k < majority; k++ {
-			link.Sigs = append(link.Sigs, chain.SignLink(keys[k], epoch, digest, prev))
-		}
-		if err := ch.Append(link); err != nil {
-			// A chain violation here is a bug, not an input condition.
-			panic("harness: chain append failed: " + err.Error())
-		}
-		prev = digest
+	base := Scenario{
+		Protocol:     p.Protocol,
+		Relays:       p.Relays,
+		EntryPadding: -1,
+		Round:        p.Round,
+		Seed:         p.Seed, // same input docs per period: cache-friendly
 	}
-	res.Timeline = client.NewTimeline(policy, runs)
-	res.Availability = res.Timeline.Availability()
-	res.FirstOutage = res.Timeline.FirstOutage()
-	return res
+	exp, err := NewExperiment(
+		WithScenario(base),
+		WithPeriods(p.Periods),
+		WithAttack(attack.Plan{
+			Targets:  attack.MajorityTargets(base.withDefaults().N),
+			Start:    0,
+			End:      p.AttackWindow,
+			Residual: p.Residual,
+		}),
+		WithAttackSchedule(p.Attacked),
+		WithAvailability(client.DefaultPolicy()),
+		WithChain(),
+	)
+	if err != nil {
+		return nil, err
+	}
+	er, err := exp.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &CampaignResult{
+		Outcomes:     er.Outcomes,
+		Successes:    er.Successes,
+		Timeline:     er.Timeline,
+		Chain:        er.Chain,
+		Availability: er.Availability,
+		FirstOutage:  er.FirstOutage,
+	}, nil
 }
 
-// consensusDigest extracts the agreed consensus digest from a successful
-// run of any protocol.
-func consensusDigest(run *RunResult) sig.Digest {
-	c := resultConsensus(run)
-	if c == nil {
-		panic(fmt.Sprintf("harness: no consensus in result detail %T", run.Detail))
+// Campaign is the compatibility wrapper around CampaignE: same simulation,
+// but a configuration error panics. New code should call CampaignE.
+func Campaign(p CampaignParams) *CampaignResult {
+	res, err := CampaignE(context.Background(), p)
+	if err != nil {
+		panic(err.Error())
 	}
-	return c.Digest()
+	return res
 }

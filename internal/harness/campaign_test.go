@@ -90,7 +90,11 @@ func TestCrossProtocolConsensusAgreement(t *testing.T) {
 		if !run.Success {
 			t.Fatalf("%v failed", proto)
 		}
-		digest[proto] = consensusDigest(run).Hex()
+		c := run.Consensus()
+		if c == nil {
+			t.Fatalf("%v succeeded without a consensus document", proto)
+		}
+		digest[proto] = c.Digest().Hex()
 	}
 	if digest[Current] != digest[Synchronous] || digest[Current] != digest[ICPS] {
 		t.Fatalf("protocols disagree on the consensus document: %v", digest)

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"context"
+	"strings"
 	"testing"
 	"time"
 
@@ -38,7 +40,7 @@ func TestScenarioWithDistribution(t *testing.T) {
 	if d.Spec.PublishAt != res.Latency {
 		t.Fatalf("publish at %v, want protocol latency %v", d.Spec.PublishAt, res.Latency)
 	}
-	c := resultConsensus(res)
+	c := res.Consensus()
 	if c == nil || d.Spec.DocBytes != c.EncodedSize() {
 		t.Fatalf("distributed doc size %d, want measured consensus size", d.Spec.DocBytes)
 	}
@@ -99,37 +101,175 @@ func TestAuthorityAttackStarvesDistribution(t *testing.T) {
 	}
 }
 
-// TestCacheTierPlanRejectedByProtocolPhase pins the routing rule: a
-// cache-tier plan on Scenario.Attack is a configuration bug — silently
-// running the healthy network would hand back wrong experiment data — so
-// Run must refuse it, as it refuses malformed plans.
-func TestCacheTierPlanRejectedByProtocolPhase(t *testing.T) {
-	mustPanic := func(name string, plan attack.Plan) {
-		defer func() {
-			if recover() == nil {
-				t.Errorf("%s: Run accepted the plan", name)
-			}
-		}()
-		Run(Scenario{
+// TestInvalidScenarioReturnsError pins the redesign's error contract: every
+// configuration bug that used to panic inside Run now comes back as an
+// error from RunE — a cache-tier plan on Scenario.Attack, a malformed
+// window, a target beyond the authority set, an unregistered protocol —
+// so one bad cell costs one row of a sweep, never the sweep.
+func TestInvalidScenarioReturnsError(t *testing.T) {
+	scen := func(plan attack.Plan) Scenario {
+		return Scenario{
 			Protocol:     Current,
 			Relays:       300,
 			EntryPadding: -1,
 			Round:        15 * time.Second,
 			Attack:       &plan,
 			Seed:         3,
-		})
+		}
 	}
-	mustPanic("cache tier", attack.Plan{
-		Tier:     attack.TierCache,
-		Targets:  attack.MajorityTargets(9),
-		End:      40 * time.Second,
-		Residual: 0,
-	})
-	mustPanic("inverted window", attack.Plan{
+	cases := []struct {
+		name string
+		s    Scenario
+		want string
+	}{
+		{"cache tier", scen(attack.Plan{
+			Tier:     attack.TierCache,
+			Targets:  attack.MajorityTargets(9),
+			End:      40 * time.Second,
+			Residual: 0,
+		}), "authority-tier"},
+		{"inverted window", scen(attack.Plan{
+			Targets: attack.MajorityTargets(9),
+			Start:   time.Minute,
+			End:     30 * time.Second,
+		}), "window"},
+		{"target beyond tier", scen(attack.Plan{
+			Targets: []int{12},
+			End:     30 * time.Second,
+		}), "beyond the 9 authorities"},
+		{"unregistered protocol", Scenario{Protocol: Protocol(987), Relays: 100}, "no driver registered"},
+	}
+	for _, tc := range cases {
+		res, err := RunE(context.Background(), tc.s)
+		if err == nil {
+			t.Errorf("%s: RunE accepted the scenario", tc.name)
+			continue
+		}
+		if res != nil {
+			t.Errorf("%s: error with non-nil result", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q missing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestRunWrapperPanicsOnError pins the compatibility contract: the old Run
+// entry point still fails loudly on the same configuration bugs.
+func TestRunWrapperPanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Run accepted a cache-tier plan")
+		}
+	}()
+	plan := attack.Plan{
+		Tier:    attack.TierCache,
 		Targets: attack.MajorityTargets(9),
-		Start:   time.Minute,
-		End:     30 * time.Second,
-	})
+		End:     40 * time.Second,
+	}
+	Run(Scenario{Protocol: Current, Relays: 300, EntryPadding: -1, Round: 15 * time.Second, Attack: &plan, Seed: 3})
+}
+
+// --- effectiveDistribution edge cases -------------------------------------
+
+// TestEffectiveDistributionDefaults: a spec that leaves Seed and Authorities
+// zero inherits them from the scenario, and the original spec is never
+// mutated — scenarios may share one spec value across sweep cells.
+func TestEffectiveDistributionDefaults(t *testing.T) {
+	orig := testDistSpec()
+	s := Scenario{Relays: 100, Seed: 7, N: 5, Distribution: orig}.withDefaults()
+	spec, err := effectiveDistribution(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Seed != 7 {
+		t.Fatalf("seed %d, want the scenario's 7", spec.Seed)
+	}
+	if spec.Authorities != 5 {
+		t.Fatalf("authorities %d, want the scenario's 5", spec.Authorities)
+	}
+	if orig.Seed != 0 || orig.Authorities != 0 {
+		t.Fatalf("caller's spec mutated: seed=%d authorities=%d", orig.Seed, orig.Authorities)
+	}
+
+	// Pinned values win over the scenario's.
+	pinned := testDistSpec()
+	pinned.Seed, pinned.Authorities = 99, 3
+	s.Distribution = pinned
+	spec, err = effectiveDistribution(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Seed != 99 || spec.Authorities != 3 {
+		t.Fatalf("pinned spec overridden: seed=%d authorities=%d", spec.Seed, spec.Authorities)
+	}
+}
+
+// TestEffectiveDistributionAttackCarryOver: Scenario.Attack rides into the
+// spec's Attacks — unless the spec already brings its own authority-tier
+// plan, in which case the spec's plan wins and nothing is appended.
+func TestEffectiveDistributionAttackCarryOver(t *testing.T) {
+	plan := attack.Plan{Targets: attack.MajorityTargets(9), End: time.Minute, Residual: 0}
+	s := Scenario{Relays: 100, Distribution: testDistSpec(), Attack: &plan}.withDefaults()
+	spec, err := effectiveDistribution(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Attacks) != 1 || spec.Attacks[0].Tier != attack.TierAuthority {
+		t.Fatalf("attack not carried over: %+v", spec.Attacks)
+	}
+
+	// An authority plan already present suppresses the carry-over.
+	own := testDistSpec()
+	ownPlan := attack.Plan{Targets: []int{0}, End: 2 * time.Minute}
+	own.Attacks = []attack.Plan{ownPlan}
+	s.Distribution = own
+	spec, err = effectiveDistribution(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Attacks) != 1 || spec.Attacks[0].End != 2*time.Minute {
+		t.Fatalf("explicit authority plan not preserved verbatim: %+v", spec.Attacks)
+	}
+
+	// A cache-tier plan does not count as an authority plan: the scenario
+	// attack still carries over alongside it.
+	mixed := testDistSpec()
+	mixed.Attacks = []attack.Plan{{Tier: attack.TierCache, Targets: []int{0}, End: time.Minute}}
+	s.Distribution = mixed
+	spec, err = effectiveDistribution(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Attacks) != 2 {
+		t.Fatalf("carry-over skipped despite no authority plan: %+v", spec.Attacks)
+	}
+}
+
+// TestEffectiveDistributionErrors: an unsatisfiable spec or a carried-over
+// attack aimed beyond the distribution tier's authorities is an error (the
+// old code panicked here).
+func TestEffectiveDistributionErrors(t *testing.T) {
+	bad := testDistSpec()
+	bad.TargetCoverage = 1.5
+	s := Scenario{Relays: 100, Distribution: bad}.withDefaults()
+	if _, err := effectiveDistribution(s); err == nil || !strings.Contains(err.Error(), "target coverage") {
+		t.Fatalf("invalid spec error %v", err)
+	}
+	res, err := RunE(context.Background(), s)
+	if err == nil || res != nil {
+		t.Fatalf("RunE accepted an invalid distribution spec: res=%v err=%v", res, err)
+	}
+
+	// The distribution tier is sized smaller than the attacked authorities.
+	small := testDistSpec()
+	small.Authorities = 3
+	plan := attack.Plan{Targets: attack.MajorityTargets(9), End: time.Minute}
+	s = Scenario{Relays: 100, Distribution: small, Attack: &plan}.withDefaults()
+	if _, err := effectiveDistribution(s); err == nil ||
+		!strings.Contains(err.Error(), "size Distribution.Authorities") {
+		t.Fatalf("oversized targets error %v", err)
+	}
 }
 
 func TestInputsConcurrentUse(t *testing.T) {

@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"time"
+
+	"partialtor/internal/core"
+	"partialtor/internal/dirv3"
+	"partialtor/internal/sig"
+	"partialtor/internal/simnet"
+	"partialtor/internal/syncdir"
+	"partialtor/internal/vote"
+)
+
+// The three paper protocols as registered drivers. Each Build mirrors what
+// the old Run switch arm did: construct the protocol config from the
+// scenario, instantiate the authorities, and wrap the package's Collect.
+
+func init() {
+	RegisterDriver(Current, dirv3Driver{})
+	RegisterDriver(Synchronous, syncdirDriver{})
+	RegisterDriver(ICPS, icpsDriver{})
+}
+
+// dirv3Driver runs the deployed Tor directory protocol v3.
+type dirv3Driver struct{}
+
+func (dirv3Driver) Name() string { return "Current" }
+
+func (dirv3Driver) Build(s Scenario, keys []*sig.KeyPair, docs []*vote.Document) (ProtocolRun, error) {
+	cfg := dirv3.Config{Keys: keys, Docs: docs, Round: s.Round, FetchTimeout: s.FetchTimeout}
+	auths := dirv3.NewAuthorities(cfg)
+	return ProtocolRun{
+		Nodes:   handlers(auths),
+		EndTime: cfg.EndTime() + time.Second,
+		Collect: func() Outcome {
+			r := dirv3.Collect(auths, cfg)
+			return Outcome{
+				Success:   r.Success,
+				Latency:   r.Latency,
+				DoneAt:    simnet.Never,
+				Consensus: r.Consensus,
+				Detail:    r,
+			}
+		},
+	}, nil
+}
+
+// syncdirDriver runs Luo et al.'s Dolev-Strong-based synchronous protocol.
+type syncdirDriver struct{}
+
+func (syncdirDriver) Name() string { return "Synchronous" }
+
+func (syncdirDriver) Build(s Scenario, keys []*sig.KeyPair, docs []*vote.Document) (ProtocolRun, error) {
+	cfg := syncdir.Config{Keys: keys, Docs: docs, Round: s.Round}
+	auths := syncdir.NewAuthorities(cfg)
+	return ProtocolRun{
+		Nodes:   handlers(auths),
+		EndTime: cfg.EndTime() + time.Second,
+		Collect: func() Outcome {
+			r := syncdir.Collect(auths, cfg)
+			return Outcome{
+				Success:   r.Success,
+				Latency:   r.Latency,
+				DoneAt:    simnet.Never,
+				Consensus: r.Consensus,
+				Detail:    r,
+			}
+		},
+	}, nil
+}
+
+// icpsDriver runs the paper's protocol: interactive consistency under
+// partial synchrony on two-chain HotStuff.
+type icpsDriver struct{}
+
+func (icpsDriver) Name() string { return "Ours" }
+
+func (icpsDriver) Build(s Scenario, keys []*sig.KeyPair, docs []*vote.Document) (ProtocolRun, error) {
+	cfg := core.Config{Keys: keys, Docs: docs, Delta: s.Delta, BaseTimeout: s.BaseTimeout}
+	auths := core.NewAuthorities(cfg)
+	return ProtocolRun{
+		Nodes: handlers(auths),
+		// ICPS has no lock-step deadline; the horizon just bounds the
+		// pacemaker's patience.
+		EndTime: 6 * time.Hour,
+		Collect: func() Outcome {
+			r := core.Collect(auths, cfg, nil)
+			return Outcome{
+				Success:   r.Success,
+				Latency:   r.Latency,
+				DoneAt:    r.Latency,
+				Consensus: r.Consensus,
+				Detail:    r,
+			}
+		},
+	}, nil
+}
+
+// handlers widens a protocol's concrete authority slice to simnet handlers.
+func handlers[T simnet.Handler](auths []T) []simnet.Handler {
+	out := make([]simnet.Handler, len(auths))
+	for i, a := range auths {
+		out[i] = a
+	}
+	return out
+}

@@ -1,0 +1,338 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"partialtor/internal/attack"
+	"partialtor/internal/chain"
+	"partialtor/internal/client"
+	"partialtor/internal/dircache"
+	"partialtor/internal/sig"
+)
+
+// Phase names one stage of the experiment pipeline. Every experiment runs
+// Generate; Distribute and Avail join the chain when the spec asks for them.
+type Phase string
+
+const (
+	// PhaseGenerate runs the directory protocol — one consensus run per
+	// period — through the scenario's registered driver.
+	PhaseGenerate Phase = "generate"
+	// PhaseDistribute pushes each period's consensus through the cache
+	// tier to the aggregated client fleets.
+	PhaseDistribute Phase = "distribute"
+	// PhaseAvail folds the per-period outcomes into the availability
+	// timeline clients experience (fresh 1 h, valid 3 h).
+	PhaseAvail Phase = "avail"
+)
+
+// Experiment is the declarative spec of the paper's evaluation pipeline:
+// one scenario, repeated over periods, with optional distribution and
+// availability phases — Generate → Distribute → Avail. It unifies what
+// Scenario, CampaignParams and the per-figure Params structs each encoded a
+// slice of: a single run is a one-period experiment, a campaign is a
+// multi-period one with a chain, a Figure-7-style distribution surface is a
+// sweep whose cells are one-period experiments with a Distribute phase.
+//
+// Build one with NewExperiment and functional options; configuration is
+// validated eagerly, so an invalid spec fails at construction, before any
+// simulation time is spent.
+type Experiment struct {
+	base     Scenario
+	periods  int
+	attacked func(int) bool
+	attack   *attack.Plan
+	dist     *dircache.Spec
+	policy   client.Policy
+	avail    bool
+	chain    bool
+}
+
+// ExperimentOption configures an Experiment under construction.
+type ExperimentOption func(*Experiment) error
+
+// WithScenario sets the base scenario every period runs (protocol, relay
+// population, bandwidth, seed, ...). Later options layer on top of it.
+func WithScenario(s Scenario) ExperimentOption {
+	return func(e *Experiment) error {
+		e.base = s
+		return nil
+	}
+}
+
+// WithProtocol selects the protocol without replacing the base scenario.
+func WithProtocol(p Protocol) ExperimentOption {
+	return func(e *Experiment) error {
+		e.base.Protocol = p
+		return nil
+	}
+}
+
+// WithPeriods runs the scenario n times — one hourly consensus period each —
+// and enables the Avail phase over the period outcomes (even for n = 1:
+// asking for periods is asking for the period timeline).
+func WithPeriods(n int) ExperimentOption {
+	return func(e *Experiment) error {
+		if n < 1 {
+			return fmt.Errorf("harness: experiment needs at least one period, got %d", n)
+		}
+		e.periods = n
+		e.avail = true
+		return nil
+	}
+}
+
+// WithAttack applies the plan to every attacked period (all periods unless
+// WithAttackSchedule narrows them). An authority-tier plan throttles the
+// consensus phase; a cache-tier plan rides into the distribution phase's
+// Attacks — so one option expresses both the paper's five-minute headline
+// attack and the "flood the mirrors" family.
+func WithAttack(p attack.Plan) ExperimentOption {
+	return func(e *Experiment) error {
+		pc := p
+		e.attack = &pc
+		return nil
+	}
+}
+
+// WithAttackSchedule marks which periods run under the experiment's attack
+// plan (period indices start at 0).
+func WithAttackSchedule(attacked func(i int) bool) ExperimentOption {
+	return func(e *Experiment) error {
+		e.attacked = attacked
+		return nil
+	}
+}
+
+// WithDistribution adds the Distribute phase: every period's consensus
+// propagates through a cache tier to aggregated client fleets under spec
+// (per-period publication instant and document size default to each run's
+// outcome, exactly like Scenario.Distribution).
+func WithDistribution(spec dircache.Spec) ExperimentOption {
+	return func(e *Experiment) error {
+		sp := spec
+		e.dist = &sp
+		return nil
+	}
+}
+
+// WithAvailability adds the Avail phase under the given consensus-lifetime
+// policy even for single-period experiments (multi-period experiments always
+// run it, with client.DefaultPolicy unless this option overrides it).
+func WithAvailability(p client.Policy) ExperimentOption {
+	return func(e *Experiment) error {
+		e.policy = p
+		e.avail = true
+		return nil
+	}
+}
+
+// WithChain links each successful period's consensus digest into the
+// proposal-239 hash chain, signed by the majority that signed the consensus.
+func WithChain() ExperimentOption {
+	return func(e *Experiment) error {
+		e.chain = true
+		return nil
+	}
+}
+
+// NewExperiment assembles and validates an experiment. All configuration
+// errors — malformed attack plans, unsatisfiable distribution specs,
+// unregistered protocols — surface here, before any simulation runs.
+func NewExperiment(opts ...ExperimentOption) (*Experiment, error) {
+	e := &Experiment{periods: 1, policy: client.DefaultPolicy()}
+	for _, opt := range opts {
+		if err := opt(e); err != nil {
+			return nil, err
+		}
+	}
+	// A Distribution spec or Attack plan riding in on the base scenario
+	// joins the pipeline's own accounting — the Distribute phase and the
+	// attack schedule respectively — instead of silently bypassing it;
+	// specifying either both ways is ambiguous.
+	if e.base.Distribution != nil {
+		if e.dist != nil {
+			return nil, fmt.Errorf("harness: distribution specified twice — on the base scenario and via WithDistribution")
+		}
+		sp := *e.base.Distribution
+		e.dist = &sp
+		e.base.Distribution = nil // scenarioFor reattaches e.dist per period
+	}
+	if e.base.Attack != nil {
+		if e.attack != nil {
+			return nil, fmt.Errorf("harness: attack specified twice — on the base scenario and via WithAttack")
+		}
+		plan := *e.base.Attack
+		e.attack = &plan
+		e.base.Attack = nil // scenarioFor reattaches e.attack per attacked period
+	}
+	if e.attacked == nil {
+		attackSet := e.attack != nil
+		e.attacked = func(int) bool { return attackSet }
+	}
+	if _, err := DriverFor(e.base.withDefaults().Protocol); err != nil {
+		return nil, err
+	}
+	if e.attack != nil {
+		switch e.attack.Tier {
+		case attack.TierAuthority:
+			if err := validateAuthorityAttack(e.attack, e.base.withDefaults().N); err != nil {
+				return nil, err
+			}
+		case attack.TierCache:
+			if e.dist == nil {
+				return nil, fmt.Errorf("harness: a cache-tier attack needs a distribution phase (WithDistribution)")
+			}
+		default:
+			return nil, fmt.Errorf("harness: %w", e.attack.Validate())
+		}
+	}
+	// Dry-validate both period variants so period 7 cannot fail on
+	// configuration period 0 already carried.
+	for _, attacked := range []bool{false, true} {
+		s := e.scenarioFor(attacked).withDefaults()
+		if err := s.validate(); err != nil {
+			return nil, err
+		}
+		if s.Distribution != nil {
+			if _, err := effectiveDistribution(s); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return e, nil
+}
+
+// Phases reports the experiment's phase chain in execution order.
+func (e *Experiment) Phases() []Phase {
+	phases := []Phase{PhaseGenerate}
+	if e.dist != nil {
+		phases = append(phases, PhaseDistribute)
+	}
+	if e.hasAvail() {
+		phases = append(phases, PhaseAvail)
+	}
+	return phases
+}
+
+// Periods returns how many consensus periods the experiment simulates.
+func (e *Experiment) Periods() int { return e.periods }
+
+func (e *Experiment) hasAvail() bool { return e.avail }
+
+// scenarioFor assembles the scenario one period runs: the base scenario,
+// the distribution spec if the Distribute phase is on, and — when the
+// period is attacked — the attack plan routed to its tier.
+func (e *Experiment) scenarioFor(attacked bool) Scenario {
+	s := e.base
+	if e.dist != nil {
+		spec := *e.dist
+		s.Distribution = &spec
+	}
+	if e.attack != nil && attacked {
+		if e.attack.Tier == attack.TierCache {
+			// Cache plans belong to the distribution phase; append to a
+			// private copy so periods never share Attacks backing arrays.
+			spec := *s.Distribution
+			spec.Attacks = append(append([]attack.Plan(nil), spec.Attacks...), *e.attack)
+			s.Distribution = &spec
+		} else {
+			plan := *e.attack
+			s.Attack = &plan
+		}
+	}
+	return s
+}
+
+// ExperimentResult is the outcome of the full phase chain.
+type ExperimentResult struct {
+	// Runs holds one protocol-phase result per period.
+	Runs []*RunResult
+	// Outcomes and Successes summarize the Generate phase.
+	Outcomes  []bool
+	Successes int
+	// Distributions is index-aligned with Runs (nil without a Distribute
+	// phase).
+	Distributions []*dircache.Result
+	// Timeline is the Avail phase's availability model (nil when the phase
+	// did not run). With a Distribute phase each validity window starts
+	// when the document actually reached the target coverage, not when the
+	// authorities signed it.
+	Timeline     *client.Timeline
+	Availability float64
+	FirstOutage  time.Duration // -1 if never down
+	// Chain is the proposal-239 consensus hash chain (nil without
+	// WithChain).
+	Chain *chain.Chain
+}
+
+// Run executes the phase chain period by period. A cancelled context stops
+// between periods with an error; configuration errors cannot occur here —
+// NewExperiment validated them — so an error mid-run reports a genuine
+// simulation failure, wrapped with the failing period.
+func (e *Experiment) Run(ctx context.Context) (*ExperimentResult, error) {
+	res := &ExperimentResult{FirstOutage: -1}
+
+	var ch *chain.Chain
+	var keys []*sig.KeyPair
+	var majority int
+	var prev sig.Digest
+	epoch := uint64(0)
+	if e.chain {
+		keys, _ = Inputs(e.base)
+		majority = len(keys)/2 + 1
+		ch = chain.New(sig.PublicSet(keys), majority)
+		res.Chain = ch
+	}
+
+	var clientRuns []client.Run
+	for i := 0; i < e.periods; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("harness: experiment cancelled before period %d: %w", i, err)
+		}
+		run, err := RunE(ctx, e.scenarioFor(e.attacked(i)))
+		if err != nil {
+			return nil, fmt.Errorf("harness: period %d: %w", i, err)
+		}
+		ok := run.Success
+		res.Runs = append(res.Runs, run)
+		res.Outcomes = append(res.Outcomes, ok)
+		if e.dist != nil {
+			res.Distributions = append(res.Distributions, run.Distribution)
+		}
+		clientRuns = append(clientRuns, client.Run{At: time.Duration(i) * e.policy.Interval, Success: ok})
+		if !ok {
+			continue
+		}
+		res.Successes++
+		if e.chain {
+			c := run.Consensus()
+			if c == nil {
+				return nil, fmt.Errorf("harness: period %d succeeded without a consensus document (driver detail %T)", i, run.Detail)
+			}
+			digest := c.Digest()
+			epoch++
+			link := chain.Link{Epoch: epoch, Digest: digest, Prev: prev}
+			for k := 0; k < majority; k++ {
+				link.Sigs = append(link.Sigs, chain.SignLink(keys[k], epoch, digest, prev))
+			}
+			if err := ch.Append(link); err != nil {
+				return nil, fmt.Errorf("harness: period %d: chain append failed: %w", i, err)
+			}
+			prev = digest
+		}
+	}
+
+	if e.hasAvail() {
+		if e.dist != nil {
+			res.Timeline = dircache.FleetTimeline(e.policy, res.Distributions)
+		} else {
+			res.Timeline = client.NewTimeline(e.policy, clientRuns)
+		}
+		res.Availability = res.Timeline.Availability()
+		res.FirstOutage = res.Timeline.FirstOutage()
+	}
+	return res, nil
+}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -42,7 +43,7 @@ type Figure10Params struct {
 // fans out over the sweep engine; relays is the slowest axis so the cached
 // document sets (Inputs) are reused across the inner cells, and the result
 // order matches the serial nested loops regardless of worker count.
-func Figure10(p Figure10Params) *Figure10Result {
+func Figure10(ctx context.Context, p Figure10Params) (*Figure10Result, error) {
 	if len(p.BandwidthsMbit) == 0 {
 		p.BandwidthsMbit = []float64{50, 20, 10, 1, 0.5}
 	}
@@ -66,8 +67,8 @@ func Figure10(p Figure10Params) *Figure10Result {
 		sweep.Floats("mbit", p.BandwidthsMbit...),
 		sweep.Of("protocol", p.Protocols...),
 	)
-	results := mustSweep(grid, p.Workers, func(c sweep.Cell) (Fig10Cell, error) {
-		run := Run(Scenario{
+	results, err := sweepE(ctx, grid, p.Workers, func(ctx context.Context, c sweep.Cell) (Fig10Cell, error) {
+		run, err := RunE(ctx, Scenario{
 			Protocol:     c.Value("protocol").(Protocol),
 			Relays:       c.Int("relays"),
 			EntryPadding: p.EntryPadding,
@@ -75,6 +76,9 @@ func Figure10(p Figure10Params) *Figure10Result {
 			Round:        p.Round,
 			Seed:         p.Seed,
 		})
+		if err != nil {
+			return Fig10Cell{}, err
+		}
 		lat := run.Latency
 		if !run.Success {
 			lat = simnet.Never
@@ -87,10 +91,13 @@ func Figure10(p Figure10Params) *Figure10Result {
 			Latency:       lat,
 		}, nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	for _, r := range results {
 		res.Cells = append(res.Cells, r.Value)
 	}
-	return res
+	return res, nil
 }
 
 // Cell retrieves one measurement.

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -40,7 +41,7 @@ type Figure11Params struct {
 // Figure11 runs the ICPS protocol under a complete outage of the majority
 // of the authorities and reports how quickly consensus lands once the
 // attack ends. The relay counts fan out over the sweep engine.
-func Figure11(p Figure11Params) *Figure11Result {
+func Figure11(ctx context.Context, p Figure11Params) (*Figure11Result, error) {
 	if len(p.RelayCounts) == 0 {
 		for r := 1000; r <= 10000; r += 1000 {
 			p.RelayCounts = append(p.RelayCounts, r)
@@ -54,17 +55,20 @@ func Figure11(p Figure11Params) *Figure11Result {
 	}
 	res := &Figure11Result{Outage: p.Outage}
 	grid := sweep.MustNew(sweep.Ints("relays", p.RelayCounts...))
-	results := mustSweep(grid, p.Workers, func(c sweep.Cell) (Fig11Row, error) {
+	results, err := sweepE(ctx, grid, p.Workers, func(ctx context.Context, c sweep.Cell) (Fig11Row, error) {
 		relays := c.Int("relays")
 		plan := attack.FiveMinuteOutage(attack.MajorityTargets(9))
 		plan.End = p.Outage
-		run := Run(Scenario{
+		run, err := RunE(ctx, Scenario{
 			Protocol:     ICPS,
 			Relays:       relays,
 			EntryPadding: p.EntryPadding,
 			Attack:       &plan,
 			Seed:         p.Seed,
 		})
+		if err != nil {
+			return Fig11Row{}, err
+		}
 		row := Fig11Row{Relays: relays, Baseline: FallbackLatency}
 		if run.Success && run.DoneAt != simnet.Never {
 			row.TotalLatency = run.DoneAt
@@ -78,10 +82,13 @@ func Figure11(p Figure11Params) *Figure11Result {
 		}
 		return row, nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	for _, r := range results {
 		res.Rows = append(res.Rows, r.Value)
 	}
-	return res
+	return res, nil
 }
 
 // Render prints the recovery table.

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -11,16 +12,16 @@ import (
 	"partialtor/internal/sweep"
 )
 
-// mustSweep runs a figure generator's grid on the sweep engine. The
-// generators build their own scenarios, so a failed cell is a programming
-// bug, not an input condition — it panics like the misconfiguration panics
-// in Run.
-func mustSweep[T any](g sweep.Grid, workers int, fn func(sweep.Cell) (T, error)) []sweep.Result[T] {
-	results := sweep.Run(g, workers, fn)
+// sweepE fans a figure generator's grid out over the sweep engine and
+// folds the first per-cell failure — a misconfigured cell, a cancelled
+// context — into one error, so every generator reports (result, error)
+// instead of panicking mid-sweep.
+func sweepE[T any](ctx context.Context, g sweep.Grid, workers int, fn func(context.Context, sweep.Cell) (T, error)) ([]sweep.Result[T], error) {
+	results := sweep.RunCtx(ctx, g, workers, fn)
 	if err := sweep.FirstErr(results); err != nil {
-		panic("harness: " + err.Error())
+		return nil, fmt.Errorf("harness: %w", err)
 	}
-	return results
+	return results, nil
 }
 
 // ---------------------------------------------------------------- Figure 1
@@ -45,7 +46,7 @@ type Figure1Params struct {
 
 // Figure1 runs the current protocol under the headline attack and renders a
 // healthy authority's log.
-func Figure1(p Figure1Params) *Figure1Result {
+func Figure1(ctx context.Context, p Figure1Params) (*Figure1Result, error) {
 	if p.Relays == 0 {
 		p.Relays = 8000
 	}
@@ -64,7 +65,7 @@ func Figure1(p Figure1Params) *Figure1Result {
 		End:      2 * p.Round,
 		Residual: p.Residual,
 	}
-	run := Run(Scenario{
+	run, err := RunE(ctx, Scenario{
 		Protocol:     Current,
 		Relays:       p.Relays,
 		EntryPadding: p.EntryPadding,
@@ -73,6 +74,9 @@ func Figure1(p Figure1Params) *Figure1Result {
 		Attack:       &plan,
 		Seed:         p.Seed,
 	})
+	if err != nil {
+		return nil, err
+	}
 	observer := 8 // a healthy authority
 	res := &Figure1Result{Observer: observer, Run: run}
 	// Render with wall-clock timestamps in the style of the paper's log:
@@ -82,7 +86,7 @@ func Figure1(p Figure1Params) *Figure1Result {
 		stamp := base.Add(e.At).Format("Jan 02 15:04:05.000")
 		res.Lines = append(res.Lines, fmt.Sprintf("%s [%s] %s", stamp, e.Level, e.Text))
 	}
-	return res
+	return res, nil
 }
 
 // Render returns the log as the paper displays it.
@@ -149,7 +153,7 @@ type Figure7Params struct {
 // attacked authorities need for the current protocol to still succeed. The
 // relay counts fan out over the sweep engine; each cell runs its own
 // (inherently sequential) binary search.
-func Figure7(p Figure7Params) *Figure7Result {
+func Figure7(ctx context.Context, p Figure7Params) (*Figure7Result, error) {
 	if len(p.RelayCounts) == 0 {
 		for r := 1000; r <= 10000; r += 1000 {
 			p.RelayCounts = append(p.RelayCounts, r)
@@ -169,16 +173,16 @@ func Figure7(p Figure7Params) *Figure7Result {
 	}
 	res := &Figure7Result{Residual: attack.ResidualUnderDDoS / 1e6}
 	grid := sweep.MustNew(sweep.Ints("relays", p.RelayCounts...))
-	results := mustSweep(grid, p.Workers, func(c sweep.Cell) (Fig7Row, error) {
+	results, err := sweepE(ctx, grid, p.Workers, func(ctx context.Context, c sweep.Cell) (Fig7Row, error) {
 		relays := c.Int("relays")
-		succeeds := func(mbit float64) bool {
+		succeeds := func(mbit float64) (bool, error) {
 			plan := attack.Plan{
 				Targets:  attack.MajorityTargets(9),
 				Start:    0,
 				End:      2 * p.Round,
 				Residual: mbit * 1e6,
 			}
-			run := Run(Scenario{
+			run, err := RunE(ctx, Scenario{
 				Protocol:     Current,
 				Relays:       relays,
 				EntryPadding: p.EntryPadding,
@@ -186,15 +190,26 @@ func Figure7(p Figure7Params) *Figure7Result {
 				Attack:       &plan,
 				Seed:         p.Seed,
 			})
-			return run.Success
+			if err != nil {
+				return false, err
+			}
+			return run.Success, nil
 		}
 		lo, hi := 0.0, p.MaxMbit
-		if !succeeds(hi) {
+		ok, err := succeeds(hi)
+		if err != nil {
+			return Fig7Row{}, err
+		}
+		if !ok {
 			return Fig7Row{Relays: relays, RequiredMbit: -1}, nil
 		}
 		for hi-lo > p.Precision {
 			mid := (lo + hi) / 2
-			if succeeds(mid) {
+			ok, err := succeeds(mid)
+			if err != nil {
+				return Fig7Row{}, err
+			}
+			if ok {
 				hi = mid
 			} else {
 				lo = mid
@@ -202,10 +217,13 @@ func Figure7(p Figure7Params) *Figure7Result {
 		}
 		return Fig7Row{Relays: relays, RequiredMbit: hi}, nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	for _, r := range results {
 		res.Rows = append(res.Rows, r.Value)
 	}
-	return res
+	return res, nil
 }
 
 // Render prints the requirement curve.

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -10,12 +11,19 @@ import (
 	"partialtor/internal/simnet"
 )
 
+// bg is the context the generator tests run under; cancellation behaviour
+// has its own tests.
+var bg = context.Background()
+
 func TestFigure1LogShape(t *testing.T) {
-	r := Figure1(Figure1Params{
+	r, err := Figure1(bg, Figure1Params{
 		Relays:   400,
 		Round:    15 * time.Second,
 		Residual: 5e3, // near-total outage, scaled run
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.Run.Success {
 		t.Fatal("current protocol succeeded under the Figure 1 attack")
 	}
@@ -54,12 +62,15 @@ func TestFigure6MatchesPaperAverage(t *testing.T) {
 }
 
 func TestFigure7RequirementGrowsWithRelays(t *testing.T) {
-	r := Figure7(Figure7Params{
+	r, err := Figure7(bg, Figure7Params{
 		RelayCounts: []int{200, 600, 1200},
 		Round:       15 * time.Second,
 		MaxMbit:     60,
 		Precision:   0.5,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Rows) != 3 {
 		t.Fatalf("rows=%d", len(r.Rows))
 	}
@@ -84,11 +95,14 @@ func TestFigure7RequirementGrowsWithRelays(t *testing.T) {
 }
 
 func TestFigure10ShapeScaled(t *testing.T) {
-	r := Figure10(Figure10Params{
+	r, err := Figure10(bg, Figure10Params{
 		BandwidthsMbit: []float64{100, 10},
 		RelayCounts:    []int{300, 1500},
 		Round:          15 * time.Second,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	// At ample bandwidth the current protocol and ours succeed everywhere;
 	// the synchronous protocol carries n·d bundles, so with 15s rounds its
 	// threshold already falls between these two relay counts even at
@@ -144,10 +158,13 @@ func TestFigure10ShapeScaled(t *testing.T) {
 }
 
 func TestFigure11RecoveryScaled(t *testing.T) {
-	r := Figure11(Figure11Params{
+	r, err := Figure11(bg, Figure11Params{
 		RelayCounts: []int{200, 800},
 		Outage:      time.Minute,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Rows) != 2 {
 		t.Fatalf("rows=%d", len(r.Rows))
 	}
@@ -171,7 +188,10 @@ func TestFigure11RecoveryScaled(t *testing.T) {
 }
 
 func TestTable1Comparison(t *testing.T) {
-	r := Table1(Table1Params{Relays: 300, Bandwidth: 100e6, Round: 20 * time.Second})
+	r, err := Table1(bg, Table1Params{Relays: 300, Bandwidth: 100e6, Round: 20 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Rows) != 3 {
 		t.Fatalf("rows=%d", len(r.Rows))
 	}
@@ -209,7 +229,10 @@ func TestTable1Comparison(t *testing.T) {
 }
 
 func TestTable2Rounds(t *testing.T) {
-	r := Table2()
+	r, err := Table2(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.Total != 9 {
 		t.Fatalf("total rounds %d, want 9 (2 + 5 + 2)", r.Total)
 	}
@@ -281,22 +304,30 @@ func TestRunProducesTransportStats(t *testing.T) {
 // never by completion order, and every scenario run is deterministic.
 func TestParallelSweepByteIdentical(t *testing.T) {
 	fig10 := func(workers int) string {
-		return Figure10(Figure10Params{
+		r, err := Figure10(bg, Figure10Params{
 			BandwidthsMbit: []float64{100, 10},
 			RelayCounts:    []int{200, 400, 800},
 			Round:          15 * time.Second,
 			Workers:        workers,
-		}).Render()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Render()
 	}
 	if serial, parallel := fig10(1), fig10(8); serial != parallel {
 		t.Fatalf("Figure 10 diverged between serial and 8-worker runs:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
 	}
 	fig11 := func(workers int) string {
-		return Figure11(Figure11Params{
+		r, err := Figure11(bg, Figure11Params{
 			RelayCounts: []int{150, 250, 350},
 			Outage:      time.Minute,
 			Workers:     workers,
-		}).Render()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Render()
 	}
 	if serial, parallel := fig11(1), fig11(8); serial != parallel {
 		t.Fatalf("Figure 11 diverged between serial and 8-worker runs:\n%s\nvs\n%s", serial, parallel)

@@ -1,8 +1,21 @@
 // Package harness reproduces the paper's evaluation: it assembles full
 // scenarios (authority set, synthetic relay populations, vote documents,
-// network shape, attack plans), runs each of the three directory protocols
-// on the simulator, and regenerates every figure and table of the paper
+// network shape, attack plans), runs the directory protocols on the
+// simulator, and regenerates every figure and table of the paper
 // (Figures 1, 6, 7, 10, 11; Tables 1, 2; the §4.3 cost analysis).
+//
+// The package is organized as a composable experiment pipeline:
+//
+//   - protocols are pluggable Drivers behind a registry (driver.go) — the
+//     three paper protocols are just the builtin registrations, and a new
+//     variant joins every scenario and sweep via NewProtocol;
+//   - RunE executes one scenario with (result, error) semantics: invalid
+//     configuration comes back as an error instead of a panic, so a bad
+//     cell costs one row of a 10k-cell sweep, never the sweep. Run is the
+//     thin compatibility wrapper that panics on error;
+//   - Experiment (experiment.go) chains the phases declaratively —
+//     Generate → Distribute → Avail — unifying single runs, multi-period
+//     campaigns and distribution scenarios on one spec.
 //
 // Every figure and ablation sweep runs on the internal/sweep grid engine:
 // the parameter grid (relays × bandwidth × protocol, entry sizes, Δ, ...)
@@ -10,26 +23,30 @@
 // cells share the cached multi-megabyte document sets — and results come
 // back in cell-rank order, so a parallel sweep renders the exact bytes the
 // serial nested loops used to produce. Each Params struct carries a
-// Workers knob (0 = all cores, 1 = the serial baseline).
+// Workers knob (0 = all cores, 1 = the serial baseline) and every generator
+// takes a context: cancellation stops the sweep promptly and surfaces as
+// the generator's error (sweep.RunCtx, underneath, keeps completed cells
+// for callers that drive it directly).
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
 	"partialtor/internal/attack"
-	"partialtor/internal/core"
 	"partialtor/internal/dircache"
 	"partialtor/internal/dirv3"
 	"partialtor/internal/relay"
 	"partialtor/internal/sig"
 	"partialtor/internal/simnet"
-	"partialtor/internal/syncdir"
 	"partialtor/internal/vote"
 )
 
-// Protocol selects which directory protocol a scenario runs.
+// Protocol selects which directory protocol a scenario runs. Each value
+// maps to a registered Driver; the constants below are the builtins, and
+// NewProtocol mints values for out-of-tree variants.
 type Protocol int
 
 // The three protocols the paper compares (Table 1).
@@ -44,13 +61,8 @@ const (
 )
 
 func (p Protocol) String() string {
-	switch p {
-	case Current:
-		return "Current"
-	case Synchronous:
-		return "Synchronous"
-	case ICPS:
-		return "Ours"
+	if name := driverName(p); name != "" {
+		return name
 	}
 	return fmt.Sprintf("Protocol(%d)", int(p))
 }
@@ -86,8 +98,8 @@ type Scenario struct {
 	// BaseTimeout is the ICPS pacemaker base timeout (default 10s).
 	BaseTimeout time.Duration
 	// Attack, if non-nil, throttles its targets during its window. It must
-	// be an authority-tier plan: Run panics on a cache-tier or otherwise
-	// invalid plan (cache plans belong in Distribution.Attacks).
+	// be an authority-tier plan: RunE returns an error on a cache-tier or
+	// otherwise invalid plan (cache plans belong in Distribution.Attacks).
 	Attack *attack.Plan
 	// Distribution, if non-nil, runs the dircache distribution phase after
 	// the protocol run: the generated consensus propagates through a cache
@@ -144,7 +156,15 @@ type RunResult struct {
 	Distribution *dircache.Result
 	// Protocol-specific result for detailed inspection.
 	Detail any
+
+	// consensus is the agreed document the driver extracted; see Consensus.
+	consensus *vote.Consensus
 }
+
+// Consensus returns the agreed consensus document of a successful run, or
+// nil. Every driver reports its consensus through Outcome, so this accessor
+// is protocol-independent — no type switch on Detail required.
+func (r *RunResult) Consensus() *vote.Consensus { return r.consensus }
 
 // inputsCache avoids rebuilding multi-megabyte document sets when sweeping
 // bandwidths at a fixed relay count (single-entry: sweeps iterate relay
@@ -241,91 +261,117 @@ func buildNetwork(s Scenario) (*simnet.Network, []*simnet.Profile, []*simnet.Pro
 	return net, ups, downs
 }
 
-// Run executes one scenario.
-func Run(s Scenario) *RunResult {
-	s = s.withDefaults()
+// validateAuthorityAttack is the single validated path for an authority-tier
+// plan against a tier of n authorities — the protocol phase and the
+// distribution carry-over both check through here, so the bounds rule cannot
+// drift between the two.
+func validateAuthorityAttack(p *attack.Plan, n int) error {
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("harness: %w", err)
+	}
+	if p.Tier != attack.TierAuthority {
+		return fmt.Errorf("harness: Scenario.Attack must be an authority-tier plan; cache plans belong in Distribution.Attacks")
+	}
+	for _, t := range p.Targets {
+		if t >= n {
+			return fmt.Errorf("harness: attack target %d beyond the %d authorities", t, n)
+		}
+	}
+	return nil
+}
+
+// validate rejects scenarios RunE cannot execute. The scenario must already
+// carry its defaults.
+func (s Scenario) validate() error {
 	if s.Attack != nil {
-		// A malformed or mis-tiered plan is a configuration bug, like a
-		// chain violation in Campaign: silently running the healthy
-		// network would hand back wrong experiment data.
-		if err := s.Attack.Validate(); err != nil {
-			panic("harness: " + err.Error())
+		// A malformed or mis-tiered plan is a configuration bug: silently
+		// running the healthy network would hand back wrong experiment data.
+		if err := validateAuthorityAttack(s.Attack, s.N); err != nil {
+			return err
 		}
-		if s.Attack.Tier != attack.TierAuthority {
-			panic("harness: Scenario.Attack must be an authority-tier plan; cache plans belong in Distribution.Attacks")
-		}
-		for _, t := range s.Attack.Targets {
-			if t >= s.N {
-				panic(fmt.Sprintf("harness: attack target %d beyond the %d authorities", t, s.N))
-			}
-		}
+	}
+	return nil
+}
+
+// RunE executes one scenario. Invalid configuration — a malformed or
+// mis-tiered attack plan, an unregistered protocol, an unsatisfiable
+// distribution spec — returns an error instead of panicking, so one bad
+// cell in a large sweep costs one row. The context is consulted between the
+// expensive phases; a cancelled context abandons the scenario with its error.
+func RunE(ctx context.Context, s Scenario) (*RunResult, error) {
+	s = s.withDefaults()
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	drv, err := DriverFor(s.Protocol)
+	if err != nil {
+		return nil, err
 	}
 	// Resolve and validate the distribution phase up front, so a
 	// configuration bug fails before the expensive protocol phase.
 	var distSpec *dircache.Spec
 	if s.Distribution != nil {
-		sp := effectiveDistribution(s)
+		sp, err := effectiveDistribution(s)
+		if err != nil {
+			return nil, err
+		}
 		distSpec = &sp
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("harness: scenario cancelled before the protocol phase: %w", err)
 	}
 	keys, docs := Inputs(s)
 	net, ups, downs := buildNetwork(s)
-	res := &RunResult{Scenario: s, Latency: simnet.Never, DoneAt: simnet.Never, Net: net}
-
-	limit := s.RunLimit
-	switch s.Protocol {
-	case Current:
-		cfg := dirv3.Config{Keys: keys, Docs: docs, Round: s.Round, FetchTimeout: s.FetchTimeout}
-		auths := dirv3.NewAuthorities(cfg)
-		for i, a := range auths {
-			net.AddNode(a, ups[i], downs[i])
-		}
-		if limit == 0 {
-			limit = cfg.EndTime() + time.Second
-		}
-		net.Run(limit)
-		r := dirv3.Collect(auths, cfg)
-		res.Success = r.Success
-		res.Latency = r.Latency
-		res.Detail = r
-
-	case Synchronous:
-		cfg := syncdir.Config{Keys: keys, Docs: docs, Round: s.Round}
-		auths := syncdir.NewAuthorities(cfg)
-		for i, a := range auths {
-			net.AddNode(a, ups[i], downs[i])
-		}
-		if limit == 0 {
-			limit = cfg.EndTime() + time.Second
-		}
-		net.Run(limit)
-		r := syncdir.Collect(auths, cfg)
-		res.Success = r.Success
-		res.Latency = r.Latency
-		res.Detail = r
-
-	case ICPS:
-		cfg := core.Config{Keys: keys, Docs: docs, Delta: s.Delta, BaseTimeout: s.BaseTimeout}
-		auths := core.NewAuthorities(cfg)
-		for i, a := range auths {
-			net.AddNode(a, ups[i], downs[i])
-		}
-		if limit == 0 {
-			limit = 6 * time.Hour
-		}
-		net.Run(limit)
-		r := core.Collect(auths, cfg, nil)
-		res.Success = r.Success
-		res.Latency = r.Latency
-		res.DoneAt = r.Latency
-		res.Detail = r
+	pr, err := drv.Build(s, keys, docs)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s driver: %w", drv.Name(), err)
 	}
+	if len(pr.Nodes) != s.N {
+		return nil, fmt.Errorf("harness: %s driver built %d nodes for %d authorities", drv.Name(), len(pr.Nodes), s.N)
+	}
+	for i, node := range pr.Nodes {
+		net.AddNode(node, ups[i], downs[i])
+	}
+	limit := s.RunLimit
+	if limit == 0 {
+		limit = pr.EndTime
+	}
+	net.Run(limit)
 
+	out := pr.Collect()
+	res := &RunResult{
+		Scenario:  s,
+		Success:   out.Success,
+		Latency:   out.Latency,
+		DoneAt:    out.DoneAt,
+		Net:       net,
+		Detail:    out.Detail,
+		consensus: out.Consensus,
+	}
 	st := net.Stats()
 	res.BytesSent = st.BytesSent
 	res.Messages = st.MessagesSent
 	res.KindBytes = st.KindBytes
+
 	if distSpec != nil {
-		res.Distribution = runDistribution(*distSpec, res)
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("harness: scenario cancelled before the distribution phase: %w", err)
+		}
+		dres, err := runDistribution(*distSpec, res)
+		if err != nil {
+			return nil, err
+		}
+		res.Distribution = dres
+	}
+	return res, nil
+}
+
+// Run is the compatibility wrapper around RunE: same execution, but a
+// configuration error panics. New code should call RunE.
+func Run(s Scenario) *RunResult {
+	res, err := RunE(context.Background(), s)
+	if err != nil {
+		panic(err.Error())
 	}
 	return res
 }
@@ -338,7 +384,7 @@ func Run(s Scenario) *RunResult {
 // consensus publishes must also throttle the authority stubs the caches
 // fetch from — otherwise an attacked-but-surviving protocol distributes at
 // full speed; that is why Scenario.Attack carries over.
-func effectiveDistribution(s Scenario) dircache.Spec {
+func effectiveDistribution(s Scenario) (dircache.Spec, error) {
 	spec := *s.Distribution
 	if spec.Seed == 0 {
 		spec.Seed = s.Seed
@@ -347,23 +393,21 @@ func effectiveDistribution(s Scenario) dircache.Spec {
 		spec.Authorities = s.N
 	}
 	if err := spec.Validate(); err != nil {
-		panic("harness: " + err.Error())
+		return dircache.Spec{}, fmt.Errorf("harness: %w", err)
 	}
 	if s.Attack != nil && !hasAuthorityPlan(spec.Attacks) {
-		for _, t := range s.Attack.Targets {
-			if t >= spec.Authorities {
-				panic(fmt.Sprintf("harness: Scenario.Attack targets authority %d but the distribution tier has %d; size Distribution.Authorities to the protocol run or set Distribution.Attacks explicitly", t, spec.Authorities))
-			}
+		if err := validateAuthorityAttack(s.Attack, spec.Authorities); err != nil {
+			return dircache.Spec{}, fmt.Errorf("%w; size Distribution.Authorities to the protocol run or set Distribution.Attacks explicitly", err)
 		}
 		spec.Attacks = append(append([]attack.Plan(nil), spec.Attacks...), *s.Attack)
 	}
-	return spec
+	return spec, nil
 }
 
 // runDistribution executes the cache/fleet phase on an effectiveDistribution
 // spec, deriving the publication instant and document size from the protocol
 // run unless the spec pins them.
-func runDistribution(spec dircache.Spec, res *RunResult) *dircache.Result {
+func runDistribution(spec dircache.Spec, res *RunResult) (*dircache.Result, error) {
 	if spec.PublishAt == 0 {
 		if res.Success {
 			spec.PublishAt = res.Latency
@@ -372,17 +416,15 @@ func runDistribution(spec dircache.Spec, res *RunResult) *dircache.Result {
 		}
 	}
 	if spec.DocBytes == 0 {
-		if c := resultConsensus(res); c != nil {
+		if c := res.Consensus(); c != nil {
 			spec.DocBytes = c.EncodedSize()
 		}
 	}
 	dres, err := dircache.Run(spec)
 	if err != nil {
-		// A spec that fails validation is a configuration bug, like a
-		// chain violation in Campaign.
-		panic("harness: distribution spec invalid: " + err.Error())
+		return nil, fmt.Errorf("harness: distribution spec invalid: %w", err)
 	}
-	return dres
+	return dres, nil
 }
 
 // hasAuthorityPlan reports whether any plan targets the authority tier.
@@ -393,18 +435,4 @@ func hasAuthorityPlan(plans []attack.Plan) bool {
 		}
 	}
 	return false
-}
-
-// resultConsensus extracts the consensus document from a successful run of
-// any protocol, or nil.
-func resultConsensus(run *RunResult) *vote.Consensus {
-	switch d := run.Detail.(type) {
-	case *dirv3.Result:
-		return d.Consensus
-	case *syncdir.Result:
-		return d.Consensus
-	case *core.Result:
-		return d.Consensus
-	}
-	return nil
 }

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -48,7 +49,7 @@ var table1Design = map[Protocol][3]string{
 
 // Table1 runs the three protocols on one scenario and reports design rows
 // with measured transport totals.
-func Table1(p Table1Params) *Table1Result {
+func Table1(ctx context.Context, p Table1Params) (*Table1Result, error) {
 	if p.Relays == 0 {
 		p.Relays = 2000
 	}
@@ -60,9 +61,9 @@ func Table1(p Table1Params) *Table1Result {
 	}
 	res := &Table1Result{Relays: p.Relays, BandwidthMbit: p.Bandwidth / 1e6}
 	grid := sweep.MustNew(sweep.Of("protocol", Current, Synchronous, ICPS))
-	results := mustSweep(grid, p.Workers, func(c sweep.Cell) (Table1Row, error) {
+	results, err := sweepE(ctx, grid, p.Workers, func(ctx context.Context, c sweep.Cell) (Table1Row, error) {
 		proto := c.Value("protocol").(Protocol)
-		run := Run(Scenario{
+		run, err := RunE(ctx, Scenario{
 			Protocol:     proto,
 			Relays:       p.Relays,
 			EntryPadding: p.EntryPadding,
@@ -70,6 +71,9 @@ func Table1(p Table1Params) *Table1Result {
 			Round:        p.Round,
 			Seed:         p.Seed,
 		})
+		if err != nil {
+			return Table1Row{}, err
+		}
 		d := table1Design[proto]
 		return Table1Row{
 			Protocol:         proto,
@@ -81,10 +85,13 @@ func Table1(p Table1Params) *Table1Result {
 			Success:          run.Success,
 		}, nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	for _, r := range results {
 		res.Rows = append(res.Rows, r.Value)
 	}
-	return res
+	return res, nil
 }
 
 // Render prints the comparison.
@@ -127,8 +134,11 @@ type Table2Result struct {
 }
 
 // Table2 verifies the round structure on a small healthy run.
-func Table2() *Table2Result {
-	run := Run(Scenario{Protocol: ICPS, Relays: 200, EntryPadding: 0, Seed: 3})
+func Table2(ctx context.Context) (*Table2Result, error) {
+	run, err := RunE(ctx, Scenario{Protocol: ICPS, Relays: 200, EntryPadding: 0, Seed: 3})
+	if err != nil {
+		return nil, err
+	}
 	rows := []Table2Row{
 		{SubProtocol: "Dissemination", Rounds: 2, Kinds: []string{"icps/document", "icps/proposal"}},
 		{SubProtocol: "Agreement (two-chain HotStuff)", Rounds: 5,
@@ -144,7 +154,7 @@ func Table2() *Table2Result {
 	for k, v := range st.KindCount {
 		observed[k] = v
 	}
-	return &Table2Result{Rows: rows, Total: total, ObservedKinds: observed}
+	return &Table2Result{Rows: rows, Total: total, ObservedKinds: observed}, nil
 }
 
 // Render prints the round table.

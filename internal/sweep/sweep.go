@@ -9,10 +9,14 @@
 // the results ordered by cell rank — independent of completion order, so a
 // parallel sweep renders byte-identically to a serial one. Failures are
 // captured per cell (including recovered panics) instead of aborting the
-// sweep: one bad configuration costs one cell, not the whole table.
+// sweep: one bad configuration costs one cell, not the whole table. RunCtx
+// adds cancellation: a cancelled context stops dispatching new cells while
+// keeping every completed cell's result, so an interrupted 10k-cell sweep
+// hands back the work it already did.
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -191,6 +195,17 @@ type Result[T any] struct {
 // deterministic fn is indistinguishable from a serial one. A panicking fn
 // fails its own cell only; the panic is captured as that cell's Err.
 func Run[T any](g Grid, workers int, fn func(Cell) (T, error)) []Result[T] {
+	return RunCtx(context.Background(), g, workers,
+		func(_ context.Context, c Cell) (T, error) { return fn(c) })
+}
+
+// RunCtx is Run with cancellation: the context is handed to every cell and
+// consulted between cells. Once ctx is cancelled no new cell starts; cells
+// already in flight run to completion (a deterministic fn may watch ctx to
+// abort early), their results are kept, and every never-started cell carries
+// ctx's error wrapped in ErrCellSkipped. Completed work is never discarded —
+// the property adaptive grids and long interactive sweeps rely on.
+func RunCtx[T any](ctx context.Context, g Grid, workers int, fn func(context.Context, Cell) (T, error)) []Result[T] {
 	n := g.Size()
 	results := make([]Result[T], n)
 	if workers <= 0 {
@@ -207,28 +222,57 @@ func Run[T any](g Grid, workers int, fn func(Cell) (T, error)) []Result[T] {
 			defer wg.Done()
 			for rank := range ranks {
 				cell := g.Cell(rank)
-				results[rank] = runCell(cell, fn)
+				// A cell can be handed off in the same instant the context
+				// dies; re-checking here makes "no cell starts after
+				// cancellation" deterministic rather than racy.
+				if err := ctx.Err(); err != nil {
+					results[rank] = skippedCell[T](cell, err)
+					continue
+				}
+				results[rank] = runCell(ctx, cell, fn)
 			}
 		}()
 	}
-	for rank := 0; rank < n; rank++ {
-		ranks <- rank
+	next := 0
+dispatch:
+	for ; next < n; next++ {
+		select {
+		case ranks <- next:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(ranks)
 	wg.Wait()
+	for rank := next; rank < n; rank++ {
+		results[rank] = skippedCell[T](g.Cell(rank), ctx.Err())
+	}
 	return results
+}
+
+// ErrCellSkipped marks a cell a cancelled context prevented from running at
+// all; errors.Is distinguishes skipped cells from cells that ran and failed.
+var ErrCellSkipped = fmt.Errorf("sweep: cell skipped")
+
+// skippedCell is the result of a cell the cancelled context kept from
+// running ("sweep: cell skipped: a=1 b=2: context canceled").
+func skippedCell[T any](cell Cell, cause error) Result[T] {
+	return Result[T]{
+		Cell: cell,
+		Err:  fmt.Errorf("%w: %s: %w", ErrCellSkipped, cell, cause),
+	}
 }
 
 // runCell evaluates one cell, converting a panic into the cell's error so a
 // single bad configuration cannot abort a long sweep.
-func runCell[T any](cell Cell, fn func(Cell) (T, error)) (res Result[T]) {
+func runCell[T any](ctx context.Context, cell Cell, fn func(context.Context, Cell) (T, error)) (res Result[T]) {
 	res.Cell = cell
 	defer func() {
 		if r := recover(); r != nil {
 			res.Err = fmt.Errorf("sweep: cell %s panicked: %v", cell, r)
 		}
 	}()
-	res.Value, res.Err = fn(cell)
+	res.Value, res.Err = fn(ctx, cell)
 	return res
 }
 

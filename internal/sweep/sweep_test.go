@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -173,6 +174,80 @@ func TestWorkerPoolActuallyFansOut(t *testing.T) {
 	// at least two cells must have been in flight together.
 	if peak.Load() < 2 {
 		t.Fatalf("peak concurrency %d, want >= 2", peak.Load())
+	}
+}
+
+// TestRunCtxCancellationKeepsCompletedCells is the cancellation contract:
+// cells finished before the context died keep their results, and every cell
+// the sweep never started carries ErrCellSkipped wrapping the context error.
+func TestRunCtxCancellationKeepsCompletedCells(t *testing.T) {
+	g := MustNew(Ints("i", 0, 1, 2, 3, 4, 5, 6, 7))
+	ctx, cancel := context.WithCancel(context.Background())
+	results := RunCtx(ctx, g, 1, func(ctx context.Context, c Cell) (int, error) {
+		if c.Int("i") == 2 {
+			cancel() // die mid-sweep, with cells 0-2 complete
+		}
+		return 10 * c.Int("i"), nil
+	})
+	if len(results) != 8 {
+		t.Fatalf("results=%d", len(results))
+	}
+	for i := 0; i <= 2; i++ {
+		if results[i].Err != nil || results[i].Value != 10*i {
+			t.Fatalf("completed cell %d lost: value=%d err=%v", i, results[i].Value, results[i].Err)
+		}
+	}
+	skipped := 0
+	for i := 3; i < 8; i++ {
+		r := results[i]
+		if r.Err == nil {
+			t.Fatalf("cell %d ran after cancellation", i)
+		}
+		if !errors.Is(r.Err, ErrCellSkipped) || !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("cell %d error %v, want ErrCellSkipped wrapping context.Canceled", i, r.Err)
+		}
+		skipped++
+	}
+	if skipped == 0 {
+		t.Fatal("cancellation skipped nothing")
+	}
+}
+
+// TestRunCtxPreCancelled: a context dead on arrival runs nothing.
+func TestRunCtxPreCancelled(t *testing.T) {
+	g := MustNew(Ints("i", 0, 1, 2))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	results := RunCtx(ctx, g, 4, func(context.Context, Cell) (int, error) {
+		ran.Add(1)
+		return 0, nil
+	})
+	// The unbuffered dispatch channel may still hand out a cell or two
+	// before the select observes Done; the guarantee is that skipped cells
+	// are marked, in rank order, and nothing is lost.
+	for _, r := range results {
+		if r.Err == nil && ran.Load() == 0 {
+			t.Fatalf("cell %s reported success without running", r.Cell)
+		}
+	}
+	if int(ran.Load()) == g.Size() {
+		t.Fatal("pre-cancelled context ran the whole sweep")
+	}
+}
+
+// TestRunCtxPassesContextToCells: the cell callback receives the sweep's
+// context so a long-running cell can abort early.
+func TestRunCtxPassesContextToCells(t *testing.T) {
+	type ctxKey struct{}
+	ctx := context.WithValue(context.Background(), ctxKey{}, "payload")
+	g := MustNew(Ints("i", 1))
+	results := RunCtx(ctx, g, 1, func(ctx context.Context, c Cell) (string, error) {
+		v, _ := ctx.Value(ctxKey{}).(string)
+		return v, nil
+	})
+	if results[0].Value != "payload" {
+		t.Fatalf("cell saw %q", results[0].Value)
 	}
 }
 

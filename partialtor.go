@@ -31,11 +31,27 @@
 // evaluation harness (internal/harness) assembles full scenarios across
 // all four layers and regenerates every figure and table of the paper.
 //
+// The experiment API is a composable pipeline:
+//
+//   - protocols are pluggable drivers behind a registry — RegisterDriver /
+//     NewProtocol add a variant that then works in every scenario, sweep
+//     and figure generator;
+//   - RunE executes one scenario with (result, error) semantics and a
+//     context: invalid configuration is an error, not a panic, and a
+//     cancelled context aborts cleanly. Run remains as the panicking
+//     compatibility wrapper;
+//   - Experiment chains the evaluation phases declaratively — Generate →
+//     Distribute → Avail — from functional options, unifying single runs,
+//     multi-period campaigns and distribution scenarios on one spec;
+//   - RunResult.Consensus() returns the agreed document for any protocol,
+//     replacing type switches on the protocol-specific Detail.
+//
 // Every parameter sweep — the figure generators, the ablations,
 // cmd/cachesweep — runs on one grid engine (internal/sweep, re-exported
-// here as SweepGrid/RunSweep): named axes spanning a cartesian grid, a
-// bounded worker pool, deterministic result ordering (parallel and serial
-// runs render byte-identical tables) and per-cell error capture.
+// here as SweepGrid/RunSweep/RunSweepCtx): named axes spanning a cartesian
+// grid, a bounded worker pool, deterministic result ordering (parallel and
+// serial runs render byte-identical tables), per-cell error capture, and
+// cancellation that keeps every completed cell.
 //
 // This package is the stable facade used by the examples, the commands in
 // cmd/, and the benchmarks: it re-exports the scenario runner, the attack
@@ -44,14 +60,16 @@
 //
 // Quick start:
 //
-//	res := partialtor.Run(partialtor.Scenario{
+//	res, err := partialtor.RunE(ctx, partialtor.Scenario{
 //		Protocol: partialtor.ICPS,
 //		Relays:   8000,
 //	})
-//	fmt.Println(res.Success, res.Latency)
+//	if err != nil { ... }
+//	fmt.Println(res.Success, res.Latency, res.Consensus().NumVotes)
 package partialtor
 
 import (
+	"context"
 	"time"
 
 	"partialtor/internal/attack"
@@ -125,8 +143,102 @@ const ResidualUnderDDoS = attack.ResidualUnderDDoS
 // run under the five-minute attack.
 const FallbackLatency = harness.FallbackLatency
 
-// Run executes one scenario and returns its outcome.
+// RunE executes one scenario and returns its outcome; invalid configuration
+// (a malformed or mis-tiered attack plan, an unregistered protocol, an
+// unsatisfiable distribution spec) is an error, and a cancelled context
+// aborts between the pipeline's phases.
+func RunE(ctx context.Context, s Scenario) (*RunResult, error) { return harness.RunE(ctx, s) }
+
+// Run is the compatibility wrapper around RunE: same execution, but a
+// configuration error panics. New code should call RunE.
 func Run(s Scenario) *RunResult { return harness.Run(s) }
+
+// --- experiment pipeline re-exports ---
+
+// Experiment is the declarative experiment pipeline: one scenario, repeated
+// over periods, with optional distribution and availability phases
+// (Generate → Distribute → Avail). Build one with NewExperiment.
+type Experiment = harness.Experiment
+
+// ExperimentOption configures an Experiment under construction.
+type ExperimentOption = harness.ExperimentOption
+
+// ExperimentResult is the outcome of an experiment's full phase chain.
+type ExperimentResult = harness.ExperimentResult
+
+// ExperimentPhase names one stage of the pipeline.
+type ExperimentPhase = harness.Phase
+
+// The pipeline's phases.
+const (
+	// PhaseGenerate runs the directory protocol, one consensus per period.
+	PhaseGenerate = harness.PhaseGenerate
+	// PhaseDistribute pushes each consensus through the cache tier.
+	PhaseDistribute = harness.PhaseDistribute
+	// PhaseAvail folds period outcomes into client availability.
+	PhaseAvail = harness.PhaseAvail
+)
+
+// NewExperiment assembles and eagerly validates an experiment from options.
+func NewExperiment(opts ...ExperimentOption) (*Experiment, error) {
+	return harness.NewExperiment(opts...)
+}
+
+// WithScenario sets the base scenario every period runs.
+func WithScenario(s Scenario) ExperimentOption { return harness.WithScenario(s) }
+
+// WithProtocol selects the protocol without replacing the base scenario.
+func WithProtocol(p Protocol) ExperimentOption { return harness.WithProtocol(p) }
+
+// WithPeriods runs n hourly consensus periods and enables the Avail phase.
+func WithPeriods(n int) ExperimentOption { return harness.WithPeriods(n) }
+
+// WithAttack applies the plan to every attacked period, routed by tier:
+// authority plans throttle consensus generation, cache plans the
+// distribution tier.
+func WithAttack(p AttackPlan) ExperimentOption { return harness.WithAttack(p) }
+
+// WithAttackSchedule marks which periods run under the attack plan.
+func WithAttackSchedule(attacked func(i int) bool) ExperimentOption {
+	return harness.WithAttackSchedule(attacked)
+}
+
+// WithDistribution adds the Distribute phase to every period.
+func WithDistribution(spec DistributionSpec) ExperimentOption {
+	return harness.WithDistribution(spec)
+}
+
+// WithAvailability adds the Avail phase under the given lifetime policy.
+func WithAvailability(p ClientPolicy) ExperimentOption { return harness.WithAvailability(p) }
+
+// WithChain links successful periods into the proposal-239 hash chain.
+func WithChain() ExperimentOption { return harness.WithChain() }
+
+// --- protocol driver re-exports ---
+
+// ProtocolDriver builds runnable instances of one directory protocol; see
+// harness.Driver. Registering a driver makes a new protocol variant usable
+// in every scenario, sweep and figure generator.
+type ProtocolDriver = harness.Driver
+
+// ProtocolRun is one prepared protocol instance a driver built.
+type ProtocolRun = harness.ProtocolRun
+
+// ProtocolOutcome is the protocol-independent result a driver collects.
+type ProtocolOutcome = harness.Outcome
+
+// RegisterDriver installs d as the driver for p, replacing any existing
+// registration.
+func RegisterDriver(p Protocol, d ProtocolDriver) { harness.RegisterDriver(p, d) }
+
+// NewProtocol allocates a fresh Protocol value for d and registers it.
+func NewProtocol(d ProtocolDriver) Protocol { return harness.NewProtocol(d) }
+
+// DriverFor returns the registered driver for p.
+func DriverFor(p Protocol) (ProtocolDriver, error) { return harness.DriverFor(p) }
+
+// Protocols lists every registered protocol in ascending order.
+func Protocols() []Protocol { return harness.Protocols() }
 
 // RunDistribution executes one standalone distribution phase: authorities
 // publish at the spec's PublishAt, caches fetch with fallback, aggregated
@@ -206,6 +318,17 @@ func RunSweep[T any](g SweepGrid, workers int, fn func(SweepCell) (T, error)) []
 	return sweep.Run(g, workers, fn)
 }
 
+// RunSweepCtx is RunSweep with cancellation: once ctx is cancelled no new
+// cell starts, completed cells keep their results, and never-started cells
+// carry SweepCellSkipped wrapping the context error.
+func RunSweepCtx[T any](ctx context.Context, g SweepGrid, workers int, fn func(context.Context, SweepCell) (T, error)) []SweepResult[T] {
+	return sweep.RunCtx(ctx, g, workers, fn)
+}
+
+// SweepCellSkipped marks cells a cancelled context prevented from running;
+// test with errors.Is.
+var SweepCellSkipped = sweep.ErrCellSkipped
+
 // SweepFirstErr returns the first failed cell's error, or nil.
 func SweepFirstErr[T any](results []SweepResult[T]) error { return sweep.FirstErr(results) }
 
@@ -221,27 +344,42 @@ func ParseSweepCounts(s string) ([]int, error) { return sweep.ParsePositiveInts(
 func ParseSweepFloats(s string) ([]float64, error) { return sweep.ParseFloats(s) }
 
 // --- evaluation re-exports (one per paper artifact) ---
+//
+// Every generator that simulates takes a context and returns an error:
+// invalid configuration fails fast, and cancelling the context aborts the
+// underlying sweep promptly (the generator then reports the cancellation
+// as its error; drive RunSweepCtx directly to keep completed cells).
 
 // Figure1 renders an authority's log under the headline attack.
-func Figure1(p harness.Figure1Params) *harness.Figure1Result { return harness.Figure1(p) }
+func Figure1(ctx context.Context, p harness.Figure1Params) (*harness.Figure1Result, error) {
+	return harness.Figure1(ctx, p)
+}
 
 // Figure6 synthesizes the relay-count series (average 7141.79).
 func Figure6() *harness.Figure6Result { return harness.Figure6() }
 
 // Figure7 sweeps the bandwidth requirement against the relay count.
-func Figure7(p harness.Figure7Params) *harness.Figure7Result { return harness.Figure7(p) }
+func Figure7(ctx context.Context, p harness.Figure7Params) (*harness.Figure7Result, error) {
+	return harness.Figure7(ctx, p)
+}
 
 // Figure10 measures the three protocols' latency across bandwidths.
-func Figure10(p harness.Figure10Params) *harness.Figure10Result { return harness.Figure10(p) }
+func Figure10(ctx context.Context, p harness.Figure10Params) (*harness.Figure10Result, error) {
+	return harness.Figure10(ctx, p)
+}
 
 // Figure11 measures recovery from the five-minute outage.
-func Figure11(p harness.Figure11Params) *harness.Figure11Result { return harness.Figure11(p) }
+func Figure11(ctx context.Context, p harness.Figure11Params) (*harness.Figure11Result, error) {
+	return harness.Figure11(ctx, p)
+}
 
 // Table1 compares the three designs with measured transport cost.
-func Table1(p harness.Table1Params) *harness.Table1Result { return harness.Table1(p) }
+func Table1(ctx context.Context, p harness.Table1Params) (*harness.Table1Result, error) {
+	return harness.Table1(ctx, p)
+}
 
 // Table2 verifies the sub-protocol round counts (2 + 5 + 2).
-func Table2() *harness.Table2Result { return harness.Table2() }
+func Table2(ctx context.Context) (*harness.Table2Result, error) { return harness.Table2(ctx) }
 
 // CostTable evaluates the attack cost ($0.074/instance, $53.28/month).
 func CostTable() *harness.CostResult { return harness.CostTable() }
@@ -268,23 +406,34 @@ type (
 	TimeoutParams = harness.TimeoutParams
 )
 
-// Campaign simulates a sequence of hourly consensus periods, feeding the
+// CampaignE simulates a sequence of hourly consensus periods, feeding the
 // outcomes into the consensus hash chain (proposal 239 extension) and the
-// client availability model.
+// client availability model. It is a convenience front end for the
+// Experiment pipeline.
+func CampaignE(ctx context.Context, p CampaignParams) (*harness.CampaignResult, error) {
+	return harness.CampaignE(ctx, p)
+}
+
+// Campaign is the compatibility wrapper around CampaignE; configuration
+// errors panic.
 func Campaign(p CampaignParams) *harness.CampaignResult { return harness.Campaign(p) }
 
 // AblationEntrySize sweeps the current protocol's failure threshold across
 // vote entry sizes (DESIGN.md §6 calibration justification).
-func AblationEntrySize(p EntrySizeParams) *harness.EntrySizeResult {
-	return harness.AblationEntrySize(p)
+func AblationEntrySize(ctx context.Context, p EntrySizeParams) (*harness.EntrySizeResult, error) {
+	return harness.AblationEntrySize(ctx, p)
 }
 
 // AblationDelta sweeps the ICPS dissemination wait Δ.
-func AblationDelta(p DeltaParams) *harness.DeltaResult { return harness.AblationDelta(p) }
+func AblationDelta(ctx context.Context, p DeltaParams) (*harness.DeltaResult, error) {
+	return harness.AblationDelta(ctx, p)
+}
 
 // AblationTimeout sweeps the agreement pacemaker's base timeout under an
 // outage.
-func AblationTimeout(p TimeoutParams) *harness.TimeoutResult { return harness.AblationTimeout(p) }
+func AblationTimeout(ctx context.Context, p TimeoutParams) (*harness.TimeoutResult, error) {
+	return harness.AblationTimeout(ctx, p)
+}
 
 // Seconds renders a duration as float seconds (helper for reporting).
 func Seconds(d time.Duration) float64 { return d.Seconds() }
