@@ -1,10 +1,18 @@
 // Command cachesweep maps out the distribution tier's resilience surface:
-// it sweeps cache count × client population × attack residual on the grid
-// engine and reports, for each cell, the time to target coverage, the final
-// coverage, the per-tier egress and the attack's stressor price. The
-// residual axis spans the "flood the mirrors" family: -1 means no attack,
-// 0 knocks the flooded caches offline, positive values model a stressor
-// that leaves that much bandwidth (bits/s).
+// it sweeps cache count × client population × attack residual ×
+// compromised-mirror fraction on the grid engine and reports, for each
+// cell, the time to target coverage, the final coverage of the genuine
+// consensus, what a chain-blind observer would report (naive), the fork
+// detections, and the attack's price.
+//
+// The residual axis spans the "flood the mirrors" family: -1 means no
+// attack, 0 knocks the flooded caches offline, positive values model a
+// stressor that leaves that much bandwidth (bits/s). The compromised axis
+// spans the "own the mirrors" family: the fraction of caches serving stale
+// or forked documents (-mode); with -verify (default) clients run the
+// proposal-239 chain-verification path, detect the misbehavior and fall
+// back to honest caches — the table shows the coverage cliff as the
+// compromised fraction crosses one half.
 //
 // Cells fan out over -workers goroutines (default: all cores); the table is
 // printed in grid order after the sweep, so any worker count produces
@@ -17,6 +25,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/signal"
 	"time"
@@ -32,7 +41,8 @@ func fatalf(format string, args ...any) {
 // cellRow is one sweep cell's rendered outcome.
 type cellRow struct {
 	result *partialtor.DistributionResult
-	cost   float64 // stressor price of the cell's attack; <0 = no attack
+	cost   float64 // stressor price of the cell's flood; <0 = no flood
+	rent   float64 // monthly rent of the compromised caches; <0 = none
 }
 
 func main() {
@@ -40,6 +50,9 @@ func main() {
 		cachesFlag    = flag.String("caches", "10,20,40", "cache counts to sweep")
 		clientsFlag   = flag.String("clients", "100000,1000000", "client populations to sweep")
 		residualsFlag = flag.String("residuals", "-1,500000,0", "attack residual bits/s (-1 = no attack)")
+		compFlag      = flag.String("compromised", "0,0.25,0.6", "compromised-cache fractions to sweep")
+		modeFlag      = flag.String("mode", "equivocate", "compromise mode: stale or equivocate")
+		verify        = flag.Bool("verify", true, "clients run proposal-239 chain verification")
 		window        = flag.Duration("window", 30*time.Minute, "client fetch window")
 		target        = flag.Float64("target", 0.95, "coverage fraction defining success")
 		seed          = flag.Int64("seed", 42, "simulation seed")
@@ -59,11 +72,30 @@ func main() {
 	if err != nil {
 		fatalf("invalid -residuals: %v", err)
 	}
+	fractions, err := partialtor.ParseSweepFloats(*compFlag)
+	if err != nil {
+		fatalf("invalid -compromised: %v", err)
+	}
+	for _, f := range fractions {
+		if f < 0 || f > 1 {
+			fatalf("invalid -compromised: fraction %g outside [0, 1]", f)
+		}
+	}
+	var mode partialtor.CompromiseMode
+	switch *modeFlag {
+	case "stale":
+		mode = partialtor.CompromiseStale
+	case "equivocate":
+		mode = partialtor.CompromiseEquivocate
+	default:
+		fatalf("invalid -mode %q: want stale or equivocate", *modeFlag)
+	}
 
 	grid := partialtor.MustNewSweepGrid(
 		partialtor.SweepInts("caches", cacheCounts...),
 		partialtor.SweepInts("clients", populations...),
 		partialtor.SweepFloats("residual", residuals...),
+		partialtor.SweepFloats("comp", fractions...),
 	)
 	pricing := partialtor.DefaultCostModel()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -76,8 +108,9 @@ func main() {
 			FetchWindow:    *window,
 			TargetCoverage: *target,
 			Seed:           *seed,
+			VerifyClients:  *verify,
 		}
-		row := cellRow{cost: -1}
+		row := cellRow{cost: -1, rent: -1}
 		if res := c.Float("residual"); res >= 0 {
 			plan := partialtor.AttackPlan{
 				Tier:     partialtor.TierCache,
@@ -89,6 +122,27 @@ func main() {
 			spec.Attacks = []partialtor.AttackPlan{plan}
 			row.cost = pricing.PlanCost(plan)
 		}
+		if frac := c.Float("comp"); frac > 0 {
+			n := int(math.Round(frac * float64(spec.Caches)))
+			if n < 1 {
+				n = 1
+			}
+			// Compromise the TOP of the cache index range: floods target the
+			// majority prefix (MajorityTargets), so the two axes stay
+			// independent — a flooded-offline cache cannot also be the one
+			// whose misbehavior the comp axis is measuring — until the
+			// fractions are large enough that overlap is unavoidable.
+			targets := make([]int, n)
+			for i := range targets {
+				targets[i] = spec.Caches - n + i
+			}
+			comp := partialtor.CompromisePlan{
+				Targets: targets,
+				Mode:    mode,
+			}
+			spec.Compromise = &comp
+			row.rent = pricing.CompromiseCostPerMonth(comp)
+		}
 		r, err := partialtor.RunDistribution(spec)
 		if err != nil {
 			return cellRow{}, err
@@ -97,8 +151,8 @@ func main() {
 		return row, nil
 	})
 
-	fmt.Printf("%-8s %-10s %-12s %-12s %-10s %-12s %-10s %-10s\n",
-		"caches", "clients", "residual", "t95", "coverage", "cache-egress", "failed", "cost")
+	fmt.Printf("%-8s %-10s %-12s %-6s %-12s %-10s %-10s %-7s %-10s %-10s\n",
+		"caches", "clients", "residual", "comp", "t95", "coverage", "naive", "forks", "cost", "rent/mo")
 	failed := 0
 	for _, r := range results {
 		nc, pop := r.Cell.Int("caches"), r.Cell.Int("clients")
@@ -107,25 +161,29 @@ func main() {
 		if res >= 0 {
 			label = fmt.Sprintf("%.1fMbit", res/1e6)
 		}
+		comp := fmt.Sprintf("%.0f%%", 100*r.Cell.Float("comp"))
 		if r.Err != nil {
 			failed++
-			fmt.Printf("%-8d %-10d %-12s %-12s %-10s %-12s %-10s %-10s\n",
-				nc, pop, label, "ERROR", "-", "-", "-", "-")
+			fmt.Printf("%-8d %-10d %-12s %-6s %-12s %-10s %-10s %-7s %-10s %-10s\n",
+				nc, pop, label, comp, "ERROR", "-", "-", "-", "-", "-")
 			continue
 		}
 		t95 := "never"
 		if r.Value.result.TimeToTarget != partialtor.Never {
 			t95 = r.Value.result.TimeToTarget.Round(time.Second).String()
 		}
-		cost := "-"
+		cost, rent := "-", "-"
 		if r.Value.cost >= 0 {
 			cost = fmt.Sprintf("$%.2f", r.Value.cost)
 		}
-		fmt.Printf("%-8d %-10d %-12s %-12s %-10s %-12s %-10d %-10s\n",
-			nc, pop, label, t95,
+		if r.Value.rent >= 0 {
+			rent = fmt.Sprintf("$%.0f", r.Value.rent)
+		}
+		fmt.Printf("%-8d %-10d %-12s %-6s %-12s %-10s %-10s %-7d %-10s %-10s\n",
+			nc, pop, label, comp, t95,
 			fmt.Sprintf("%.1f%%", 100*r.Value.result.Coverage()),
-			fmt.Sprintf("%.1fGB", float64(r.Value.result.CacheEgress)/1e9),
-			r.Value.result.FailedFetches, cost)
+			fmt.Sprintf("%.1f%%", 100*r.Value.result.NaiveCoverage()),
+			len(r.Value.result.ForkDetections), cost, rent)
 	}
 	// Timing goes to stderr: stdout is the table, byte-identical across
 	// worker counts and wall clocks.

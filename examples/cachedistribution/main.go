@@ -3,10 +3,12 @@
 // million clients still have to fetch it through the directory-cache tier.
 // This example distributes one consensus to 1,000,000 modelled clients over
 // 24 caches, then repeats the experiment with a DDoS-for-hire flood aimed at
-// the caches instead of the authorities ("flood the mirrors"), and finally
-// composes the full pipeline — consensus generation, cache distribution,
-// population-level availability — as one declarative Experiment
-// (Generate → Distribute → Avail).
+// the caches instead of the authorities ("flood the mirrors"), then with a
+// quarter of the caches *compromised* — equivocating mirrors serving an
+// adversary-signed fork — with and without proposal-239 chain-verifying
+// clients, and finally composes the full pipeline — consensus generation,
+// cache distribution, population-level availability — as one declarative
+// Experiment (Generate → Distribute → Avail).
 package main
 
 import (
@@ -30,6 +32,15 @@ func spec() partialtor.DistributionSpec {
 func report(name string, r *partialtor.DistributionResult) {
 	fmt.Printf("%s:\n", name)
 	fmt.Printf("  covered:            %d/%d clients (%.1f%%)\n", r.Covered, r.TotalClients, 100*r.Coverage())
+	if r.Misled > 0 || r.StaleRejections > 0 || len(r.ForkDetections) > 0 {
+		fmt.Printf("  misled:             %d clients (naive coverage %.1f%%)\n", r.Misled, 100*r.NaiveCoverage())
+		fmt.Printf("  detections:         %d forks, %d stale rejections, %d extra fetches\n",
+			len(r.ForkDetections), r.StaleRejections, r.ExtraFetches)
+		for _, det := range r.ForkDetections {
+			fmt.Printf("  fork proof:         caches %v, culprit authorities %v (at %v)\n",
+				det.Caches, det.Proof.Culprits(), det.At.Round(time.Second))
+		}
+	}
 	if r.TimeToTarget == partialtor.Never {
 		fmt.Printf("  time to %.0f%%:        never\n", 100*r.Spec.TargetCoverage)
 	} else {
@@ -73,6 +84,35 @@ func main() {
 	}
 	report(fmt.Sprintf("flooding %d of %d caches (0.5 Mbit/s residual)",
 		len(cachePlan.Targets), s.Caches), attacked)
+
+	// Compromised mirrors: the adversary does not flood the caches, it owns
+	// a quarter of them (TorMult-style mirror inflation) and serves an
+	// adversary-signed fork to half the fleets. Chain-blind clients swallow
+	// it — naive coverage looks perfect while a chunk of the population is
+	// on the wrong consensus. Chain-verifying clients (proposal 239) catch
+	// the fork, prove it, distrust the equivocators and still reach target
+	// coverage through the honest mirrors.
+	fmt.Println("== a quarter of the mirrors compromised (equivocating) ==")
+	fmt.Println()
+	comp := partialtor.CompromisePlan{
+		Targets: partialtor.FirstTargets(6),
+		Mode:    partialtor.CompromiseEquivocate,
+	}
+	rent := partialtor.DefaultCostModel().CompromiseCostPerMonth(comp)
+	for _, verify := range []bool{false, true} {
+		s := spec()
+		s.Compromise = &comp
+		s.VerifyClients = verify
+		r, err := partialtor.RunDistribution(s)
+		if err != nil {
+			log.Fatalf("cachedistribution: %v", err)
+		}
+		name := "chain-blind clients"
+		if verify {
+			name = "chain-verifying clients"
+		}
+		report(fmt.Sprintf("%s (6/24 mirrors equivocating, $%.0f/month)", name, rent), r)
+	}
 
 	// End to end: run the actual directory protocol (scaled), then
 	// distribute whatever it produced. Under the authority-tier five-minute

@@ -3,6 +3,7 @@ package partialtor_test
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -226,4 +227,123 @@ func TestFacadeDriverRegistry(t *testing.T) {
 	if len(ps) < 3 {
 		t.Fatalf("protocols %v", ps)
 	}
+}
+
+// TestFacadeCompromisedCaches drives the compromised-mirror subsystem
+// through the public facade: an equivocating compromise is detected by
+// verifying clients, who still reach target coverage via honest caches.
+func TestFacadeCompromisedCaches(t *testing.T) {
+	spec := partialtor.DistributionSpec{
+		Clients:     20_000,
+		Caches:      8,
+		Fleets:      2,
+		FetchWindow: 10 * time.Minute,
+		Tick:        5 * time.Second,
+		Seed:        7,
+		Compromise: &partialtor.CompromisePlan{
+			Targets: partialtor.FirstTargets(2),
+			Mode:    partialtor.CompromiseEquivocate,
+		},
+		VerifyClients: true,
+	}
+	res, err := partialtor.RunDistribution(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ForkDetections) == 0 {
+		t.Fatal("no fork detected through the facade")
+	}
+	proof := res.ForkDetections[0].Proof
+	if proof == nil || len(proof.Culprits()) == 0 {
+		t.Fatal("fork proof missing or culprit-free")
+	}
+	if res.Coverage() < res.Spec.TargetCoverage {
+		t.Fatalf("coverage %.3f below target", res.Coverage())
+	}
+	if res.Misled != 0 {
+		t.Fatalf("%d verifying clients misled", res.Misled)
+	}
+	// The same tier without verification is silently poisoned.
+	spec.VerifyClients = false
+	blind, err := partialtor.RunDistribution(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blind.Misled == 0 || blind.NaiveCoverage() <= blind.Coverage() {
+		t.Fatalf("chain-blind run not poisoned: misled=%d naive=%.3f genuine=%.3f",
+			blind.Misled, blind.NaiveCoverage(), blind.Coverage())
+	}
+	// Pricing: the compromise is rent, not stressor traffic.
+	m := partialtor.DefaultCostModel()
+	if got := m.CompromiseCostPerMonth(*spec.Compromise); got != 2*m.CachePerMonth {
+		t.Fatalf("compromise rent %.2f", got)
+	}
+}
+
+// ExampleRunE runs one scenario end to end: the paper's partially
+// synchronous protocol (ICPS) over a healthy nine-authority network.
+func ExampleRunE() {
+	res, err := partialtor.RunE(context.Background(), partialtor.Scenario{
+		Protocol:     partialtor.ICPS,
+		Relays:       150, // scaled down from 8000 so the example runs in milliseconds
+		EntryPadding: 0,
+		Seed:         4,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("success:", res.Success)
+	fmt.Println("votes aggregated:", res.Consensus().NumVotes)
+	// Output:
+	// success: true
+	// votes aggregated: 9
+}
+
+// ExampleNewExperiment chains the pipeline declaratively: two hourly
+// consensus periods of the current Tor protocol, folded into the client
+// availability model (Generate → Avail).
+func ExampleNewExperiment() {
+	exp, err := partialtor.NewExperiment(
+		partialtor.WithScenario(partialtor.Scenario{
+			Protocol:     partialtor.Current,
+			Relays:       150,
+			EntryPadding: 0,
+			Round:        15 * time.Second,
+			Seed:         4,
+		}),
+		partialtor.WithPeriods(2),
+	)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("phases:", exp.Phases())
+	res, err := exp.Run(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("successes: %d/%d\n", res.Successes, exp.Periods())
+	// Output:
+	// phases: [generate avail]
+	// successes: 2/2
+}
+
+// ExampleSweepGrid shows the grid engine every sweep in this repository
+// runs on: named axes spanning a cartesian grid, evaluated cell by cell
+// with results in deterministic rank order.
+func ExampleSweepGrid() {
+	grid := partialtor.MustNewSweepGrid(
+		partialtor.SweepInts("caches", 10, 20),
+		partialtor.SweepFloats("residual", 0, 0.5e6),
+	)
+	results := partialtor.RunSweep(grid, 1, func(c partialtor.SweepCell) (string, error) {
+		return fmt.Sprintf("%d caches at %.1f Mbit/s", c.Int("caches"), c.Float("residual")/1e6), nil
+	})
+	for _, r := range results {
+		fmt.Println(r.Value)
+	}
+	// Output:
+	// 10 caches at 0.0 Mbit/s
+	// 10 caches at 0.5 Mbit/s
+	// 20 caches at 0.0 Mbit/s
+	// 20 caches at 0.5 Mbit/s
 }

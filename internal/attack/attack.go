@@ -1,13 +1,3 @@
-// Package attack models the paper's DDoS adversary (§4): bandwidth-flooding
-// of directory infrastructure via DDoS-for-hire stressor services, expressed
-// as residual-bandwidth windows on the simulated network, plus the cost model
-// that yields the paper's headline numbers ($0.074 per consensus instance,
-// $53.28 per month).
-//
-// A Plan targets one Tier of the directory system: the nine authorities that
-// generate the consensus (TierAuthority, the paper's headline attack) or the
-// directory caches that distribute it to clients (TierCache, the "flood the
-// mirrors" family evaluated by internal/dircache).
 package attack
 
 import (
@@ -132,6 +122,86 @@ func (p *Plan) IsTarget(index int) bool {
 // Duration returns the window length.
 func (p *Plan) Duration() time.Duration { return p.End - p.Start }
 
+// CompromiseMode selects how a compromised directory cache misbehaves.
+// Unlike a flood (Plan), a compromise does not cost bandwidth: the adversary
+// controls the cache and serves wrong directory data, which only the
+// proposal-239 hash chain lets clients catch (internal/client.Verifier).
+type CompromiseMode int
+
+const (
+	// CompromiseStale keeps re-serving the previous epoch's consensus: the
+	// cache looks alive and fast, but its clients never learn the current
+	// network view.
+	CompromiseStale CompromiseMode = iota
+	// CompromiseEquivocate serves an adversary-signed fork of the current
+	// consensus to a fraction of the client fleets and the genuine document
+	// to the rest — the split-view attack hash chaining turns into
+	// cryptographic evidence (chain.ForkProof).
+	CompromiseEquivocate
+)
+
+func (m CompromiseMode) String() string {
+	switch m {
+	case CompromiseStale:
+		return "stale"
+	case CompromiseEquivocate:
+		return "equivocate"
+	}
+	return fmt.Sprintf("CompromiseMode(%d)", int(m))
+}
+
+// CompromisePlan is the adversary's cache-compromise campaign: which caches
+// misbehave, how, and from which consensus period onward. It is the
+// TierCache analogue of a flood Plan for an adversary that owns mirrors
+// instead of renting stressor traffic (TorMult-style relay inflation mapped
+// onto the mirror tier).
+type CompromisePlan struct {
+	// Targets are the compromised cache indices (tier-relative, like a
+	// TierCache Plan's Targets).
+	Targets []int
+	// Mode selects the misbehavior.
+	Mode CompromiseMode
+	// Onset is the first consensus period (0-based) in which the caches
+	// misbehave; earlier periods run honestly. Single-period runs treat any
+	// Onset > 0 as "not yet active".
+	Onset int
+	// ForkFleetFraction is the fraction of client fleets an equivocating
+	// cache serves the fork to (the rest get the genuine document, which is
+	// what makes it an equivocation rather than a uniform substitution).
+	// 0 selects the default 0.5. Ignored by CompromiseStale.
+	ForkFleetFraction float64
+}
+
+// Validate rejects malformed compromise plans.
+func (p *CompromisePlan) Validate() error {
+	if p.Mode != CompromiseStale && p.Mode != CompromiseEquivocate {
+		return fmt.Errorf("attack: unknown compromise mode %v", p.Mode)
+	}
+	if p.Onset < 0 {
+		return fmt.Errorf("attack: negative compromise onset %d", p.Onset)
+	}
+	if p.ForkFleetFraction < 0 || p.ForkFleetFraction > 1 {
+		return fmt.Errorf("attack: fork fleet fraction %g outside [0, 1]", p.ForkFleetFraction)
+	}
+	for _, t := range p.Targets {
+		if t < 0 {
+			return fmt.Errorf("attack: negative compromise target %d", t)
+		}
+	}
+	return nil
+}
+
+// ActiveIn reports whether the plan's caches misbehave in the given period.
+func (p *CompromisePlan) ActiveIn(period int) bool { return period >= p.Onset }
+
+// EffectiveForkFraction resolves the fork-fleet fraction default.
+func (p *CompromisePlan) EffectiveForkFraction() float64 {
+	if p.ForkFleetFraction == 0 {
+		return 0.5
+	}
+	return p.ForkFleetFraction
+}
+
 // FirstTargets returns the first n node indices — the target set for a
 // flood of exactly n nodes of a tier. n <= 0 yields an empty set.
 func FirstTargets(n int) []int {
@@ -174,6 +244,11 @@ type CostModel struct {
 	// TierCache floods: 200, matching the distribution tier's default
 	// cache bandwidth (dircache.Spec.CacheBandwidth).
 	CacheLinkMbit float64
+	// CachePerMonth is the monthly price of operating (or renting) one
+	// malicious directory cache for a CompromisePlan: $40, a commodity VPS
+	// with a 200 Mbit/s uplink. Compromise is priced per cache-month, not
+	// per Mbit — owning a mirror costs rent, not stressor traffic.
+	CachePerMonth float64
 }
 
 // DefaultCostModel returns the constants the paper uses.
@@ -183,7 +258,16 @@ func DefaultCostModel() CostModel {
 		AuthorityLinkMbit: 250,
 		RequiredMbit:      10,
 		CacheLinkMbit:     200,
+		CachePerMonth:     40,
 	}
+}
+
+// CompromiseCostPerMonth prices a compromise plan: the monthly rent of every
+// compromised cache. The comparison against PlansCost/PerMonth is the
+// defense economics of the mirror tier — flooding it is priced in stressor
+// Mbit-hours, subverting it in VPS-months.
+func (m CostModel) CompromiseCostPerMonth(p CompromisePlan) float64 {
+	return float64(len(p.Targets)) * m.CachePerMonth
 }
 
 // LinkMbit returns the priced link capacity of one node in the tier.

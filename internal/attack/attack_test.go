@@ -259,3 +259,60 @@ func TestCostPathsAgree(t *testing.T) {
 		}
 	}
 }
+
+func TestCompromisePlanValidate(t *testing.T) {
+	good := CompromisePlan{Targets: []int{0, 3}, Mode: CompromiseEquivocate}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	bad := []CompromisePlan{
+		{Mode: CompromiseMode(7)},
+		{Mode: CompromiseStale, Onset: -1},
+		{Mode: CompromiseEquivocate, ForkFleetFraction: 1.5},
+		{Mode: CompromiseEquivocate, ForkFleetFraction: -0.1},
+		{Mode: CompromiseStale, Targets: []int{-2}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("case %d: invalid plan %+v accepted", i, p)
+		}
+	}
+}
+
+func TestCompromisePlanActivation(t *testing.T) {
+	p := CompromisePlan{Targets: []int{1}, Mode: CompromiseStale, Onset: 2}
+	for period, want := range map[int]bool{0: false, 1: false, 2: true, 5: true} {
+		if got := p.ActiveIn(period); got != want {
+			t.Fatalf("ActiveIn(%d) = %v, want %v", period, got, want)
+		}
+	}
+	if f := (&CompromisePlan{}).EffectiveForkFraction(); f != 0.5 {
+		t.Fatalf("default fork fraction %g, want 0.5", f)
+	}
+	if f := (&CompromisePlan{ForkFleetFraction: 0.25}).EffectiveForkFraction(); f != 0.25 {
+		t.Fatalf("explicit fork fraction %g, want 0.25", f)
+	}
+}
+
+func TestCompromisePricing(t *testing.T) {
+	m := DefaultCostModel()
+	p := CompromisePlan{Targets: []int{0, 1, 2}, Mode: CompromiseEquivocate}
+	if got := m.CompromiseCostPerMonth(p); got != 3*m.CachePerMonth {
+		t.Fatalf("compromise cost %.2f, want %.2f", got, 3*m.CachePerMonth)
+	}
+	// Sanity of the defense economics: subverting a quarter of a 2000-mirror
+	// tier must cost far more than the paper's $53.28/month authority flood.
+	wide := CompromisePlan{Targets: FirstTargets(500), Mode: CompromiseStale}
+	if got := m.CompromiseCostPerMonth(wide); got <= m.CostPerMonth(5, 5*time.Minute) {
+		t.Fatalf("500-cache compromise ($%.2f/mo) priced below the authority flood", got)
+	}
+}
+
+func TestCompromiseModeString(t *testing.T) {
+	if CompromiseStale.String() != "stale" || CompromiseEquivocate.String() != "equivocate" {
+		t.Fatalf("mode names %v/%v", CompromiseStale, CompromiseEquivocate)
+	}
+	if s := CompromiseMode(9).String(); s != "CompromiseMode(9)" {
+		t.Fatalf("unknown mode renders %q", s)
+	}
+}

@@ -1,13 +1,3 @@
-// Package chain implements consensus-hash chaining, the hardening measure
-// of Tor proposal 239 ("consensus hash chaining") that the paper lists
-// among the discussed-but-unimplemented directory improvements (§7). Each
-// consensus document commits to the digest of its predecessor; clients that
-// follow the chain can detect forks (two signed successors of the same
-// parent) and rollbacks even if a majority of authorities misbehave during
-// a single epoch.
-//
-// The package is protocol-agnostic: any of the three directory protocols in
-// this repository can feed its hourly consensus digests into a Chain.
 package chain
 
 import (
@@ -54,6 +44,14 @@ func verifySigs(pubs []ed25519.PublicKey, l Link, threshold int) error {
 		return fmt.Errorf("chain: %d signatures, need %d", good, threshold)
 	}
 	return nil
+}
+
+// VerifyLink checks one link's signature set in isolation: at least
+// threshold distinct valid signatures, no duplicates. It carries no
+// chain-position context — callers (e.g. client.Verifier) check epoch and
+// predecessor themselves.
+func VerifyLink(pubs []ed25519.PublicKey, threshold int, l Link) error {
+	return verifySigs(pubs, l, threshold)
 }
 
 // Chain is a verified sequence of links.

@@ -1,0 +1,135 @@
+package client
+
+import (
+	"testing"
+
+	"partialtor/internal/chain"
+	"partialtor/internal/sig"
+)
+
+// chainFixture builds an authority set plus three links hanging off the same
+// parent: the previous epoch's link, the genuine successor, and an
+// adversary-signed fork of the successor.
+func chainFixture(t *testing.T) (keys []*sig.KeyPair, threshold int, prev, genuine, fork chain.Link) {
+	t.Helper()
+	keys = sig.Authorities(5, 9)
+	threshold = len(keys)/2 + 1
+	sign := func(epoch uint64, digest, parent sig.Digest, signers []int) chain.Link {
+		l := chain.Link{Epoch: epoch, Digest: digest, Prev: parent}
+		for _, i := range signers {
+			l.Sigs = append(l.Sigs, chain.SignLink(keys[i], epoch, digest, parent))
+		}
+		return l
+	}
+	majority := make([]int, threshold)
+	for i := range majority {
+		majority[i] = i
+	}
+	prevDigest := sig.Hash([]byte("consensus epoch 1"))
+	prev = sign(1, prevDigest, sig.Digest{}, majority)
+	genuine = sign(2, sig.Hash([]byte("consensus epoch 2")), prevDigest, majority)
+	fork = sign(2, sig.Hash([]byte("the adversary's epoch 2")), prevDigest, majority)
+	return keys, threshold, prev, genuine, fork
+}
+
+func TestVerifierAcceptsGenuineSuccessor(t *testing.T) {
+	keys, threshold, prev, genuine, _ := chainFixture(t)
+	v := NewVerifier(sig.PublicSet(keys), threshold, 2, prev.Digest)
+	if got := v.Check(genuine); got != VerdictAccept {
+		t.Fatalf("genuine successor: %v", got)
+	}
+	// Idempotent: the same document keeps being accepted.
+	if got := v.Check(genuine); got != VerdictAccept {
+		t.Fatalf("repeat check: %v", got)
+	}
+	if acc, ok := v.Accepted(); !ok || acc.Digest != genuine.Digest {
+		t.Fatalf("accepted link %v ok=%v", acc.Digest.Short(), ok)
+	}
+}
+
+func TestVerifierRejectsStaleReServe(t *testing.T) {
+	keys, threshold, prev, _, _ := chainFixture(t)
+	v := NewVerifier(sig.PublicSet(keys), threshold, 2, prev.Digest)
+	// A stale cache re-serves the consensus the client already holds.
+	if got := v.Check(prev); got != VerdictStale {
+		t.Fatalf("stale re-serve: %v", got)
+	}
+	if len(v.Proofs()) != 0 {
+		t.Fatal("stale document produced a fork proof")
+	}
+}
+
+func TestVerifierRejectsBadSignatures(t *testing.T) {
+	keys, threshold, prev, genuine, _ := chainFixture(t)
+	v := NewVerifier(sig.PublicSet(keys), threshold, 2, prev.Digest)
+	underSigned := genuine
+	underSigned.Sigs = underSigned.Sigs[:threshold-1]
+	if got := v.Check(underSigned); got != VerdictInvalid {
+		t.Fatalf("under-signed link: %v", got)
+	}
+	wrongParent := genuine
+	wrongParent.Prev = sig.Hash([]byte("someone else's chain"))
+	if got := v.Check(wrongParent); got != VerdictInvalid {
+		t.Fatalf("wrong parent: %v", got)
+	}
+}
+
+func TestVerifierDetectsFork(t *testing.T) {
+	keys, threshold, prev, genuine, fork := chainFixture(t)
+	v := NewVerifier(sig.PublicSet(keys), threshold, 2, prev.Digest)
+	if got := v.Check(genuine); got != VerdictAccept {
+		t.Fatalf("genuine: %v", got)
+	}
+	if got := v.Check(fork); got != VerdictFork {
+		t.Fatalf("fork: %v", got)
+	}
+	proofs := v.Proofs()
+	if len(proofs) != 1 {
+		t.Fatalf("%d proofs, want 1", len(proofs))
+	}
+	culprits := proofs[0].Culprits()
+	if len(culprits) != threshold {
+		t.Fatalf("culprits %v, want the %d double-signers", culprits, threshold)
+	}
+	// Re-offering the fork stays refused and does not duplicate the proof.
+	if got := v.Check(fork); got != VerdictFork {
+		t.Fatalf("repeat fork: %v", got)
+	}
+	if len(v.Proofs()) != 1 {
+		t.Fatalf("%d proofs after repeat, want 1", len(v.Proofs()))
+	}
+}
+
+func TestVerifierForkFirstThenSwitch(t *testing.T) {
+	keys, threshold, prev, genuine, fork := chainFixture(t)
+	v := NewVerifier(sig.PublicSet(keys), threshold, 2, prev.Digest)
+	// The adversary's side arrives first and — carrying a valid signature
+	// set — is accepted: prop-239 detects forks, it cannot prevent them.
+	if got := v.Check(fork); got != VerdictAccept {
+		t.Fatalf("fork-first: %v", got)
+	}
+	if got := v.Check(genuine); got != VerdictFork {
+		t.Fatalf("genuine after fork: %v", got)
+	}
+	if len(v.Proofs()) != 1 {
+		t.Fatalf("%d proofs, want 1", len(v.Proofs()))
+	}
+	// Out-of-band evidence (a majority of caches serving the other side)
+	// lets the client re-anchor.
+	if !v.Switch(genuine) {
+		t.Fatal("switch refused")
+	}
+	if got := v.Check(genuine); got != VerdictAccept {
+		t.Fatalf("genuine after switch: %v", got)
+	}
+	if got := v.Check(fork); got != VerdictFork {
+		t.Fatalf("fork after switch: %v", got)
+	}
+	if acc, _ := v.Accepted(); acc.Digest != genuine.Digest {
+		t.Fatalf("accepted %s after switch", acc.Digest.Short())
+	}
+	// Switching to the already-accepted side is a no-op.
+	if v.Switch(genuine) {
+		t.Fatal("no-op switch reported true")
+	}
+}

@@ -3,6 +3,7 @@ package dircache
 import (
 	"time"
 
+	"partialtor/internal/chain"
 	"partialtor/internal/simnet"
 )
 
@@ -29,10 +30,33 @@ func (a *authorityStub) Deliver(ctx *simnet.Context, from simnet.NodeID, msg sim
 	ctx.Send(from, notReady{seq: req.seq})
 }
 
+// cacheRole is a cache's behavior for one distribution period.
+type cacheRole int
+
+const (
+	// roleHonest fetches the consensus and re-serves it faithfully.
+	roleHonest cacheRole = iota
+	// roleStale never fetches: it keeps re-serving the previous epoch's
+	// consensus it already holds (attack.CompromiseStale). The cache looks
+	// fast — no authority round-trip, no nacks — but its clients stay on
+	// the old network view.
+	roleStale
+	// roleEquivocating serves an adversary-signed fork of the current epoch
+	// to its fork-target fleets and behaves honestly toward the rest
+	// (attack.CompromiseEquivocate).
+	roleEquivocating
+)
+
 // cacheNode fetches the consensus from the authorities with timeout-driven
-// fallback and re-serves it to fleets, as full documents or diffs.
+// fallback and re-serves it to fleets, as full documents or diffs. A
+// compromised role changes what it serves, never the wire sizes: stale and
+// forked documents are byte-for-byte as heavy as genuine ones.
 type cacheNode struct {
 	spec *Spec
+
+	role       cacheRole
+	chainCtx   *ChainContext          // nil when the run carries no chain material
+	forkFleets map[simnet.NodeID]bool // fleets an equivocating cache forks to
 
 	authOrder []simnet.NodeID // fallback order over the authorities
 	attempt   int             // number of authority requests sent
@@ -43,6 +67,11 @@ type cacheNode struct {
 }
 
 func (c *cacheNode) Start(ctx *simnet.Context) {
+	if c.role == roleStale {
+		// A stale cache has nothing to fetch: its whole misbehavior is
+		// keeping the previous epoch alive.
+		return
+	}
 	// Stagger the initial fetches a little so the authority uplinks don't
 	// see 20 perfectly synchronized requests at t=0.
 	jitter := time.Duration(ctx.Rand().Int63n(int64(time.Second)))
@@ -93,15 +122,34 @@ func (c *cacheNode) Deliver(ctx *simnet.Context, from simnet.NodeID, msg simnet.
 		})
 
 	case *fleetFetch:
+		c.serve(ctx, from, m)
+	}
+}
+
+// serve answers one fleet's aggregated fetch according to the cache's role.
+func (c *cacheNode) serve(ctx *simnet.Context, from simnet.NodeID, m *fleetFetch) {
+	var link *chain.Link
+	switch {
+	case c.role == roleStale:
+		// Always "available": the previous epoch never needed fetching.
+		link = &c.chainCtx.Prev
+	case c.role == roleEquivocating && c.forkFleets[from]:
+		// The adversary pre-loaded the fork, so fork-target fleets are
+		// served from t=0 — before honest caches even hold the consensus.
+		link = &c.chainCtx.Fork
+	default:
 		if !c.have {
 			ctx.Send(from, &fetchNack{fulls: m.fulls, diffs: m.diffs})
 			return
 		}
-		c.fullsServed += m.fulls
-		c.diffsServed += m.diffs
-		bytes := int64(m.fulls)*c.spec.DocBytes + int64(m.diffs)*c.spec.DiffBytes
-		ctx.Send(from, &docBatch{fulls: m.fulls, diffs: m.diffs, bytes: bytes})
+		if c.chainCtx != nil {
+			link = &c.chainCtx.Genuine
+		}
 	}
+	c.fullsServed += m.fulls
+	c.diffsServed += m.diffs
+	bytes := int64(m.fulls)*c.spec.DocBytes + int64(m.diffs)*c.spec.DiffBytes
+	ctx.Send(from, &docBatch{fulls: m.fulls, diffs: m.diffs, bytes: bytes, link: link})
 }
 
 // fallbacks reports how many extra authority requests the cache needed

@@ -1,32 +1,3 @@
-// Package dircache models the distribution tier of the Tor directory
-// protocol (paper §2.1, §3.1): once the authorities have generated a
-// consensus, a tier of directory caches fetches it and re-serves it to the
-// client population, and the network is only "up" for a client once its copy
-// arrives and only "down" once that copy expires.
-//
-// The tier runs on simnet as a second, independent simulation phase placed
-// after consensus generation:
-//
-//   - authority stubs hold the consensus document from PublishAt onward and
-//     answer cache fetches (a run that never produced a consensus is modelled
-//     by PublishAt = simnet.Never: every fetch is refused);
-//   - cache nodes fetch the consensus with timeout-driven fallback across
-//     the authorities and then re-serve it downstream, serving cheap
-//     consensus diffs to clients that still hold the previous document and
-//     full documents to the rest;
-//   - fleet nodes statistically aggregate 10⁵–10⁷ clients each: fetch
-//     arrivals are Poisson per tick, spread over the caches by weighted
-//     selection, and one simnet message carries a whole tick's worth of
-//     client downloads (its wire size is exact, so bandwidth contention is
-//     modelled faithfully while the event count stays tiny).
-//
-// Aggregation is what makes million-user scenarios run in seconds: a fleet
-// of a million clients costs the simulator a few hundred messages per hour
-// of virtual time, yet cache uplink saturation, DDoS throttling windows
-// (attack.Plan with Tier == attack.TierCache) and retry storms all shape the
-// coverage curve exactly as they would per-client. The one approximation is
-// batching: the clients of one tick on one cache complete together when the
-// batch transfer completes, so coverage is step-shaped at tick granularity.
 package dircache
 
 import (
@@ -35,6 +6,8 @@ import (
 	"time"
 
 	"partialtor/internal/attack"
+	"partialtor/internal/chain"
+	"partialtor/internal/sig"
 )
 
 // Default sizes of the documents moving through the tier. DocBytes
@@ -113,6 +86,27 @@ type Spec struct {
 	// throttle caches. Target indices are tier-relative.
 	Attacks []attack.Plan
 
+	// Compromise, if non-nil and active (ActiveIn(Period)), makes the
+	// plan's target caches misbehave: CompromiseStale caches keep
+	// re-serving the previous epoch's consensus, CompromiseEquivocate
+	// caches serve an adversary-signed fork to a fraction of the fleets.
+	// Only the hash-chain verification path (VerifyClients) lets clients
+	// catch either.
+	Compromise *attack.CompromisePlan
+	// Period is this run's consensus-period index, checked against
+	// Compromise.Onset (a standalone run is period 0).
+	Period int
+	// VerifyClients turns on the proposal-239 chain-verifying client path
+	// (client.Verifier): fleets check every fetched document against the
+	// hash chain, reject stale or forked documents, distrust the caches
+	// that served them and re-fetch from the rest.
+	VerifyClients bool
+	// Chain pins the hash-chain material the run serves and verifies
+	// against; nil synthesizes deterministic material from Seed and
+	// Authorities (SynthChain) whenever Compromise or VerifyClients needs
+	// it. The harness injects the real consensus digest here.
+	Chain *ChainContext
+
 	// Seed drives all randomness (default 1).
 	Seed int64
 	// RunLimit bounds the simulation (default FetchWindow + 30 min).
@@ -183,7 +177,19 @@ func (s Spec) withDefaults() Spec {
 	if s.RunLimit == 0 {
 		s.RunLimit = s.FetchWindow + 30*time.Minute
 	}
+	if s.Chain == nil && (s.VerifyClients || s.activeCompromise() != nil) {
+		s.Chain = SynthChain(s.Seed, s.Authorities, sig.Digest{})
+	}
 	return s
+}
+
+// activeCompromise returns the compromise plan if it is active in this run's
+// period, nil otherwise (no plan, or the onset lies in a later period).
+func (s *Spec) activeCompromise() *attack.CompromisePlan {
+	if s.Compromise == nil || !s.Compromise.ActiveIn(s.Period) {
+		return nil
+	}
+	return s.Compromise
 }
 
 // Validate rejects specs the simulation cannot run.
@@ -244,6 +250,26 @@ func (s Spec) Validate() error {
 			}
 		}
 	}
+	if s.Period < 0 {
+		return fmt.Errorf("dircache: negative period %d", s.Period)
+	}
+	if p := s.Compromise; p != nil {
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("dircache: compromise: %w", err)
+		}
+		for _, t := range p.Targets {
+			// An out-of-tier target would silently shrink the compromise:
+			// the sweep would report detection coverage it never tested.
+			if t >= s0.Caches {
+				return fmt.Errorf("dircache: compromise target %d beyond the %d-cache tier", t, s0.Caches)
+			}
+		}
+	}
+	if c := s.Chain; c != nil {
+		if c.Threshold < 1 || c.Threshold > len(c.Pubs) {
+			return fmt.Errorf("dircache: chain threshold %d over %d authorities", c.Threshold, len(c.Pubs))
+		}
+	}
 	return nil
 }
 
@@ -279,9 +305,14 @@ func (m *fleetFetch) Kind() string { return "fleet-req" }
 // docBatch carries the downloads for one fleetFetch back to the fleet. Its
 // wire size is the exact sum of the per-client documents, so the transfer
 // contends for cache uplink bandwidth as the individual downloads would.
+// link identifies WHICH consensus the cache served (its proposal-239 chain
+// link); nil when the run carries no chain material. The link's bytes ride
+// inside the documents — real consensuses embed their signatures — so Size
+// is unchanged.
 type docBatch struct {
 	fulls, diffs int
 	bytes        int64
+	link         *chain.Link
 }
 
 func (m *docBatch) Size() int64  { return m.bytes }

@@ -1,17 +1,33 @@
 package dircache
 
 import (
+	"sort"
 	"time"
 
+	"partialtor/internal/chain"
+	"partialtor/internal/client"
+	"partialtor/internal/sig"
 	"partialtor/internal/simnet"
 )
 
 // CoveragePoint is one step of a coverage curve. In a fleet's local curve
 // Count is the clients that completed at instant At; in Result.Points the
-// curves are merged and Count is the cumulative covered population.
+// curves are merged and Count is the cumulative covered population. Count
+// can be negative in a fleet's local curve: a verifying fleet that accepted
+// the adversary's side of a fork first retracts that coverage the instant
+// the fork is detected.
 type CoveragePoint struct {
 	At    time.Duration
 	Count int
+}
+
+// digestState tracks one consensus identity a fleet has been served:
+// how many of its clients accepted it (by download kind) and which caches
+// served it. The cache set is what resolves a detected fork — the side
+// served by fewer independent caches is treated as the adversary's.
+type digestState struct {
+	fulls, diffs int
+	caches       map[int]bool
 }
 
 // fleetNode statistically aggregates `clients` Tor clients behind one simnet
@@ -20,6 +36,15 @@ type CoveragePoint struct {
 // each cache for the whole tick's downloads in one aggregated message, and
 // counts the clients covered when the batch transfer completes. Refused
 // batches (cache has no consensus yet) go into a retry pool.
+//
+// With Spec.VerifyClients the fleet runs the proposal-239 verifying-client
+// path (client.Verifier): every received batch's chain link is checked,
+// stale or forked documents are rejected, the serving cache is distrusted
+// (its weight drops to zero for all later fetches), and the rejected
+// clients re-enter the retry pool aimed at the remaining caches. One
+// verifier serves the whole fleet — the aggregation-level analogue of every
+// client checking its own chain, at one signature verification per distinct
+// document.
 type fleetNode struct {
 	spec    *Spec
 	clients int
@@ -34,10 +59,53 @@ type fleetNode struct {
 	retryArmed                 bool
 
 	failed int64 // client fetch attempts refused with a nack
+
+	// --- verification state (nil/zero unless the run carries chain material) ---
+
+	chainCtx *ChainContext
+	verifier *client.Verifier // nil = non-verifying clients
+
+	trust      []bool    // per-cache; false once a cache served bad data
+	effWeights []float64 // weights masked by trust; nil until first distrust
+	cacheIdx   map[simnet.NodeID]int
+
+	byDigest map[sig.Digest]*digestState
+
+	misled          int   // clients that accepted a non-genuine document
+	staleRejections int64 // client downloads rejected as stale/invalid
+	extraFetches    int64 // re-fetch attempts verification caused
+	forkEvents      []forkEvent
+}
+
+// forkEvent is a fleet's evolving record of one detected fork: which digest
+// it currently blames and the detection built from that side's cache set.
+// Corroboration evidence is revisable — when the fleet re-anchors onto the
+// other side of a fork it rewrites the blame — so events are finalized only
+// at collect time.
+type forkEvent struct {
+	det    ForkDetection
+	blamed sig.Digest
 }
 
 func (f *fleetNode) Start(ctx *simnet.Context) {
 	f.unrequested = f.clients
+	if f.chainCtx != nil {
+		f.cacheIdx = make(map[simnet.NodeID]int, len(f.caches))
+		for i, id := range f.caches {
+			f.cacheIdx[id] = i
+		}
+		f.byDigest = make(map[sig.Digest]*digestState)
+		if f.spec.VerifyClients {
+			// Verifying clients hold the previous consensus, so they know
+			// the digest the next epoch must commit to.
+			f.verifier = client.NewVerifier(f.chainCtx.Pubs, f.chainCtx.Threshold,
+				f.chainCtx.Genuine.Epoch, f.chainCtx.Genuine.Prev)
+			f.trust = make([]bool, len(f.caches))
+			for i := range f.trust {
+				f.trust[i] = true
+			}
+		}
+	}
 	f.scheduleTick(ctx, 1)
 }
 
@@ -75,6 +143,69 @@ func (f *fleetNode) tickSpan(k int) (start, end time.Duration) {
 	return start, end
 }
 
+// curWeights returns the cache-selection weights in force: the spec's
+// weights until a cache has been distrusted, the trust-masked renormalized
+// copy afterwards.
+func (f *fleetNode) curWeights() []float64 {
+	if f.effWeights != nil {
+		return f.effWeights
+	}
+	return f.weights
+}
+
+// trustedCaches counts caches the fleet still fetches from.
+func (f *fleetNode) trustedCaches() int {
+	if f.trust == nil {
+		return len(f.caches)
+	}
+	n := 0
+	for _, ok := range f.trust {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// distrust zeroes a cache's selection weight after it served bad directory
+// data — the "fall back to the next cache" half of client-side verification.
+func (f *fleetNode) distrust(cacheIdx int) {
+	if f.trust == nil || !f.trust[cacheIdx] {
+		return
+	}
+	f.trust[cacheIdx] = false
+	f.recomputeWeights()
+}
+
+// retrust restores a cache the fleet wrongly condemned: fork blame is
+// revised when the corroboration majority flips, and a cache whose only
+// offense was serving the side that turned out genuine gets its selection
+// weight back.
+func (f *fleetNode) retrust(cacheIdx int) {
+	if f.trust == nil || f.trust[cacheIdx] {
+		return
+	}
+	f.trust[cacheIdx] = true
+	f.recomputeWeights()
+}
+
+func (f *fleetNode) recomputeWeights() {
+	masked := make([]float64, len(f.weights))
+	total := 0.0
+	for i, w := range f.weights {
+		if f.trust[i] {
+			masked[i] = w
+			total += w
+		}
+	}
+	if total > 0 {
+		for i := range masked {
+			masked[i] /= total
+		}
+	}
+	f.effWeights = masked
+}
+
 // tick issues this interval's fetch arrivals: per-cache Poisson draws whose
 // rate is proportional to the interval's *actual* length — the clamped
 // final tick must not draw at the full-tick rate, which would over-draw
@@ -85,11 +216,19 @@ func (f *fleetNode) tick(ctx *simnet.Context, k int) {
 	if f.unrequested == 0 {
 		return
 	}
+	if f.trust != nil && f.trustedCaches() == 0 {
+		// Nowhere honest left to fetch from: issuing the tick (or the
+		// final-tick flush) would dump the remaining population onto
+		// known-bad caches — splitCounts degenerates to bin 0 on an
+		// all-zero weight vector — and fabricate rejection traffic.
+		return
+	}
 	start, end := f.tickSpan(k)
 	frac := float64(end-start) / float64(f.spec.FetchWindow)
+	weights := f.curWeights()
 	counts := make([]int, len(f.caches))
 	total := 0
-	for i, w := range f.weights {
+	for i, w := range weights {
 		counts[i] = poisson(ctx.Rand(), float64(f.clients)*w*frac)
 		total += counts[i]
 	}
@@ -101,7 +240,7 @@ func (f *fleetNode) tick(ctx *simnet.Context, k int) {
 		counts = clampDraws(counts, f.unrequested)
 	} else if k == f.numTicks() {
 		// Final tick: flush the clients the Poisson draws left behind.
-		extra := splitCounts(ctx.Rand(), f.unrequested-total, f.weights)
+		extra := splitCounts(ctx.Rand(), f.unrequested-total, weights)
 		for i := range counts {
 			counts[i] += extra[i]
 		}
@@ -119,9 +258,7 @@ func (f *fleetNode) tick(ctx *simnet.Context, k int) {
 func (f *fleetNode) Deliver(ctx *simnet.Context, from simnet.NodeID, msg simnet.Message) {
 	switch m := msg.(type) {
 	case *docBatch:
-		n := m.fulls + m.diffs
-		f.covered += n
-		f.points = append(f.points, CoveragePoint{At: ctx.Now(), Count: n})
+		f.receiveBatch(ctx, from, m)
 
 	case *fetchNack:
 		f.failed += int64(m.fulls + m.diffs)
@@ -129,6 +266,224 @@ func (f *fleetNode) Deliver(ctx *simnet.Context, from simnet.NodeID, msg simnet.
 		f.pendingDiffs += m.diffs
 		f.armRetry(ctx)
 	}
+}
+
+// receiveBatch counts one completed batch download, running the
+// verification path when it is enabled.
+func (f *fleetNode) receiveBatch(ctx *simnet.Context, from simnet.NodeID, m *docBatch) {
+	n := m.fulls + m.diffs
+	if m.link == nil || f.chainCtx == nil {
+		// No chain material in this run: every document is the consensus.
+		f.accept(ctx, n)
+		return
+	}
+	cacheIdx := f.cacheIdx[from]
+	if f.verifier == nil {
+		// Non-verifying clients believe whatever they are served. Clients
+		// that accepted a stale or forked document think they are done —
+		// they never re-fetch — but they do not hold the current genuine
+		// consensus, so they count as misled, not covered.
+		if m.link.Digest == f.chainCtx.Genuine.Digest {
+			f.accept(ctx, n)
+		} else {
+			f.misled += n
+		}
+		return
+	}
+	switch f.verifier.Check(*m.link) {
+	case client.VerdictAccept:
+		st := f.digestState(m.link.Digest)
+		st.fulls += m.fulls
+		st.diffs += m.diffs
+		st.caches[cacheIdx] = true
+		// The fleet believes this document; the simulator knows whether the
+		// belief is right. When the adversary's side of a fork won the
+		// corroboration vote (compromised caches outnumbering honest ones),
+		// verifying clients are still misled — verification narrows the
+		// attack, it cannot beat a mirror majority.
+		if m.link.Digest == f.chainCtx.Genuine.Digest {
+			f.accept(ctx, n)
+		} else {
+			f.misled += n
+		}
+
+	case client.VerdictStale, client.VerdictInvalid:
+		// The cache is re-serving an old epoch (or garbage): reject the
+		// documents, stop asking this cache, re-fetch from the rest.
+		f.staleRejections += int64(n)
+		f.reject(ctx, cacheIdx, m.fulls, m.diffs)
+
+	case client.VerdictFork:
+		f.handleFork(ctx, cacheIdx, m)
+	}
+}
+
+// accept counts n clients as covered at the current instant.
+func (f *fleetNode) accept(ctx *simnet.Context, n int) {
+	f.covered += n
+	f.points = append(f.points, CoveragePoint{At: ctx.Now(), Count: n})
+}
+
+// reject distrusts the serving cache and queues the batch's clients for a
+// re-fetch from the remaining caches.
+func (f *fleetNode) reject(ctx *simnet.Context, cacheIdx, fulls, diffs int) {
+	f.distrust(cacheIdx)
+	f.extraFetches += int64(fulls + diffs)
+	f.pendingFulls += fulls
+	f.pendingDiffs += diffs
+	f.armRetry(ctx)
+}
+
+func (f *fleetNode) digestState(d sig.Digest) *digestState {
+	st := f.byDigest[d]
+	if st == nil {
+		st = &digestState{caches: make(map[int]bool)}
+		f.byDigest[d] = st
+	}
+	return st
+}
+
+// handleFork resolves a detected fork: two validly signed successors of the
+// same chain head are in play. The signature sets cannot say which side is
+// genuine — that is exactly what equivocation means — so the fleet sides
+// with the digest served by more independent caches, the aggregate analogue
+// of a suspicious client asking additional directories. The minority side's
+// caches are distrusted, any coverage its documents produced is retracted,
+// and those clients re-fetch from the surviving caches. On a tie the fleet
+// only parks the conflicting batch for retry: distrusting on one-vs-one
+// evidence would let a single equivocating cache talk the fleet out of an
+// honest one.
+func (f *fleetNode) handleFork(ctx *simnet.Context, cacheIdx int, m *docBatch) {
+	offered := m.link.Digest
+	f.digestState(offered).caches[cacheIdx] = true
+
+	accepted, ok := f.verifier.Accepted()
+	if !ok {
+		// Cannot happen: a fork verdict implies an accepted side. Reject
+		// conservatively.
+		f.reject(ctx, cacheIdx, m.fulls, m.diffs)
+		return
+	}
+	accSt := f.digestState(accepted.Digest)
+	offSt := f.digestState(offered)
+
+	switch {
+	case len(offSt.caches) > len(accSt.caches):
+		// The newcomer side is corroborated by more caches: the fleet
+		// concludes it was anchored on the fork. Re-anchor, retract the
+		// coverage the old side produced, refetch those clients, and
+		// distrust every cache that served it. Caches condemned earlier
+		// for serving the now-winning side are re-trusted, and fork blame
+		// pinned on that side is rewritten — corroboration verdicts are
+		// revisable, only the proof is permanent. (If the compromised
+		// caches are the majority, this is the fleet being talked out of
+		// the genuine document — the accounting in receiveBatch/retract
+		// keeps Covered honest either way.)
+		link := *m.link
+		if f.verifier.Switch(link) {
+			f.retract(ctx, accepted.Digest, accSt)
+		}
+		for c := range offSt.caches {
+			f.retrust(c)
+		}
+		f.dropForkBlame(offered)
+		// The triggering batch is on the now-trusted side.
+		offSt.fulls += m.fulls
+		offSt.diffs += m.diffs
+		if offered == f.chainCtx.Genuine.Digest {
+			f.accept(ctx, m.fulls+m.diffs)
+		} else {
+			f.misled += m.fulls + m.diffs
+		}
+		f.recordFork(ctx, accepted.Digest)
+
+	case len(accSt.caches) > len(offSt.caches):
+		// The established side stands; the offered document is the fork.
+		f.recordFork(ctx, offered)
+		f.reject(ctx, cacheIdx, m.fulls, m.diffs)
+
+	default:
+		// Tie: no basis to condemn either side yet. Park the batch's
+		// clients for a retry — by the time it fires, other caches will
+		// have weighed in.
+		f.extraFetches += int64(m.fulls + m.diffs)
+		f.pendingFulls += m.fulls
+		f.pendingDiffs += m.diffs
+		f.armRetry(ctx)
+	}
+}
+
+// retract undoes the acceptance a fork side produced: its clients discard
+// the document and re-enter the retry pool with their original download
+// kinds. Genuine-side retractions (the fleet wrongly talked out of the real
+// document) dent the coverage curve; fork-side retractions undo misled
+// counts.
+func (f *fleetNode) retract(ctx *simnet.Context, d sig.Digest, st *digestState) {
+	n := st.fulls + st.diffs
+	defer func() {
+		for c := range st.caches {
+			f.distrust(c)
+		}
+	}()
+	if n == 0 {
+		return
+	}
+	if d == f.chainCtx.Genuine.Digest {
+		f.covered -= n
+		f.points = append(f.points, CoveragePoint{At: ctx.Now(), Count: -n})
+	} else {
+		f.misled -= n
+	}
+	f.extraFetches += int64(n)
+	f.pendingFulls += st.fulls
+	f.pendingDiffs += st.diffs
+	st.fulls, st.diffs = 0, 0
+	f.armRetry(ctx)
+}
+
+// recordFork notes (or refreshes) one fork detection against the blamed
+// digest: the proof covering it and the caches seen serving it so far. A
+// later sighting of another cache on the same side updates the existing
+// event's cache list instead of minting a duplicate, so the final detection
+// names every compromised cache the fleet caught, not just the first.
+func (f *fleetNode) recordFork(ctx *simnet.Context, blamed sig.Digest) {
+	var proof *chain.ForkProof
+	for _, p := range f.verifier.Proofs() {
+		if p.A.Digest == blamed || p.B.Digest == blamed {
+			proof = p
+		}
+	}
+	if proof == nil {
+		return
+	}
+	var caches []int
+	for c := range f.digestState(blamed).caches {
+		caches = append(caches, c)
+	}
+	sort.Ints(caches)
+	for i := range f.forkEvents {
+		if f.forkEvents[i].blamed == blamed {
+			f.forkEvents[i].det.Caches = caches
+			return
+		}
+	}
+	f.forkEvents = append(f.forkEvents, forkEvent{
+		det:    ForkDetection{At: ctx.Now(), Caches: caches, Proof: proof},
+		blamed: blamed,
+	})
+}
+
+// dropForkBlame deletes detections pinned on a digest the fleet has since
+// re-anchored onto — the blame was wrong, and keeping it would report an
+// honest cache as compromised.
+func (f *fleetNode) dropForkBlame(d sig.Digest) {
+	kept := f.forkEvents[:0]
+	for _, ev := range f.forkEvents {
+		if ev.blamed != d {
+			kept = append(kept, ev)
+		}
+	}
+	f.forkEvents = kept
 }
 
 // armRetry coalesces refused fetches into one retry burst per RetryDelay.
@@ -144,8 +499,17 @@ func (f *fleetNode) armRetry(ctx *simnet.Context) {
 		if fulls+diffs == 0 {
 			return
 		}
-		fullSplit := splitCounts(ctx.Rand(), fulls, f.weights)
-		diffSplit := splitCounts(ctx.Rand(), diffs, f.weights)
+		if f.trust != nil && f.trustedCaches() == 0 {
+			// Every cache served bad data: there is nowhere left to fetch
+			// from, so these clients stay uncovered. Dropping them (instead
+			// of hammering known-bad caches) keeps the coverage metric
+			// honest: a fully compromised tier yields zero verified
+			// coverage, not a retry storm.
+			return
+		}
+		weights := f.curWeights()
+		fullSplit := splitCounts(ctx.Rand(), fulls, weights)
+		diffSplit := splitCounts(ctx.Rand(), diffs, weights)
 		for i := range f.caches {
 			if fullSplit[i]+diffSplit[i] == 0 {
 				continue

@@ -7,7 +7,9 @@ import (
 	"strings"
 	"time"
 
+	"partialtor/internal/chain"
 	"partialtor/internal/client"
+	"partialtor/internal/sig"
 	"partialtor/internal/simnet"
 )
 
@@ -55,18 +57,92 @@ type Result struct {
 	// (simnet.Never if it never arrived).
 	CacheFetchedAt []time.Duration
 
+	// --- compromised-cache / verification outcomes ---
+	// (all zero unless the spec carried a Compromise plan or VerifyClients.)
+
+	// Misled counts clients that accepted a stale or forked document and
+	// believe they are covered. Without VerifyClients any compromised cache
+	// misleads its share of the population; with it, clients are only
+	// misled when the adversary's fork out-corroborates the genuine side
+	// (compromised caches outnumbering honest ones). Covered never includes
+	// them: it counts holders of the genuine current consensus.
+	Misled int
+	// StaleRejections counts client downloads the verifying path rejected
+	// as stale or chain-invalid.
+	StaleRejections int64
+	// ExtraFetches counts the re-fetch attempts verification caused
+	// (rejected and retracted clients re-entering the retry pool) — the
+	// bandwidth price of catching bad mirrors.
+	ExtraFetches int64
+	// ForkDetections are the equivocations the verifying fleets caught,
+	// deduplicated across fleets by conflicting digest pair.
+	ForkDetections []ForkDetection
+	// DistrustedCaches are the cache indices at least one fleet stopped
+	// trusting (sorted, deduplicated).
+	DistrustedCaches []int
+
 	// Stats is the transport-level accounting of the distribution network.
 	Stats simnet.Stats
 }
 
+// ForkDetection is one caught equivocation: the proposal-239 fork proof the
+// verifying clients assembled, the caches that served the losing side, and
+// when the fleet resolved it.
+type ForkDetection struct {
+	At time.Duration
+	// Caches are the tier-relative indices of the caches that served the
+	// rejected side of the fork — with an equivocating compromise these
+	// are the compromised caches.
+	Caches []int
+	// Proof is the cryptographic evidence: two validly signed successors
+	// of the same chain head. Proof.Culprits() names the authorities that
+	// signed both sides.
+	Proof *chain.ForkProof
+}
+
 func collect(spec Spec, net *simnet.Network, authIDs, cacheIDs, fleetIDs []simnet.NodeID, caches []*cacheNode, fleets []*fleetNode) *Result {
 	res := &Result{Spec: spec, TimeToTarget: simnet.Never}
+	distrusted := map[int]bool{}
+	forks := map[[2]sig.Digest]*ForkDetection{}
 	for _, f := range fleets {
 		res.TotalClients += f.clients
 		res.Covered += f.covered
 		res.FailedFetches += f.failed
 		res.Points = append(res.Points, f.points...)
+		res.Misled += f.misled
+		res.StaleRejections += f.staleRejections
+		res.ExtraFetches += f.extraFetches
+		for i, ok := range f.trust {
+			if !ok {
+				distrusted[i] = true
+			}
+		}
+		for i := range f.forkEvents {
+			ev := &f.forkEvents[i].det
+			key := digestPair(ev.Proof)
+			merged := forks[key]
+			if merged == nil {
+				cp := *ev
+				cp.Caches = append([]int(nil), ev.Caches...)
+				forks[key] = &cp
+				continue
+			}
+			if ev.At < merged.At {
+				merged.At = ev.At
+			}
+			merged.Caches = unionSorted(merged.Caches, ev.Caches)
+		}
 	}
+	for _, d := range forks {
+		res.ForkDetections = append(res.ForkDetections, *d)
+	}
+	sort.Slice(res.ForkDetections, func(i, j int) bool {
+		return res.ForkDetections[i].At < res.ForkDetections[j].At
+	})
+	for i := range distrusted {
+		res.DistrustedCaches = append(res.DistrustedCaches, i)
+	}
+	sort.Ints(res.DistrustedCaches)
 	sort.Slice(res.Points, func(i, j int) bool { return res.Points[i].At < res.Points[j].At })
 	// Collapse to a cumulative curve with one point per instant.
 	cum := 0
@@ -107,6 +183,41 @@ func collect(spec Spec, net *simnet.Network, authIDs, cacheIDs, fleetIDs []simne
 	return res
 }
 
+// digestPair keys a fork proof by its unordered conflicting digests, so the
+// same equivocation seen by several fleets merges into one detection.
+func digestPair(p *chain.ForkProof) [2]sig.Digest {
+	a, b := p.A.Digest, p.B.Digest
+	if bytesLess(b, a) {
+		a, b = b, a
+	}
+	return [2]sig.Digest{a, b}
+}
+
+func bytesLess(a, b sig.Digest) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// unionSorted merges two sorted int slices without duplicates.
+func unionSorted(a, b []int) []int {
+	seen := make(map[int]bool, len(a)+len(b))
+	var out []int
+	for _, s := range [][]int{a, b} {
+		for _, v := range s {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
 // CoverageAt returns the covered population fraction at instant t.
 func (r *Result) CoverageAt(t time.Duration) float64 {
 	if r.TotalClients == 0 {
@@ -119,12 +230,25 @@ func (r *Result) CoverageAt(t time.Duration) float64 {
 	return float64(r.Points[i-1].Count) / float64(r.TotalClients)
 }
 
-// Coverage returns the final covered fraction.
+// Coverage returns the final covered fraction: clients holding the genuine
+// current consensus.
 func (r *Result) Coverage() float64 {
 	if r.TotalClients == 0 {
 		return 0
 	}
 	return float64(r.Covered) / float64(r.TotalClients)
+}
+
+// NaiveCoverage is the coverage a chain-blind observer would report: clients
+// that completed a download and believe they hold the consensus, whether or
+// not it is the genuine current one. The gap to Coverage is exactly the
+// misled population — the damage compromised caches do to clients that do
+// not verify.
+func (r *Result) NaiveCoverage() float64 {
+	if r.TotalClients == 0 {
+		return 0
+	}
+	return float64(r.Covered+r.Misled) / float64(r.TotalClients)
 }
 
 // TimeToCoverage returns the first instant at which at least frac of the
@@ -179,5 +303,9 @@ func (r *Result) Summary() string {
 	fmt.Fprintf(&b, "; egress auth %.1f MB, cache %.1f GB; %d/%d caches served, %d fallbacks, %d failed fetches",
 		float64(r.AuthorityEgress)/1e6, float64(r.CacheEgress)/1e9,
 		r.CachesWithDoc, len(r.CacheFetchedAt), r.CacheFallbacks, r.FailedFetches)
+	if r.Misled > 0 || r.StaleRejections > 0 || len(r.ForkDetections) > 0 {
+		fmt.Fprintf(&b, "; %d misled, %d stale rejections, %d forks detected, %d extra fetches",
+			r.Misled, r.StaleRejections, len(r.ForkDetections), r.ExtraFetches)
+	}
 	return b.String()
 }

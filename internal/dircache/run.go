@@ -33,10 +33,17 @@ func Run(spec Spec) (*Result, error) {
 		authIDs[i] = net.AddNode(stub, up, down)
 	}
 
+	compromise := spec.activeCompromise()
+	roles := cacheRoles(compromise, spec.Caches)
 	caches := make([]*cacheNode, spec.Caches)
 	cacheIDs := make([]simnet.NodeID, spec.Caches)
 	for i := range caches {
-		c := &cacheNode{spec: &spec, authOrder: authorityOrder(authIDs, i)}
+		c := &cacheNode{
+			spec:      &spec,
+			role:      roles[i],
+			chainCtx:  spec.Chain,
+			authOrder: authorityOrder(authIDs, i),
+		}
 		up := simnet.NewProfile(spec.CacheBandwidth)
 		down := simnet.NewProfile(spec.CacheBandwidth)
 		applyAttacks(attacks, attack.TierCache, i, up, down)
@@ -53,15 +60,61 @@ func Run(spec Spec) (*Result, error) {
 		if i < extra {
 			clients++
 		}
-		f := &fleetNode{spec: &spec, clients: clients, caches: cacheIDs, weights: weights}
+		f := &fleetNode{spec: &spec, clients: clients, caches: cacheIDs,
+			weights: weights, chainCtx: spec.Chain}
 		up := simnet.NewProfile(spec.FleetBandwidth)
 		down := simnet.NewProfile(spec.FleetBandwidth)
 		fleets[i] = f
 		fleetIDs[i] = net.AddNode(f, up, down)
 	}
 
+	// Equivocating caches fork to a prefix of the fleets: deterministic, so
+	// a sweep's fork exposure scales exactly with ForkFleetFraction.
+	if compromise != nil && compromise.Mode == attack.CompromiseEquivocate {
+		nFork := forkFleetCount(compromise, spec.Fleets)
+		targets := make(map[simnet.NodeID]bool, nFork)
+		for i := 0; i < nFork; i++ {
+			targets[fleetIDs[i]] = true
+		}
+		for _, c := range caches {
+			if c.role == roleEquivocating {
+				c.forkFleets = targets
+			}
+		}
+	}
+
 	net.Run(spec.RunLimit)
 	return collect(spec, net, authIDs, cacheIDs, fleetIDs, caches, fleets), nil
+}
+
+// cacheRoles maps an active compromise plan onto per-cache behaviors.
+func cacheRoles(p *attack.CompromisePlan, caches int) []cacheRole {
+	roles := make([]cacheRole, caches)
+	if p == nil {
+		return roles
+	}
+	bad := roleStale
+	if p.Mode == attack.CompromiseEquivocate {
+		bad = roleEquivocating
+	}
+	for _, t := range p.Targets {
+		roles[t] = bad
+	}
+	return roles
+}
+
+// forkFleetCount is how many fleets an equivocating cache serves the fork
+// to: at least one (a compromise that forks to nobody is no compromise),
+// at most all of them.
+func forkFleetCount(p *attack.CompromisePlan, fleets int) int {
+	n := int(p.EffectiveForkFraction() * float64(fleets))
+	if n < 1 {
+		n = 1
+	}
+	if n > fleets {
+		n = fleets
+	}
+	return n
 }
 
 // applyAttacks throttles one node's pipes with every plan of its tier.

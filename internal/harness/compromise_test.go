@@ -1,0 +1,238 @@
+package harness
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"partialtor/internal/attack"
+	"partialtor/internal/dircache"
+	"partialtor/internal/sweep"
+)
+
+// compromiseBase is a fast protocol scenario for compromise experiments.
+func compromiseBase() Scenario {
+	return Scenario{
+		Protocol:     Current,
+		Relays:       150,
+		EntryPadding: 0,
+		Round:        15 * time.Second,
+		Seed:         3,
+	}
+}
+
+func compromiseDist() dircache.Spec {
+	return dircache.Spec{
+		Clients:     20_000,
+		Caches:      8,
+		Fleets:      2,
+		FetchWindow: 10 * time.Minute,
+		Tick:        5 * time.Second,
+	}
+}
+
+// TestExperimentCompromiseDetection drives the full pipeline: the protocol
+// generates a real consensus, the distribution tier carries an equivocating
+// compromise, and the verifying clients catch it while still reaching
+// target coverage through the honest caches.
+func TestExperimentCompromiseDetection(t *testing.T) {
+	exp, err := NewExperiment(
+		WithScenario(compromiseBase()),
+		WithDistribution(compromiseDist()),
+		WithCompromise(attack.CompromisePlan{
+			Targets: attack.FirstTargets(2),
+			Mode:    attack.CompromiseEquivocate,
+		}),
+		WithVerifiedClients(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exp.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ForksDetected == 0 {
+		t.Fatal("experiment caught no fork")
+	}
+	if res.MisledClients != 0 {
+		t.Fatalf("%d verifying clients misled", res.MisledClients)
+	}
+	d := res.Distributions[0]
+	if d.Coverage() < d.Spec.TargetCoverage {
+		t.Fatalf("coverage %.3f below target despite honest majority", d.Coverage())
+	}
+	det := d.ForkDetections[0]
+	if det.Proof == nil || len(det.Proof.Culprits()) == 0 {
+		t.Fatal("fork proof missing or culprit-free")
+	}
+	for _, c := range det.Caches {
+		if c > 1 {
+			t.Fatalf("detection blames honest cache %d", c)
+		}
+	}
+	// The distribution chain is anchored on the real consensus: the genuine
+	// link's digest must be the document the protocol run agreed on.
+	if got, want := d.Spec.Chain.Genuine.Digest, res.Runs[0].Consensus().Digest(); got != want {
+		t.Fatalf("chain anchored on %s, consensus is %s", got.Short(), want.Short())
+	}
+}
+
+// TestExperimentCompromiseOnset: the compromise activates at its onset
+// period, not before.
+func TestExperimentCompromiseOnset(t *testing.T) {
+	exp, err := NewExperiment(
+		WithScenario(compromiseBase()),
+		WithPeriods(2),
+		WithDistribution(compromiseDist()),
+		WithCompromise(attack.CompromisePlan{
+			Targets: attack.FirstTargets(3),
+			Mode:    attack.CompromiseStale,
+			Onset:   1,
+		}),
+		WithVerifiedClients(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exp.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := res.Distributions[0]; d.StaleRejections != 0 {
+		t.Fatalf("period 0 compromised before onset: %d rejections", d.StaleRejections)
+	}
+	if d := res.Distributions[1]; d.StaleRejections == 0 {
+		t.Fatal("period 1 not compromised at onset")
+	}
+	if res.StaleRejections != res.Distributions[1].StaleRejections {
+		t.Fatal("experiment total does not match the per-period sum")
+	}
+}
+
+// TestExperimentCompromiseValidation pins the configuration contract.
+func TestExperimentCompromiseValidation(t *testing.T) {
+	// Compromise without a distribution phase is unexecutable.
+	if _, err := NewExperiment(
+		WithScenario(compromiseBase()),
+		WithCompromise(attack.CompromisePlan{Targets: []int{0}, Mode: attack.CompromiseStale}),
+	); err == nil || !strings.Contains(err.Error(), "distribution phase") {
+		t.Fatalf("compromise without distribution: %v", err)
+	}
+	// So is verification.
+	if _, err := NewExperiment(
+		WithScenario(compromiseBase()),
+		WithVerifiedClients(),
+	); err == nil || !strings.Contains(err.Error(), "distribution phase") {
+		t.Fatalf("verification without distribution: %v", err)
+	}
+	// A target beyond the cache tier fails eagerly, not at period N.
+	if _, err := NewExperiment(
+		WithScenario(compromiseBase()),
+		WithDistribution(compromiseDist()),
+		WithCompromise(attack.CompromisePlan{Targets: []int{99}, Mode: attack.CompromiseStale}),
+	); err == nil || !strings.Contains(err.Error(), "beyond") {
+		t.Fatalf("out-of-tier target: %v", err)
+	}
+	// Specifying the compromise both ways is ambiguous.
+	dist := compromiseDist()
+	dist.Compromise = &attack.CompromisePlan{Targets: []int{0}, Mode: attack.CompromiseStale}
+	if _, err := NewExperiment(
+		WithScenario(compromiseBase()),
+		WithDistribution(dist),
+		WithCompromise(attack.CompromisePlan{Targets: []int{1}, Mode: attack.CompromiseStale}),
+	); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("double compromise: %v", err)
+	}
+	// An onset beyond the experiment still validates (it simply never
+	// activates) — the dry-validation must handle the active variant.
+	if _, err := NewExperiment(
+		WithScenario(compromiseBase()),
+		WithDistribution(compromiseDist()),
+		WithCompromise(attack.CompromisePlan{Targets: []int{0}, Mode: attack.CompromiseStale, Onset: 7}),
+	); err != nil {
+		t.Fatalf("late-onset plan rejected: %v", err)
+	}
+}
+
+// TestCompromisedFractionSweep is the acceptance-criteria sweep: one-period
+// experiments across the compromised-mirror fraction, verified and not. As
+// the fraction rises, naive (unverified) coverage of the genuine document
+// collapses smoothly, while verified coverage holds at target until the
+// compromised caches outnumber the honest ones — the coverage cliff the
+// cachesweep table renders.
+func TestCompromisedFractionSweep(t *testing.T) {
+	grid := sweep.MustNew(
+		sweep.Floats("frac", 0, 0.25, 0.75),
+		sweep.Of("verify", false, true),
+	)
+	type cell struct {
+		coverage float64
+		forks    int
+	}
+	results := sweep.Run(grid, 0, func(c sweep.Cell) (cell, error) {
+		dist := compromiseDist()
+		frac := c.Float("frac")
+		opts := []ExperimentOption{
+			WithScenario(compromiseBase()),
+			WithDistribution(dist),
+		}
+		n := int(frac * float64(dist.Caches))
+		if n > 0 {
+			opts = append(opts, WithCompromise(attack.CompromisePlan{
+				Targets:           attack.FirstTargets(n),
+				Mode:              attack.CompromiseEquivocate,
+				ForkFleetFraction: 1,
+			}))
+		}
+		if c.Value("verify").(bool) {
+			opts = append(opts, WithVerifiedClients())
+		}
+		exp, err := NewExperiment(opts...)
+		if err != nil {
+			return cell{}, err
+		}
+		res, err := exp.Run(context.Background())
+		if err != nil {
+			return cell{}, err
+		}
+		d := res.Distributions[0]
+		return cell{coverage: d.Coverage(), forks: res.ForksDetected}, nil
+	})
+	if err := sweep.FirstErr(results); err != nil {
+		t.Fatal(err)
+	}
+	at := func(frac float64, verify bool) cell {
+		for _, r := range results {
+			if r.Cell.Float("frac") == frac && r.Cell.Value("verify").(bool) == verify {
+				return r.Value
+			}
+		}
+		t.Fatalf("no cell frac=%v verify=%v", frac, verify)
+		return cell{}
+	}
+	// Healthy tier: full coverage, nothing detected, with or without
+	// verification.
+	for _, v := range []bool{false, true} {
+		if c := at(0, v); c.coverage < 0.95 || c.forks != 0 {
+			t.Fatalf("healthy cell verify=%v: %+v", v, c)
+		}
+	}
+	// Minority compromise: unverified clients lose the compromised share;
+	// verified clients detect the forks and hold the target.
+	if c := at(0.25, false); c.coverage >= 0.95 || c.forks != 0 {
+		t.Fatalf("unverified minority cell: %+v", c)
+	}
+	if c := at(0.25, true); c.coverage < 0.95 || c.forks == 0 {
+		t.Fatalf("verified minority cell: %+v", c)
+	}
+	// Majority compromise: the cliff. Even verification cannot save the
+	// fork-target fleets, but the forks are still caught and proven.
+	if c := at(0.75, true); c.coverage >= 0.95 || c.forks == 0 {
+		t.Fatalf("verified majority cell: %+v", c)
+	}
+	if c := at(0.75, false); c.coverage >= at(0.25, false).coverage {
+		t.Fatalf("coverage did not fall with the compromised fraction: %+v", c)
+	}
+}

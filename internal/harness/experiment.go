@@ -40,14 +40,16 @@ const (
 // validated eagerly, so an invalid spec fails at construction, before any
 // simulation time is spent.
 type Experiment struct {
-	base     Scenario
-	periods  int
-	attacked func(int) bool
-	attack   *attack.Plan
-	dist     *dircache.Spec
-	policy   client.Policy
-	avail    bool
-	chain    bool
+	base       Scenario
+	periods    int
+	attacked   func(int) bool
+	attack     *attack.Plan
+	compromise *attack.CompromisePlan
+	verify     bool
+	dist       *dircache.Spec
+	policy     client.Policy
+	avail      bool
+	chain      bool
 }
 
 // ExperimentOption configures an Experiment under construction.
@@ -102,6 +104,30 @@ func WithAttack(p attack.Plan) ExperimentOption {
 func WithAttackSchedule(attacked func(i int) bool) ExperimentOption {
 	return func(e *Experiment) error {
 		e.attacked = attacked
+		return nil
+	}
+}
+
+// WithCompromise routes a cache-compromise plan into the Distribute phase:
+// from period plan.Onset onward the plan's caches serve stale or forked
+// directory data (attack.CompromiseStale / attack.CompromiseEquivocate).
+// Pair it with WithVerifiedClients to measure detection instead of damage.
+func WithCompromise(p attack.CompromisePlan) ExperimentOption {
+	return func(e *Experiment) error {
+		pc := p
+		e.compromise = &pc
+		return nil
+	}
+}
+
+// WithVerifiedClients switches the Distribute phase's client fleets to the
+// proposal-239 chain-verifying path: fetched documents are checked against
+// the consensus hash chain, stale and forked documents are rejected (the
+// serving cache is distrusted and the clients re-fetch elsewhere), and fork
+// proofs are recorded in each period's DistributionResult.
+func WithVerifiedClients() ExperimentOption {
+	return func(e *Experiment) error {
+		e.verify = true
 		return nil
 	}
 }
@@ -168,6 +194,14 @@ func NewExperiment(opts ...ExperimentOption) (*Experiment, error) {
 		e.attack = &plan
 		e.base.Attack = nil // scenarioFor reattaches e.attack per attacked period
 	}
+	if e.compromise != nil || e.verify {
+		if e.dist == nil {
+			return nil, fmt.Errorf("harness: cache compromise and client verification need a distribution phase (WithDistribution)")
+		}
+		if e.compromise != nil && e.dist.Compromise != nil {
+			return nil, fmt.Errorf("harness: compromise specified twice — on the distribution spec and via WithCompromise")
+		}
+	}
 	if e.attacked == nil {
 		attackSet := e.attack != nil
 		e.attacked = func(int) bool { return attackSet }
@@ -189,16 +223,23 @@ func NewExperiment(opts ...ExperimentOption) (*Experiment, error) {
 			return nil, fmt.Errorf("harness: %w", e.attack.Validate())
 		}
 	}
-	// Dry-validate both period variants so period 7 cannot fail on
-	// configuration period 0 already carried.
-	for _, attacked := range []bool{false, true} {
-		s := e.scenarioFor(attacked).withDefaults()
-		if err := s.validate(); err != nil {
-			return nil, err
-		}
-		if s.Distribution != nil {
-			if _, err := effectiveDistribution(s); err != nil {
+	// Dry-validate every period variant so period 7 cannot fail on
+	// configuration period 0 already carried: both attack states, and —
+	// when a compromise plan has a later onset — the period it activates.
+	periods := []int{0}
+	if e.compromise != nil && e.compromise.Onset > 0 {
+		periods = append(periods, e.compromise.Onset)
+	}
+	for _, period := range periods {
+		for _, attacked := range []bool{false, true} {
+			s := e.scenarioFor(period, attacked).withDefaults()
+			if err := s.validate(); err != nil {
 				return nil, err
+			}
+			if s.Distribution != nil {
+				if _, err := effectiveDistribution(s); err != nil {
+					return nil, err
+				}
 			}
 		}
 	}
@@ -223,12 +264,21 @@ func (e *Experiment) Periods() int { return e.periods }
 func (e *Experiment) hasAvail() bool { return e.avail }
 
 // scenarioFor assembles the scenario one period runs: the base scenario,
-// the distribution spec if the Distribute phase is on, and — when the
-// period is attacked — the attack plan routed to its tier.
-func (e *Experiment) scenarioFor(attacked bool) Scenario {
+// the distribution spec if the Distribute phase is on (with the period's
+// compromise and verification state), and — when the period is attacked —
+// the attack plan routed to its tier.
+func (e *Experiment) scenarioFor(period int, attacked bool) Scenario {
 	s := e.base
 	if e.dist != nil {
 		spec := *e.dist
+		spec.Period = period
+		if e.compromise != nil {
+			pc := *e.compromise
+			spec.Compromise = &pc
+		}
+		if e.verify {
+			spec.VerifyClients = true
+		}
 		s.Distribution = &spec
 	}
 	if e.attack != nil && attacked {
@@ -263,6 +313,14 @@ type ExperimentResult struct {
 	Timeline     *client.Timeline
 	Availability float64
 	FirstOutage  time.Duration // -1 if never down
+	// Detection totals over every period's DistributionResult (all zero
+	// without a compromise plan / verified clients): equivocations caught,
+	// stale/invalid downloads rejected, clients misled (non-verifying
+	// runs), and the re-fetch cost of verification.
+	ForksDetected   int
+	StaleRejections int64
+	MisledClients   int
+	ExtraFetches    int64
 	// Chain is the proposal-239 consensus hash chain (nil without
 	// WithChain).
 	Chain *chain.Chain
@@ -292,7 +350,7 @@ func (e *Experiment) Run(ctx context.Context) (*ExperimentResult, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("harness: experiment cancelled before period %d: %w", i, err)
 		}
-		run, err := RunE(ctx, e.scenarioFor(e.attacked(i)))
+		run, err := RunE(ctx, e.scenarioFor(i, e.attacked(i)))
 		if err != nil {
 			return nil, fmt.Errorf("harness: period %d: %w", i, err)
 		}
@@ -301,6 +359,12 @@ func (e *Experiment) Run(ctx context.Context) (*ExperimentResult, error) {
 		res.Outcomes = append(res.Outcomes, ok)
 		if e.dist != nil {
 			res.Distributions = append(res.Distributions, run.Distribution)
+			if d := run.Distribution; d != nil {
+				res.ForksDetected += len(d.ForkDetections)
+				res.StaleRejections += d.StaleRejections
+				res.MisledClients += d.Misled
+				res.ExtraFetches += d.ExtraFetches
+			}
 		}
 		clientRuns = append(clientRuns, client.Run{At: time.Duration(i) * e.policy.Interval, Success: ok})
 		if !ok {

@@ -405,8 +405,8 @@ func effectiveDistribution(s Scenario) (dircache.Spec, error) {
 }
 
 // runDistribution executes the cache/fleet phase on an effectiveDistribution
-// spec, deriving the publication instant and document size from the protocol
-// run unless the spec pins them.
+// spec, deriving the publication instant, document size and hash-chain
+// identity from the protocol run unless the spec pins them.
 func runDistribution(spec dircache.Spec, res *RunResult) (*dircache.Result, error) {
 	if spec.PublishAt == 0 {
 		if res.Success {
@@ -419,6 +419,18 @@ func runDistribution(spec dircache.Spec, res *RunResult) (*dircache.Result, erro
 		if c := res.Consensus(); c != nil {
 			spec.DocBytes = c.EncodedSize()
 		}
+	}
+	if spec.Chain == nil && (spec.VerifyClients || spec.Compromise != nil) {
+		// Anchor the distribution tier's chain material on the document the
+		// protocol phase actually agreed on: the genuine link commits to the
+		// real consensus digest, so what verifying clients accept is the
+		// run's output, not a synthetic stand-in. (dircache would otherwise
+		// synthesize a digest of its own.)
+		var digest sig.Digest
+		if c := res.Consensus(); c != nil {
+			digest = c.Digest()
+		}
+		spec.Chain = dircache.SynthChain(spec.Seed, spec.Authorities, digest)
 	}
 	dres, err := dircache.Run(spec)
 	if err != nil {

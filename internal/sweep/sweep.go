@@ -1,22 +1,8 @@
-// Package sweep is the generic grid engine every parameter sweep in this
-// repository runs on: the paper's headline results are sweep tables (attack
-// duration × targets × residual, §4.3, Figures 7/10/11), and a reproduction
-// lives or dies on how dense a parameter grid it can afford.
-//
-// A Grid is the cartesian product of named Axes, enumerated row-major (the
-// first axis varies slowest, exactly like the nested loops it replaces). Run
-// evaluates a callback on every cell with a bounded worker pool and returns
-// the results ordered by cell rank — independent of completion order, so a
-// parallel sweep renders byte-identically to a serial one. Failures are
-// captured per cell (including recovered panics) instead of aborting the
-// sweep: one bad configuration costs one cell, not the whole table. RunCtx
-// adds cancellation: a cancelled context stops dispatching new cells while
-// keeping every completed cell's result, so an interrupted 10k-cell sweep
-// hands back the work it already did.
 package sweep
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"strings"
@@ -276,13 +262,34 @@ func runCell[T any](ctx context.Context, cell Cell, fn func(context.Context, Cel
 	return res
 }
 
-// FirstErr returns the first failed cell's error (by rank), or nil if the
-// whole sweep succeeded.
+// FirstErr returns the first genuinely failed cell's error (by rank), or
+// nil if every cell either succeeded or was skipped by cancellation.
+//
+// Cells carrying ErrCellSkipped are not failures — they are work a
+// cancelled context prevented, and the caller that cancelled already knows
+// why. Counting them here would make every interrupted sweep look broken
+// and bury the one real failure behind whatever skipped cell ranks first.
+// To tell a cancelled-but-clean sweep from a complete one, use Skipped (or
+// the context's own error); to inspect skipped cells individually, test
+// each Result.Err with errors.Is(err, ErrCellSkipped).
 func FirstErr[T any](results []Result[T]) error {
 	for _, r := range results {
-		if r.Err != nil {
+		if r.Err != nil && !errors.Is(r.Err, ErrCellSkipped) {
 			return fmt.Errorf("%s: %w", r.Cell, r.Err)
 		}
 	}
 	return nil
+}
+
+// Skipped counts the cells a cancelled context kept from running. A sweep
+// is complete iff Skipped returns 0; FirstErr alone cannot tell a cancelled
+// sweep from a finished one, by design.
+func Skipped[T any](results []Result[T]) int {
+	n := 0
+	for _, r := range results {
+		if errors.Is(r.Err, ErrCellSkipped) {
+			n++
+		}
+	}
+	return n
 }

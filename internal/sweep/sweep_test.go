@@ -290,3 +290,45 @@ func TestParsePositiveInts(t *testing.T) {
 		}
 	}
 }
+
+// TestFirstErrSkipsCancelledCells pins the FirstErr contract: skipped cells
+// are not failures. A sweep cancelled mid-flight with no genuine failure
+// reports a nil FirstErr (the caller that cancelled already knows), while a
+// real failure surfaces even when skipped cells rank before it.
+func TestFirstErrSkipsCancelledCells(t *testing.T) {
+	g := MustNew(Ints("i", 0, 1, 2, 3))
+	ctx, cancel := context.WithCancel(context.Background())
+	clean := RunCtx(ctx, g, 1, func(_ context.Context, c Cell) (int, error) {
+		if c.Int("i") == 1 {
+			cancel()
+		}
+		return c.Int("i"), nil
+	})
+	if n := Skipped(clean); n == 0 {
+		t.Fatal("cancellation skipped nothing — the test lost its premise")
+	}
+	if err := FirstErr(clean); err != nil {
+		t.Fatalf("cancelled-but-clean sweep reports failure: %v", err)
+	}
+
+	// A genuine failure is reported even with skipped cells ranked earlier.
+	sentinel := errors.New("cell failed for real")
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	mixed := RunCtx(ctx2, g, 1, func(_ context.Context, c Cell) (int, error) {
+		if c.Int("i") == 1 {
+			cancel2()
+			return 0, sentinel
+		}
+		return c.Int("i"), nil
+	})
+	if err := FirstErr(mixed); !errors.Is(err, sentinel) {
+		t.Fatalf("FirstErr = %v, want the genuine failure", err)
+	}
+	// Completeness accounting: exactly the never-started cells are skipped.
+	if n := Skipped(mixed); n != 2 {
+		t.Fatalf("Skipped = %d, want 2 (cells 2 and 3)", n)
+	}
+	if Skipped(clean[:2]) != 0 {
+		t.Fatal("completed prefix miscounted as skipped")
+	}
+}

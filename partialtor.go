@@ -25,9 +25,15 @@
 //
 // The DDoS adversary (internal/attack) floods either tier: authority plans
 // reproduce the paper's five-minute consensus-breaking attack, cache plans
-// the "flood the mirrors, not the authorities" family. The tier-aware cost
-// model prices both: the paper's $0.074-per-instance authority flood and
-// the far more expensive job of flooding thousands of mirrors. The
+// the "flood the mirrors, not the authorities" family. Beyond floods, a
+// CompromisePlan subverts mirrors outright — stale caches re-serving the
+// previous epoch, equivocating caches serving an adversary-signed fork —
+// and the proposal-239 chain-verifying client path (WithVerifiedClients,
+// ClientVerifier) detects both: stale documents are rejected, forks become
+// cryptographic ForkProofs, and the clients fall back to honest caches.
+// The tier-aware cost model prices every attack style: the paper's
+// $0.074-per-instance authority flood, the far more expensive job of
+// flooding thousands of mirrors, and the monthly rent of owning them. The
 // evaluation harness (internal/harness) assembles full scenarios across
 // all four layers and regenerates every figure and table of the paper.
 //
@@ -70,13 +76,16 @@ package partialtor
 
 import (
 	"context"
+	"crypto/ed25519"
 	"time"
 
 	"partialtor/internal/attack"
+	"partialtor/internal/chain"
 	"partialtor/internal/client"
 	"partialtor/internal/dircache"
 	"partialtor/internal/harness"
 	"partialtor/internal/relay"
+	"partialtor/internal/sig"
 	"partialtor/internal/simnet"
 	"partialtor/internal/sweep"
 )
@@ -119,8 +128,57 @@ const (
 type DistributionSpec = dircache.Spec
 
 // DistributionResult is the outcome of a distribution phase: coverage
-// curve, time-to-target-coverage, per-tier egress and failure counters.
+// curve, time-to-target-coverage, per-tier egress, failure counters and —
+// under a compromise — the detection metrics (misled clients, stale
+// rejections, fork detections, extra fetch cost).
 type DistributionResult = dircache.Result
+
+// CompromisePlan is the adversary's cache-compromise campaign: which caches
+// misbehave (stale or equivocating), from which consensus period onward.
+type CompromisePlan = attack.CompromisePlan
+
+// CompromiseMode selects how a compromised cache misbehaves.
+type CompromiseMode = attack.CompromiseMode
+
+// The compromise modes.
+const (
+	// CompromiseStale keeps re-serving the previous epoch's consensus.
+	CompromiseStale = attack.CompromiseStale
+	// CompromiseEquivocate serves an adversary-signed fork to a fraction
+	// of the client fleets.
+	CompromiseEquivocate = attack.CompromiseEquivocate
+)
+
+// ForkDetection is one equivocation the verifying clients caught: the
+// proposal-239 fork proof plus the caches that served the losing side.
+type ForkDetection = dircache.ForkDetection
+
+// ForkProof is the cryptographic evidence of a consensus fork: two validly
+// signed successors of the same chain head (Culprits names the authorities
+// that signed both).
+type ForkProof = chain.ForkProof
+
+// ChainContext is the hash-chain material a distribution phase serves and
+// verifies against; SynthDistributionChain builds deterministic material
+// for standalone runs.
+type ChainContext = dircache.ChainContext
+
+// ClientVerifier is the proposal-239 chain-verifying client path: it checks
+// each fetched consensus against the expected chain position, rejects stale
+// and forked documents, and records fork proofs.
+type ClientVerifier = client.Verifier
+
+// ClientVerdict classifies one fetched document (accept / stale / invalid /
+// fork).
+type ClientVerdict = client.Verdict
+
+// The verifier's verdicts.
+const (
+	VerdictAccept  = client.VerdictAccept
+	VerdictStale   = client.VerdictStale
+	VerdictInvalid = client.VerdictInvalid
+	VerdictFork    = client.VerdictFork
+)
 
 // ClientPolicy models the consensus lifetime rules (fresh 1h, valid 3h).
 type ClientPolicy = client.Policy
@@ -214,6 +272,16 @@ func WithAvailability(p ClientPolicy) ExperimentOption { return harness.WithAvai
 // WithChain links successful periods into the proposal-239 hash chain.
 func WithChain() ExperimentOption { return harness.WithChain() }
 
+// WithCompromise routes a cache-compromise plan into the Distribute phase:
+// from period plan.Onset onward the plan's caches serve stale or forked
+// directory data.
+func WithCompromise(p CompromisePlan) ExperimentOption { return harness.WithCompromise(p) }
+
+// WithVerifiedClients switches the Distribute phase's fleets to the
+// chain-verifying client path: stale and forked documents are rejected, the
+// serving caches distrusted, and fork proofs recorded per period.
+func WithVerifiedClients() ExperimentOption { return harness.WithVerifiedClients() }
+
 // --- protocol driver re-exports ---
 
 // ProtocolDriver builds runnable instances of one directory protocol; see
@@ -244,6 +312,20 @@ func Protocols() []Protocol { return harness.Protocols() }
 // publish at the spec's PublishAt, caches fetch with fallback, aggregated
 // client fleets drain the population through the caches.
 func RunDistribution(s DistributionSpec) (*DistributionResult, error) { return dircache.Run(s) }
+
+// SynthDistributionChain builds deterministic proposal-239 chain material
+// for a standalone distribution run: seeded authority keys, the previous
+// epoch's link, the genuine current link (committing to the given digest,
+// or a synthesized one if zero) and an adversary fork.
+func SynthDistributionChain(seed int64, authorities int, genuine sig.Digest) *ChainContext {
+	return dircache.SynthChain(seed, authorities, genuine)
+}
+
+// NewClientVerifier anchors a chain-verifying client at one chain position:
+// the epoch the next consensus must carry and the digest it must commit to.
+func NewClientVerifier(pubs []ed25519.PublicKey, threshold int, epoch uint64, prev sig.Digest) *ClientVerifier {
+	return client.NewVerifier(pubs, threshold, epoch, prev)
+}
 
 // FleetTimeline assembles the end-to-end availability timeline of a
 // sequence of consensus periods, one distribution result per period.
@@ -329,8 +411,14 @@ func RunSweepCtx[T any](ctx context.Context, g SweepGrid, workers int, fn func(c
 // test with errors.Is.
 var SweepCellSkipped = sweep.ErrCellSkipped
 
-// SweepFirstErr returns the first failed cell's error, or nil.
+// SweepFirstErr returns the first genuinely failed cell's error, or nil.
+// Cells skipped by cancellation are not failures; use SweepSkipped to tell
+// a cancelled sweep from a complete one.
 func SweepFirstErr[T any](results []SweepResult[T]) error { return sweep.FirstErr(results) }
+
+// SweepSkipped counts the cells a cancelled context kept from running; a
+// sweep is complete iff it returns 0.
+func SweepSkipped[T any](results []SweepResult[T]) int { return sweep.Skipped(results) }
 
 // ParseSweepInts parses a comma-separated integer axis flag ("10,20,40"),
 // reporting the offending element on error.
