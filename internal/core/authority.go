@@ -2,6 +2,7 @@ package core
 
 import (
 	"crypto/ed25519"
+	"sort"
 	"time"
 
 	"partialtor/internal/hotstuff"
@@ -327,6 +328,14 @@ func (a *Authority) buildValue(view int) *AgreementValue {
 	n, f := a.cfg.n(), a.cfg.F()
 	entries := make([]ValueEntry, n)
 	var zero sig.Digest
+	// Iterate proposals in proposer order: map order would randomize which
+	// f+1 endorsements each entry carries, and the simulation contract is
+	// byte-identical output for a fixed seed.
+	proposers := make([]int, 0, len(props))
+	for p := range props {
+		proposers = append(proposers, p)
+	}
+	sort.Ints(proposers)
 	for j := 0; j < n; j++ {
 		// Tally the opinions about j across proposals.
 		type seenDigest struct {
@@ -335,7 +344,8 @@ func (a *Authority) buildValue(view int) *AgreementValue {
 		}
 		byDigest := make(map[sig.Digest]*seenDigest)
 		var botEndorse []sig.Signature
-		for _, entriesFrom := range props {
+		for _, p := range proposers {
+			entriesFrom := props[p]
 			e := entriesFrom[j]
 			if e.Digest == zero {
 				botEndorse = append(botEndorse, e.Endorse)

@@ -1,0 +1,241 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"testing"
+	"time"
+
+	"partialtor/internal/attack"
+	"partialtor/internal/dircache"
+	"partialtor/internal/simnet"
+)
+
+// The golden kernel corpus pins byte-identical outputs of the simulation
+// kernel: for every registered paper protocol, across several seeds, one
+// DDoS-attacked scenario (authority flood carried into a cache-tier flood
+// during distribution) and one compromised-mirror scenario (equivocating
+// caches against verifying client fleets). The digests cover the coverage
+// curves, the transport stats (including per-kind accounting), every
+// authority's protocol log, and the full distribution outcome.
+//
+// These digests were recorded before the flood-scale kernel rewrite
+// (value-heap scheduler, allocation-free fluid pipes, interned kind stats)
+// and must never drift: any optimization of internal/simnet or the dircache
+// hot paths has to reproduce these bytes exactly. Re-record only for an
+// intentional semantic change, with GOLDEN_RECORD=1:
+//
+//	GOLDEN_RECORD=1 go test ./internal/harness -run TestGoldenKernelCorpus -v
+var goldenKernelDigests = map[string]string{
+	"Current/seed1/attacked":         "aaa713c37d7478f9177daf590344e9b375bbd45d3a05f7e47fc5c69c354241fd",
+	"Current/seed1/compromised":      "29fde4c4b1109c74718c88fc55f260702dfe2a223ab33262cf1a2e33c8e2fac3",
+	"Current/seed7/attacked":         "3463d65c02b5804893441955e55887351e1faf93502599b808179fe9de1071c1",
+	"Current/seed7/compromised":      "825b893a17a49b7c97bd5c1f3c6d516e607d2f16273770145746c99b3c6af49f",
+	"Current/seed42/attacked":        "7335c059fb488b92bda6e0da5ea9ba5e40a99440513a18915938587e4fc1de65",
+	"Current/seed42/compromised":     "943f13556757bf398cf0e0c74229f902e06c000d457e5df121ab034df1067828",
+	"Synchronous/seed1/attacked":     "2f583c41757468a249efa4e5c822244812fac6da1f2b729b27b22d2d00629d5c",
+	"Synchronous/seed1/compromised":  "6c584169b43399d0b60acffa11bbd25da754f1d285d96e6da2c13e053e376ecd",
+	"Synchronous/seed7/attacked":     "ab5ca6acd88722ee84c6874c51605a15d28578faeb4dfbd8af9b0539c91782ed",
+	"Synchronous/seed7/compromised":  "4eac21f0d4b27090683ac90a749f37946d5290fa3cc23b9ebee762705f9d5f0b",
+	"Synchronous/seed42/attacked":    "24d2de2f60e506f66d07051dd892d76d1aecedc8d82f50b3cc683728f02c3db3",
+	"Synchronous/seed42/compromised": "2ab9af0268c35211ec857de5f474a21a1ae15c5073993bc7d706a291bf7feae1",
+	"Ours/seed1/attacked":            "53152583ab79496ea95c4d2dcc357808944e21f9ee4ca0d40f9adc5120bc4e8a",
+	"Ours/seed1/compromised":         "e37c66f389130dd5a9b0e887e9a6777e8c77312f95f4c4102a168f52b39942f0",
+	"Ours/seed7/attacked":            "ca23faee94b559d3d4f04bc4c1ae2c8c144c903323fbb5b046c1392315317566",
+	"Ours/seed7/compromised":         "e08acbb12e1fb9ea09cf08b7ebd131c5353f3b215170ccd64b99d1c72f969999",
+	"Ours/seed42/attacked":           "6ee696ced497c97c66d97b78e28798fbaaf79f3123b632b2bdaa99aa676207a8",
+	"Ours/seed42/compromised":        "504d2e1da16cd2759bfec94da2f5b850b43bd182aedfbe8778c33a8a068a2eac",
+}
+
+// goldenSeeds are the corpus seeds; small primes apart so the latency maps
+// and Poisson draws of the runs share nothing.
+var goldenSeeds = []int64{1, 7, 42}
+
+// goldenAttacked is the congested-kernel scenario: a majority authority
+// flood with a small residual during the vote exchange, and a cache-tier
+// flood while the fleets fetch — exactly the high-fan-in contention the
+// fluid model's slow paths serve.
+func goldenAttacked(p Protocol, seed int64) Scenario {
+	return Scenario{
+		Protocol:     p,
+		Relays:       150,
+		EntryPadding: 0,
+		Round:        15 * time.Second,
+		Seed:         seed,
+		Attack: &attack.Plan{
+			Targets:  attack.MajorityTargets(9),
+			Start:    0,
+			End:      90 * time.Second,
+			Residual: 20e3,
+		},
+		Distribution: &dircache.Spec{
+			Clients:     20_000,
+			Caches:      6,
+			Fleets:      2,
+			FetchWindow: 6 * time.Minute,
+			Tick:        5 * time.Second,
+			Attacks: []attack.Plan{{
+				Tier:     attack.TierCache,
+				Targets:  []int{0, 1},
+				Start:    0,
+				End:      2 * time.Minute,
+				Residual: 1e6,
+			}},
+		},
+	}
+}
+
+// goldenCompromised is the verification-path scenario: two equivocating
+// caches against chain-verifying fleets, exercising fork detection,
+// retraction and the re-fetch retry machinery.
+func goldenCompromised(p Protocol, seed int64) (*Experiment, error) {
+	return NewExperiment(
+		WithScenario(Scenario{
+			Protocol:     p,
+			Relays:       150,
+			EntryPadding: 0,
+			Round:        15 * time.Second,
+			Seed:         seed,
+		}),
+		WithDistribution(dircache.Spec{
+			Clients:     20_000,
+			Caches:      8,
+			Fleets:      2,
+			FetchWindow: 6 * time.Minute,
+			Tick:        5 * time.Second,
+		}),
+		WithCompromise(attack.CompromisePlan{
+			Targets: attack.FirstTargets(2),
+			Mode:    attack.CompromiseEquivocate,
+		}),
+		WithVerifiedClients(),
+	)
+}
+
+// hashRun folds one protocol run's observable output into w: verdict,
+// latency metrics, transport stats with sorted per-kind maps, per-node byte
+// accounting and every node's protocol log.
+func hashRun(w io.Writer, res *RunResult) {
+	fmt.Fprintf(w, "success=%v latency=%d doneAt=%d\n", res.Success, res.Latency, res.DoneAt)
+	if c := res.Consensus(); c != nil {
+		fmt.Fprintf(w, "consensus=%x relays=%d size=%d\n", c.Digest(), len(c.Relays), c.EncodedSize())
+	}
+	st := res.Net.Stats()
+	fmt.Fprintf(w, "sent=%d delivered=%d dropped=%d bytesSent=%d bytesDelivered=%d\n",
+		st.MessagesSent, st.MessagesDelivered, st.MessagesDropped, st.BytesSent, st.BytesDelivered)
+	hashKindMap(w, "kindBytes", st.KindBytes)
+	hashKindMap(w, "kindCount", st.KindCount)
+	for i := 0; i < res.Net.N(); i++ {
+		id := simnet.NodeID(i)
+		fmt.Fprintf(w, "node=%d sent=%d recv=%d\n", i, res.Net.NodeBytesSent(id), res.Net.NodeBytesReceived(id))
+		for _, e := range res.Net.NodeLog(id) {
+			fmt.Fprintf(w, "log node=%d at=%d level=%s text=%s\n", i, e.At, e.Level, e.Text)
+		}
+	}
+}
+
+func hashKindMap(w io.Writer, label string, m map[string]int64) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s %s=%d\n", label, k, m[k])
+	}
+}
+
+// hashDistribution folds the whole distribution outcome into w: the merged
+// coverage curve point by point, the tier egress accounting, per-cache
+// service and arrival instants, and the verification outcomes.
+func hashDistribution(w io.Writer, d *dircache.Result) {
+	fmt.Fprintf(w, "dist clients=%d covered=%d timeToTarget=%d\n", d.TotalClients, d.Covered, d.TimeToTarget)
+	for _, p := range d.Points {
+		fmt.Fprintf(w, "point at=%d count=%d\n", p.At, p.Count)
+	}
+	fmt.Fprintf(w, "egress auth=%d cache=%d fleet=%d\n", d.AuthorityEgress, d.CacheEgress, d.FleetEgress)
+	fmt.Fprintf(w, "served fulls=%d diffs=%d failed=%d fallbacks=%d withDoc=%d\n",
+		d.FullDocsServed, d.DiffsServed, d.FailedFetches, d.CacheFallbacks, d.CachesWithDoc)
+	for i := range d.CacheServed {
+		fmt.Fprintf(w, "cache=%d served=%d fetchedAt=%d\n", i, d.CacheServed[i], d.CacheFetchedAt[i])
+	}
+	fmt.Fprintf(w, "misled=%d stale=%d extra=%d distrusted=%v\n",
+		d.Misled, d.StaleRejections, d.ExtraFetches, d.DistrustedCaches)
+	for _, det := range d.ForkDetections {
+		fmt.Fprintf(w, "fork at=%d caches=%v", det.At, det.Caches)
+		if det.Proof != nil {
+			fmt.Fprintf(w, " a=%x b=%x culprits=%v", det.Proof.A.Digest, det.Proof.B.Digest, det.Proof.Culprits())
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// goldenDigest runs one corpus cell and returns the hex digest of its
+// observable output.
+func goldenDigest(t *testing.T, p Protocol, seed int64, compromised bool) string {
+	t.Helper()
+	h := sha256.New()
+	if compromised {
+		exp, err := goldenCompromised(p, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := exp.Run(t.Context())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, run := range res.Runs {
+			hashRun(h, run)
+		}
+		for _, d := range res.Distributions {
+			hashDistribution(h, d)
+		}
+		fmt.Fprintf(h, "forks=%d misled=%d\n", res.ForksDetected, res.MisledClients)
+	} else {
+		res, err := RunE(t.Context(), goldenAttacked(p, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hashRun(h, res)
+		if res.Distribution == nil {
+			t.Fatal("attacked corpus scenario produced no distribution phase")
+		}
+		hashDistribution(h, res.Distribution)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestGoldenKernelCorpus checks every corpus cell against its pinned digest.
+func TestGoldenKernelCorpus(t *testing.T) {
+	record := os.Getenv("GOLDEN_RECORD") != ""
+	for _, p := range []Protocol{Current, Synchronous, ICPS} {
+		for _, seed := range goldenSeeds {
+			for _, compromised := range []bool{false, true} {
+				kind := "attacked"
+				if compromised {
+					kind = "compromised"
+				}
+				name := fmt.Sprintf("%s/seed%d/%s", p, seed, kind)
+				t.Run(name, func(t *testing.T) {
+					got := goldenDigest(t, p, seed, compromised)
+					if record {
+						fmt.Printf("\t%q: %q,\n", name, got)
+						return
+					}
+					want, ok := goldenKernelDigests[name]
+					if !ok {
+						t.Fatalf("no pinned digest for %s; got %s (run with GOLDEN_RECORD=1 to record)", name, got)
+					}
+					if got != want {
+						t.Errorf("kernel output drifted for %s:\n  got  %s\n  want %s\n"+
+							"the simulation kernel must stay byte-identical; if this change is an intentional semantic change, re-record with GOLDEN_RECORD=1", name, got, want)
+					}
+				})
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package hotstuff
 
 import (
 	"crypto/ed25519"
+	"sort"
 	"time"
 
 	"partialtor/internal/sig"
@@ -340,7 +341,16 @@ func (r *Replica) handleTimeout(ctx *simnet.Context, m *MsgTimeout) {
 	}
 	r.tcFormed[m.View] = true
 	tc := &TC{View: m.View}
-	for _, share := range r.timeouts[m.View] {
+	// Collect shares in signer order: map order would randomize the TC's
+	// signature list (and which equal-view HighQC wins), breaking the
+	// byte-identical-output contract of the simulation.
+	signers := make([]int, 0, len(r.timeouts[m.View]))
+	for s := range r.timeouts[m.View] {
+		signers = append(signers, s)
+	}
+	sort.Ints(signers)
+	for _, s := range signers {
+		share := r.timeouts[m.View][s]
 		tc.Sigs = append(tc.Sigs, share.Sig)
 		if share.HighQC != nil && (tc.HighQC == nil || share.HighQC.View > tc.HighQC.View) {
 			tc.HighQC = share.HighQC
