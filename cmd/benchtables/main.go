@@ -17,9 +17,11 @@
 // sweep engine; the rendered tables are byte-identical for any worker
 // count. Ctrl-C cancels the run cleanly between sweep cells.
 //
-// -json additionally writes BENCH_tables.json: per-artifact wall time plus
-// the headline metrics (latencies, requirements, costs), so the repo's
-// performance trajectory is tracked run over run.
+// -json additionally writes BENCH_tables.json: per-artifact wall time, the
+// simulation-kernel cost (events executed, events/sec, heap allocations
+// aggregated over the artifact's sweep workers) and the headline metrics
+// (latencies, requirements, costs), so the repo's performance trajectory is
+// tracked run over run.
 package main
 
 import (
@@ -29,6 +31,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"time"
 
@@ -42,11 +45,44 @@ type artifact struct {
 	run  func(ctx context.Context) (render string, metrics map[string]float64, err error)
 }
 
+// kernelRecord is the simulation-kernel cost of one artifact: how many
+// events its scenarios executed, the resulting throughput, and the heap
+// churn (runtime.MemStats deltas). This is the repo's perf trajectory — the
+// numbers future kernel optimizations are measured against.
+type kernelRecord struct {
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Mallocs      uint64  `json:"mallocs"`
+	AllocBytes   uint64  `json:"alloc_bytes"`
+}
+
 // benchRecord is one artifact's entry in BENCH_tables.json.
 type benchRecord struct {
 	Name    string             `json:"name"`
 	WallMS  float64            `json:"wall_ms"`
+	Kernel  kernelRecord       `json:"kernel"`
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// measureKernel snapshots the process-wide kernel counters; calling the
+// returned function yields the deltas since the snapshot.
+func measureKernel() func(wall time.Duration) kernelRecord {
+	steps0 := partialtor.KernelSteps()
+	var ms0 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	return func(wall time.Duration) kernelRecord {
+		var ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms1)
+		rec := kernelRecord{
+			Events:     partialtor.KernelSteps() - steps0,
+			Mallocs:    ms1.Mallocs - ms0.Mallocs,
+			AllocBytes: ms1.TotalAlloc - ms0.TotalAlloc,
+		}
+		if s := wall.Seconds(); s > 0 {
+			rec.EventsPerSec = float64(rec.Events) / s
+		}
+		return rec
+	}
 }
 
 // benchReport is the file's top-level shape.
@@ -96,6 +132,7 @@ func main() {
 			continue
 		}
 		t0 := time.Now()
+		kernel := measureKernel()
 		render, metrics, err := a.run(ctx)
 		wall := time.Since(t0)
 		if err != nil {
@@ -113,6 +150,7 @@ func main() {
 		report.Artifacts = append(report.Artifacts, benchRecord{
 			Name:    a.name,
 			WallMS:  float64(wall.Microseconds()) / 1e3,
+			Kernel:  kernel(wall),
 			Metrics: metrics,
 		})
 	}

@@ -1,0 +1,60 @@
+package dircache
+
+import (
+	"testing"
+	"time"
+
+	"partialtor/internal/attack"
+)
+
+// benchSpec is the distribution tier at paper scale: a million aggregated
+// clients over 24 caches.
+func benchSpec() Spec {
+	return Spec{
+		Clients:     1_000_000,
+		Caches:      24,
+		Fleets:      4,
+		FetchWindow: 30 * time.Minute,
+		Tick:        10 * time.Second,
+		PublishAt:   90 * time.Second,
+		Seed:        1,
+	}
+}
+
+// BenchmarkDistributionMillionClients runs one healthy distribution phase —
+// the fleet tier's per-tick draw machinery is the hot path.
+func BenchmarkDistributionMillionClients(b *testing.B) {
+	spec := benchSpec()
+	var covered int
+	for i := 0; i < b.N; i++ {
+		res, err := Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		covered = res.Covered
+	}
+	b.ReportMetric(float64(covered), "covered")
+}
+
+// BenchmarkDistributionCacheFlood runs the same phase under a cache-tier
+// DDoS window: half the caches throttled while the fleets fetch, which is
+// the congested-pipe regime the kernel's slow paths serve.
+func BenchmarkDistributionCacheFlood(b *testing.B) {
+	spec := benchSpec()
+	spec.Attacks = []attack.Plan{{
+		Tier:     attack.TierCache,
+		Targets:  attack.FirstTargets(12),
+		Start:    0,
+		End:      10 * time.Minute,
+		Residual: 2e6,
+	}}
+	var covered int
+	for i := 0; i < b.N; i++ {
+		res, err := Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		covered = res.Covered
+	}
+	b.ReportMetric(float64(covered), "covered")
+}

@@ -75,6 +75,12 @@ type fleetNode struct {
 	staleRejections int64 // client downloads rejected as stale/invalid
 	extraFetches    int64 // re-fetch attempts verification caused
 	forkEvents      []forkEvent
+
+	// Per-fleet scratch: tick and armRetry run once per Tick per fleet for
+	// the whole fetch window, and without reuse each run allocates one
+	// slice per cache — the distribution tier's hot-path garbage.
+	counts  []int
+	scratch drawScratch
 }
 
 // forkEvent is a fleet's evolving record of one detected fork: which digest
@@ -226,7 +232,7 @@ func (f *fleetNode) tick(ctx *simnet.Context, k int) {
 	start, end := f.tickSpan(k)
 	frac := float64(end-start) / float64(f.spec.FetchWindow)
 	weights := f.curWeights()
-	counts := make([]int, len(f.caches))
+	counts := intScratch(&f.counts, len(f.caches))
 	total := 0
 	for i, w := range weights {
 		counts[i] = poisson(ctx.Rand(), float64(f.clients)*w*frac)
@@ -237,10 +243,10 @@ func (f *fleetNode) tick(ctx *simnet.Context, k int) {
 		// the caches in proportion to their draws instead of truncating
 		// whatever the low-index caches left over — a first-come clamp
 		// systematically starves the high-index caches.
-		counts = clampDraws(counts, f.unrequested)
+		counts = clampDraws(&f.scratch, counts, f.unrequested)
 	} else if k == f.numTicks() {
 		// Final tick: flush the clients the Poisson draws left behind.
-		extra := splitCounts(ctx.Rand(), f.unrequested-total, weights)
+		extra := splitCounts(&f.scratch.splitA, ctx.Rand(), f.unrequested-total, weights)
 		for i := range counts {
 			counts[i] += extra[i]
 		}
@@ -508,8 +514,8 @@ func (f *fleetNode) armRetry(ctx *simnet.Context) {
 			return
 		}
 		weights := f.curWeights()
-		fullSplit := splitCounts(ctx.Rand(), fulls, weights)
-		diffSplit := splitCounts(ctx.Rand(), diffs, weights)
+		fullSplit := splitCounts(&f.scratch.splitA, ctx.Rand(), fulls, weights)
+		diffSplit := splitCounts(&f.scratch.splitB, ctx.Rand(), diffs, weights)
 		for i := range f.caches {
 			if fullSplit[i]+diffSplit[i] == 0 {
 				continue

@@ -58,14 +58,43 @@ func binomial(rng *rand.Rand, n int, p float64) int {
 	return k
 }
 
+// drawScratch holds the reusable buffers of the per-tick draw helpers. The
+// fleet tier runs one tick per fleet per Spec.Tick over the whole fetch
+// window; without scratch reuse every tick allocates per cache, which at
+// 10⁵–10⁷ aggregated clients is the distribution tier's dominant garbage.
+type drawScratch struct {
+	clamped []int
+	fracs   []float64
+	order   []int
+	splitA  []int
+	splitB  []int
+}
+
+func intScratch(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+func floatScratch(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
 // clampDraws scales a tick's per-cache draws down to the remaining client
 // budget when they exceed it, allocating the budget in proportion to the
 // draws (largest-remainder apportionment; remainder ties go to the lower
 // index, so the result is deterministic). Unlike a sequential clamp, no
 // cache is favored by its position: a first-come truncation hands the
 // low-index caches their full draw and systematically starves the rest.
-// No cache is allocated more than it drew.
-func clampDraws(draws []int, budget int) []int {
+// No cache is allocated more than it drew. The result (which may alias the
+// scratch) is valid until the scratch's next clampDraws call.
+func clampDraws(s *drawScratch, draws []int, budget int) []int {
 	total := 0
 	for _, d := range draws {
 		total += d
@@ -73,9 +102,9 @@ func clampDraws(draws []int, budget int) []int {
 	if total <= budget {
 		return draws
 	}
-	out := make([]int, len(draws))
-	fracs := make([]float64, len(draws))
-	order := make([]int, len(draws))
+	out := intScratch(&s.clamped, len(draws))
+	fracs := floatScratch(&s.fracs, len(draws))
+	order := intScratch(&s.order, len(draws))
 	assigned := 0
 	for i, d := range draws {
 		exact := float64(d) * float64(budget) / float64(total)
@@ -93,9 +122,13 @@ func clampDraws(draws []int, budget int) []int {
 }
 
 // splitCounts distributes n items over len(weights) bins as an exact
-// multinomial draw, via sequential conditional binomials.
-func splitCounts(rng *rand.Rand, n int, weights []float64) []int {
-	out := make([]int, len(weights))
+// multinomial draw, via sequential conditional binomials, writing into the
+// caller's scratch buffer (grown in place as needed).
+func splitCounts(buf *[]int, rng *rand.Rand, n int, weights []float64) []int {
+	out := intScratch(buf, len(weights))
+	for i := range out {
+		out[i] = 0
+	}
 	total := 0.0
 	for _, w := range weights {
 		total += w

@@ -59,7 +59,7 @@ func TestSplitCountsExact(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	weights := []float64{5, 3, 2, 0}
 	const n = 100000
-	out := splitCounts(rng, n, weights)
+	out := splitCounts(new([]int), rng, n, weights)
 	total := 0
 	for _, k := range out {
 		total += k
@@ -100,7 +100,7 @@ func TestClampDrawsFairApportionment(t *testing.T) {
 		{[]int{3, 1}, 9, []int{3, 1}},
 	}
 	for i, tc := range cases {
-		got := clampDraws(append([]int(nil), tc.draws...), tc.budget)
+		got := clampDraws(new(drawScratch), append([]int(nil), tc.draws...), tc.budget)
 		if len(got) != len(tc.want) {
 			t.Fatalf("case %d: len %d", i, len(got))
 		}
@@ -126,7 +126,7 @@ func TestClampDrawsInvariants(t *testing.T) {
 			continue
 		}
 		budget := rng.Intn(total) // strictly below total: the clamp binds
-		got := clampDraws(append([]int(nil), draws...), budget)
+		got := clampDraws(new(drawScratch), append([]int(nil), draws...), budget)
 		sum := 0
 		for i, g := range got {
 			if g < 0 || g > draws[i] {

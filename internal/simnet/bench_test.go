@@ -55,6 +55,62 @@ func BenchmarkPipeThrottledTransfer(b *testing.B) {
 	}
 }
 
+func BenchmarkPipeFloodFanIn(b *testing.B) {
+	// Hundreds of concurrent transfers racing through one throttled pipe:
+	// the cache-downlink shape of a flood scenario, where the attack window
+	// (ThrottleMin segments) forces the fluid model to re-plan repeatedly
+	// under maximal fan-in.
+	prof := NewProfile(10e6)
+	prof.ThrottleMin(2*time.Second, 30*time.Second, 1e6)
+	const fanIn = 400
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewScheduler()
+		p := newPipe(s, prof)
+		done := 0
+		cb := func(time.Duration) { done++ }
+		s.At(0, func() {
+			for j := 0; j < fanIn; j++ {
+				p.enqueue(int64(2_000+j*37), 0, cb)
+			}
+		})
+		s.Run()
+		if done != fanIn {
+			b.Fatalf("done=%d", done)
+		}
+	}
+}
+
+func TestPipeUniformCapFastPathAllocFree(t *testing.T) {
+	// The equal-share fast path must be allocation-free once the pipe's
+	// scratch is warm: water-filling, completion planning and mid-segment
+	// accounting may not allocate per step, whatever the fan-in.
+	s := NewScheduler()
+	p := newPipe(s, NewProfile(1e6))
+	cb := func(time.Duration) {}
+	s.At(0, func() {
+		for j := 0; j < 128; j++ {
+			p.enqueue(1_000_000, 0, cb)
+		}
+	})
+	s.RunUntil(0)
+	if p.queued() != 128 {
+		t.Fatalf("queued %d transfers", p.queued())
+	}
+	// Warm the scratch buffers once; from then on the hot path reuses them.
+	p.allocate(1e6)
+	p.nextCompletion()
+	now := time.Millisecond
+	if allocs := testing.AllocsPerRun(100, func() {
+		p.allocate(1e6)
+		p.nextCompletion()
+		p.advance(now) // mid-transfer: drains bits, completes nothing
+		now += time.Millisecond
+	}); allocs != 0 {
+		t.Fatalf("uniform-cap fast path allocated %.1f times per step, want 0", allocs)
+	}
+}
+
 func BenchmarkNetworkBroadcast(b *testing.B) {
 	// 9 nodes all-to-all broadcasting: the directory protocol's hot path.
 	for i := 0; i < b.N; i++ {

@@ -59,17 +59,24 @@ type Network struct {
 	stats   Stats
 	started bool
 	tracer  func(ev string, at time.Duration, from, to NodeID, m Message)
+
+	// Per-kind accounting is interned: Kind() strings map to dense indices
+	// once, and the per-send hot path does two array increments instead of
+	// two string-keyed map updates. Stats() rebuilds the public maps.
+	kindIdx   map[string]int
+	kindNames []string
+	kindBytes []int64
+	kindCount []int64
 }
 
 // New creates a network with the given configuration.
 func New(cfg Config) *Network {
 	n := &Network{
-		sched: NewScheduler(),
-		cfg:   cfg,
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		sched:   NewScheduler(),
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		kindIdx: make(map[string]int),
 	}
-	n.stats.KindBytes = make(map[string]int64)
-	n.stats.KindCount = make(map[string]int64)
 	if n.cfg.Latency == nil {
 		n.cfg.Latency = DefaultLatency(cfg.Seed)
 	}
@@ -112,16 +119,16 @@ func (n *Network) N() int { return len(n.nodes) }
 // Rand returns the network RNG (the simulation is single-threaded).
 func (n *Network) Rand() *rand.Rand { return n.rng }
 
-// Stats returns a copy of the transport statistics.
+// Stats returns a copy of the transport statistics. The per-kind maps are
+// rebuilt lazily from the interned counters, so calling Stats in a loop is
+// the only way to pay for them.
 func (n *Network) Stats() Stats {
 	s := n.stats
-	s.KindBytes = make(map[string]int64, len(n.stats.KindBytes))
-	for k, v := range n.stats.KindBytes {
-		s.KindBytes[k] = v
-	}
-	s.KindCount = make(map[string]int64, len(n.stats.KindCount))
-	for k, v := range n.stats.KindCount {
-		s.KindCount[k] = v
+	s.KindBytes = make(map[string]int64, len(n.kindNames))
+	s.KindCount = make(map[string]int64, len(n.kindNames))
+	for i, name := range n.kindNames {
+		s.KindBytes[name] = n.kindBytes[i]
+		s.KindCount[name] = n.kindCount[i]
 	}
 	return s
 }
@@ -195,8 +202,16 @@ func (n *Network) send(from, to NodeID, m Message) {
 	size := m.Size() + n.cfg.Overhead
 	n.stats.MessagesSent++
 	n.stats.BytesSent += size
-	n.stats.KindBytes[m.Kind()] += size
-	n.stats.KindCount[m.Kind()]++
+	ki, ok := n.kindIdx[m.Kind()]
+	if !ok {
+		ki = len(n.kindNames)
+		n.kindIdx[m.Kind()] = ki
+		n.kindNames = append(n.kindNames, m.Kind())
+		n.kindBytes = append(n.kindBytes, 0)
+		n.kindCount = append(n.kindCount, 0)
+	}
+	n.kindBytes[ki] += size
+	n.kindCount[ki]++
 	n.nodes[from].sent += size
 	if n.tracer != nil {
 		n.tracer("send", n.sched.Now(), from, to, m)

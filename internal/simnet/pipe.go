@@ -17,19 +17,61 @@ type transfer struct {
 	done      func(at time.Duration)
 }
 
+// effCap returns the effective per-transfer rate cap (Inf when uncapped).
+func effCap(t *transfer) float64 {
+	if t.maxRate <= 0 {
+		return math.Inf(1)
+	}
+	return t.maxRate
+}
+
 // pipe is a max-min fair-shared resource (an access link direction) with a
 // piecewise-constant capacity profile. All in-flight transfers share the
 // instantaneous capacity by water-filling, honouring per-transfer caps.
+//
+// The hot path is allocation-free: transfers are stored by value, the
+// water-filler writes into pipe-owned scratch buffers, and the cap-sorted
+// order the mixed-cap slow path needs is maintained incrementally across
+// enqueues and completions instead of being re-sorted per segment step.
 type pipe struct {
 	sched   *Scheduler
 	prof    *Profile
-	active  []*transfer
+	active  []transfer
 	last    time.Duration // progress is accounted up to this instant
 	wakeSeq uint64        // invalidates stale scheduled wakeups
+	wakeAt  time.Duration // instant of the live wakeup; Never when none queued
+
+	capped int   // active transfers with a finite rate cap
+	order  []int // active indices sorted by (effective cap, index)
+
+	rates  []float64 // scratch: per-transfer allocation, indexed like active
+	rem    []float64 // scratch: nextCompletion's forward-simulated bits
+	idxMap []int     // scratch: old->new index map for compactions
+
+	wakeFn func(time.Duration) // p.wake, bound once so reschedule never allocates
 }
 
 func newPipe(s *Scheduler, prof *Profile) *pipe {
-	return &pipe{sched: s, prof: prof}
+	p := &pipe{sched: s, prof: prof, wakeAt: Never}
+	p.wakeFn = p.wake
+	return p
+}
+
+// insert adds t to the active set, keeping the cap bookkeeping and the
+// cap-sorted order current. The new transfer has the largest index, so
+// inserting before the first strictly greater cap reproduces exactly the
+// stable sort order (ties stay in index order).
+func (p *pipe) insert(t transfer) {
+	idx := len(p.active)
+	p.active = append(p.active, t)
+	if t.maxRate > 0 {
+		p.capped++
+	}
+	c := effCap(&t)
+	at := sort.Search(len(p.order), func(i int) bool { return effCap(&p.active[p.order[i]]) > c })
+	p.order = append(p.order, 0)
+	copy(p.order[at+1:], p.order[at:])
+	p.order[at] = idx
 }
 
 // enqueue adds a transfer of the given size; done fires (via the scheduler)
@@ -40,38 +82,72 @@ func (p *pipe) enqueue(bytes int64, maxRate float64, done func(at time.Duration)
 	if bits < 1 {
 		bits = 1 // zero-size messages still occupy the pipe for an instant
 	}
-	p.active = append(p.active, &transfer{remaining: bits, maxRate: maxRate, done: done})
+	p.insert(transfer{remaining: bits, maxRate: maxRate, done: done})
 	p.reschedule()
 }
 
 // queued reports the number of in-flight transfers (for tests/metrics).
 func (p *pipe) queued() int { return len(p.active) }
 
-// allocate distributes capacity among transfers by max-min fairness with
-// per-transfer caps (progressive water-filling). The result is indexed like
-// active.
-func allocate(active []*transfer, capacity float64) []float64 {
-	n := len(active)
-	rates := make([]float64, n)
+// allocate distributes capacity among the active transfers by max-min
+// fairness with per-transfer caps (progressive water-filling), writing into
+// the pipe's scratch buffer; the result is indexed like active and valid
+// until the next allocate call. When every transfer shares one effective
+// cap — the overwhelming common case; floods are modeled by Profile
+// throttling, so transfers are mostly uncapped — the progressive fill visits
+// transfers in index order and no sort order is needed at all. The loops
+// perform bit-identical arithmetic to the sorted general case.
+func (p *pipe) allocate(capacity float64) []float64 {
+	n := len(p.active)
+	if cap(p.rates) < n {
+		p.rates = make([]float64, n)
+	}
+	rates := p.rates[:n]
+	p.rates = rates
 	if n == 0 || capacity <= 0 {
+		for i := range rates {
+			rates[i] = 0
+		}
 		return rates
 	}
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
-	}
-	capOf := func(t *transfer) float64 {
-		if t.maxRate <= 0 {
-			return math.Inf(1)
+	if p.capped == 0 {
+		// Fast path: all uncapped, equal-share fill in index order.
+		remaining := capacity
+		for i := 0; i < n; i++ {
+			share := remaining / float64(n-i)
+			rates[i] = share
+			remaining -= share
 		}
-		return t.maxRate
+		return rates
 	}
-	sort.SliceStable(idx, func(a, b int) bool { return capOf(active[idx[a]]) < capOf(active[idx[b]]) })
+	if p.capped == n {
+		c0 := p.active[0].maxRate
+		uniform := true
+		for i := 1; i < n; i++ {
+			if p.active[i].maxRate != c0 {
+				uniform = false
+				break
+			}
+		}
+		if uniform {
+			// Fast path: one shared finite cap, fill in index order.
+			remaining := capacity
+			for i := 0; i < n; i++ {
+				r := remaining / float64(n-i)
+				if c0 < r {
+					r = c0
+				}
+				rates[i] = r
+				remaining -= r
+			}
+			return rates
+		}
+	}
+	// Mixed caps: walk the maintained cap-sorted order.
 	remaining := capacity
-	for k, i := range idx {
-		share := remaining / float64(n-k)
-		r := share
-		if c := capOf(active[i]); c < r {
+	for k, i := range p.order {
+		r := remaining / float64(n-k)
+		if c := effCap(&p.active[i]); c < r {
 			r = c
 		}
 		rates[i] = r
@@ -94,11 +170,11 @@ func (p *pipe) advance(now time.Duration) {
 			p.last = segEnd
 			continue
 		}
-		rates := allocate(p.active, rate)
+		rates := p.allocate(rate)
 		minFinish := math.Inf(1)
-		for i, t := range p.active {
+		for i := range p.active {
 			if rates[i] > 0 {
-				if ft := t.remaining / rates[i]; ft < minFinish {
+				if ft := p.active[i].remaining / rates[i]; ft < minFinish {
 					minFinish = ft
 				}
 			}
@@ -114,8 +190,8 @@ func (p *pipe) advance(now time.Duration) {
 			}
 		}
 		stepSec := seconds(step)
-		for i, t := range p.active {
-			t.remaining -= rates[i] * stepSec
+		for i := range p.active {
+			p.active[i].remaining -= rates[i] * stepSec
 		}
 		p.last += step
 		p.collectDone()
@@ -125,35 +201,61 @@ func (p *pipe) advance(now time.Duration) {
 	}
 }
 
-// collectDone removes finished transfers and schedules their callbacks.
+// collectDone removes finished transfers and schedules their callbacks,
+// compacting the cap-sorted order in place (compaction preserves relative
+// indices, so the order stays sorted without re-sorting).
 func (p *pipe) collectDone() {
+	n := len(p.active)
+	if cap(p.idxMap) < n {
+		p.idxMap = make([]int, n)
+	}
+	idxMap := p.idxMap[:n]
+	p.idxMap = idxMap
+	removed := false
 	kept := p.active[:0]
-	for _, t := range p.active {
+	for i := range p.active {
+		t := &p.active[i]
 		if t.remaining <= epsBits {
 			at := p.last
 			if sn := p.sched.Now(); at < sn {
 				at = sn
 			}
-			done := t.done
-			p.sched.At(at, func() { done(p.sched.Now()) })
+			p.sched.atTimed(at, t.done)
+			if t.maxRate > 0 {
+				p.capped--
+			}
+			idxMap[i] = -1
+			removed = true
 			continue
 		}
-		kept = append(kept, t)
+		idxMap[i] = len(kept)
+		kept = append(kept, *t)
 	}
 	p.active = kept
+	if !removed {
+		return
+	}
+	k := 0
+	for _, oi := range p.order {
+		if ni := idxMap[oi]; ni >= 0 {
+			p.order[k] = ni
+			k++
+		}
+	}
+	p.order = p.order[:k]
 }
 
 // nextCompletion simulates forward from p.last (without mutating state) and
 // returns the instant of the earliest transfer completion, or Never if the
-// pipe is stalled forever.
+// pipe is stalled forever. The common case — the earliest finisher lands
+// inside the profile segment active at p.last — needs no forward
+// simulation at all: the remaining-bits vector is only cloned (into pipe
+// scratch) once the walk has to cross a segment boundary.
 func (p *pipe) nextCompletion() time.Duration {
 	if len(p.active) == 0 {
 		return Never
 	}
-	rem := make([]float64, len(p.active))
-	for i, t := range p.active {
-		rem[i] = t.remaining
-	}
+	var rem []float64 // nil until a segment boundary forces the clone
 	t := p.last
 	for {
 		segEnd := p.prof.nextChange(t)
@@ -165,18 +267,38 @@ func (p *pipe) nextCompletion() time.Duration {
 			t = segEnd
 			continue
 		}
-		rates := allocate(p.active, rate)
+		rates := p.allocate(rate)
 		minFinish := math.Inf(1)
-		for i := range p.active {
-			if rates[i] > 0 {
-				if ft := rem[i] / rates[i]; ft < minFinish {
-					minFinish = ft
+		if rem == nil {
+			for i := range p.active {
+				if rates[i] > 0 {
+					if ft := p.active[i].remaining / rates[i]; ft < minFinish {
+						minFinish = ft
+					}
+				}
+			}
+		} else {
+			for i := range rem {
+				if rates[i] > 0 {
+					if ft := rem[i] / rates[i]; ft < minFinish {
+						minFinish = ft
+					}
 				}
 			}
 		}
 		finishAt := addDur(t, durCeil(minFinish))
 		if segEnd == Never || finishAt <= segEnd {
 			return finishAt
+		}
+		if rem == nil {
+			if cap(p.rem) < len(p.active) {
+				p.rem = make([]float64, len(p.active))
+			}
+			rem = p.rem[:len(p.active)]
+			p.rem = rem
+			for i := range p.active {
+				rem[i] = p.active[i].remaining
+			}
 		}
 		span := seconds(segEnd - t)
 		for i := range rem {
@@ -189,20 +311,30 @@ func (p *pipe) nextCompletion() time.Duration {
 	}
 }
 
-// reschedule plans the next wakeup (earliest completion or stall end). Any
-// previously scheduled wakeup is invalidated via wakeSeq.
+// reschedule plans the next wakeup (earliest completion or stall end). When
+// the computed wakeup equals the one already queued and still live, the
+// existing event is kept — re-pushing would pile a stale, wakeSeq-
+// invalidated event onto the heap for every enqueue that leaves the
+// earliest completion unchanged. Otherwise any previously scheduled wakeup
+// is invalidated via wakeSeq.
 func (p *pipe) reschedule() {
-	p.wakeSeq++
-	seq := p.wakeSeq
 	at := p.nextCompletion()
+	if at != Never && at == p.wakeAt {
+		return
+	}
+	p.wakeSeq++
+	p.wakeAt = at
 	if at == Never {
 		return
 	}
-	p.sched.At(at, func() {
-		if seq != p.wakeSeq {
-			return
-		}
-		p.advance(p.sched.Now())
-		p.reschedule()
-	})
+	p.sched.atGuarded(at, &p.wakeSeq, p.wakeSeq, p.wakeFn)
+}
+
+// wake is the live wakeup's callback (stale ones die on the wakeSeq guard):
+// account progress up to now — completing at least the transfer the wakeup
+// was computed for — and plan the next one.
+func (p *pipe) wake(now time.Duration) {
+	p.wakeAt = Never // consumed; reschedule must push anew
+	p.advance(now)
+	p.reschedule()
 }

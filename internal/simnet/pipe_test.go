@@ -258,12 +258,12 @@ func TestPipePerTransferCap(t *testing.T) {
 }
 
 func TestAllocateWaterFilling(t *testing.T) {
-	tr := []*transfer{
-		{remaining: 1, maxRate: 1e6},
-		{remaining: 1, maxRate: 0},
-		{remaining: 1, maxRate: 0},
-	}
-	rates := allocate(tr, 9e6)
+	s := NewScheduler()
+	p := newPipe(s, NewProfile(9e6))
+	p.insert(transfer{remaining: 1, maxRate: 1e6})
+	p.insert(transfer{remaining: 1, maxRate: 0})
+	p.insert(transfer{remaining: 1, maxRate: 0})
+	rates := p.allocate(9e6)
 	if rates[0] != 1e6 {
 		t.Fatalf("capped transfer got %v, want 1e6", rates[0])
 	}
@@ -277,8 +277,11 @@ func TestAllocateWaterFilling(t *testing.T) {
 }
 
 func TestAllocateZeroCapacity(t *testing.T) {
-	tr := []*transfer{{remaining: 1}, {remaining: 1}}
-	rates := allocate(tr, 0)
+	s := NewScheduler()
+	p := newPipe(s, NewProfile(1e6))
+	p.insert(transfer{remaining: 1})
+	p.insert(transfer{remaining: 1})
+	rates := p.allocate(0)
 	if rates[0] != 0 || rates[1] != 0 {
 		t.Fatalf("zero-capacity allocation %v, want zeros", rates)
 	}

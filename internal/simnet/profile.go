@@ -20,9 +20,37 @@ type ratePoint struct {
 //
 // Profiles must be fully configured before the simulation runs: pipes read
 // them lazily, so mutating a profile after transfers have started on it
-// yields undefined (though still deterministic) behaviour.
+// yields undefined (though still deterministic) behaviour. Lookups cache a
+// segment cursor, so a Profile must not be shared between concurrently
+// running simulations (each run builds its own profiles; reusing one across
+// sequential runs is fine).
 type Profile struct {
 	points []ratePoint // sorted by at; points[0].at == 0
+	cur    int         // cursor: segment of the last lookup (queries are mostly monotone)
+}
+
+// seg returns the index of the segment containing t: the last point with
+// at <= t (clamped to 0). Pipes advance monotonically through virtual time,
+// so the answer is almost always the cached cursor or its successor; only a
+// backward query (a fresh simulation reusing a profile) pays the binary
+// search.
+func (p *Profile) seg(t time.Duration) int {
+	i := p.cur
+	if i >= len(p.points) {
+		i = len(p.points) - 1
+	}
+	if p.points[i].at <= t {
+		for i+1 < len(p.points) && p.points[i+1].at <= t {
+			i++
+		}
+	} else {
+		i = sort.Search(len(p.points), func(j int) bool { return p.points[j].at > t }) - 1
+		if i < 0 {
+			i = 0
+		}
+	}
+	p.cur = i
+	return i
 }
 
 // NewProfile returns a constant-rate profile.
@@ -42,17 +70,12 @@ func (p *Profile) Clone() *Profile {
 
 // RateAt returns the rate in effect at instant t.
 func (p *Profile) RateAt(t time.Duration) float64 {
-	// Find the last point with at <= t.
-	i := sort.Search(len(p.points), func(i int) bool { return p.points[i].at > t })
-	if i == 0 {
-		return p.points[0].rate
-	}
-	return p.points[i-1].rate
+	return p.points[p.seg(t)].rate
 }
 
 // nextChange returns the first breakpoint strictly after t, or Never.
 func (p *Profile) nextChange(t time.Duration) time.Duration {
-	i := sort.Search(len(p.points), func(i int) bool { return p.points[i].at > t })
+	i := p.seg(t) + 1
 	if i == len(p.points) {
 		return Never
 	}
@@ -95,6 +118,7 @@ func (p *Profile) transform(from, to time.Duration, f func(old float64) float64)
 		}
 	}
 	p.points = normalize(out)
+	p.cur = 0
 }
 
 // SetRate forces the rate to r over [from, to).

@@ -1,38 +1,111 @@
 package simnet
 
 import (
-	"container/heap"
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
 // event is a scheduled callback. Events with equal timestamps run in
 // scheduling order (seq), which keeps the simulation deterministic.
+//
+// A callback is either fn (plain) or tfn (timed: receives the virtual
+// instant, sparing callers the closure that would otherwise capture the
+// scheduler just to read Now). A non-nil guard makes the event conditional:
+// it fires only while *guard still equals want — the allocation-free form
+// of the "stale wakeup" closures the pipes used to capture seq in.
 type event struct {
-	at  time.Duration
-	seq uint64
-	fn  func()
+	at    time.Duration
+	seq   uint64
+	fn    func()
+	tfn   func(time.Duration)
+	guard *uint64
+	want  uint64
 }
 
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// before reports whether e fires before o: lexicographic (at, seq) order.
+// seq values are unique, so this is a total order and any correct heap pops
+// the exact same event sequence — the determinism contract does not depend
+// on the heap's shape.
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return q[i].seq < q[j].seq
+	return e.seq < o.seq
 }
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
+
+// heapArity is the fan-out of the event queue. A 4-ary heap halves the tree
+// depth of a binary heap; sift-downs dominate a discrete-event scheduler
+// (every pop replaces the root with the last leaf), and the four children
+// share a cache line of events.
+const heapArity = 4
+
+// eventQueue is a value-typed d-ary min-heap ordered by (at, seq). Events
+// are stored inline: no per-event heap allocation and no container/heap
+// interface boxing on the push/pop hot path.
+type eventQueue []event
+
+// push appends ev and sifts it up to its position.
+func (q *eventQueue) push(ev event) {
+	*q = append(*q, ev)
+	h := *q
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / heapArity
+		if !ev.before(&h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = ev
 }
+
+// pop removes and returns the earliest event.
+func (q *eventQueue) pop() event {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	ev := h[n]
+	h[n] = event{} // release the callback for GC
+	h = h[:n]
+	*q = h
+	if n > 0 {
+		i := 0
+		for {
+			first := heapArity*i + 1
+			if first >= n {
+				break
+			}
+			min := first
+			last := first + heapArity
+			if last > n {
+				last = n
+			}
+			for c := first + 1; c < last; c++ {
+				if h[c].before(&h[min]) {
+					min = c
+				}
+			}
+			if !h[min].before(&ev) {
+				break
+			}
+			h[i] = h[min]
+			i = min
+		}
+		h[i] = ev
+	}
+	return top
+}
+
+// globalSteps counts events executed by every Scheduler in the process. It
+// is bumped once per RunUntil call (not per event), so the hot loop stays
+// atomic-free; cmd/benchtables reads it to report kernel throughput.
+var globalSteps atomic.Uint64
+
+// GlobalSteps returns the total number of events executed process-wide, the
+// kernel-throughput counter behind the committed perf report.
+func GlobalSteps() uint64 { return globalSteps.Load() }
 
 // Scheduler is a virtual clock with an event queue.
 type Scheduler struct {
@@ -43,11 +116,7 @@ type Scheduler struct {
 }
 
 // NewScheduler returns a scheduler at virtual time zero.
-func NewScheduler() *Scheduler {
-	s := &Scheduler{}
-	heap.Init(&s.queue)
-	return s
-}
+func NewScheduler() *Scheduler { return &Scheduler{} }
 
 // Now returns the current virtual time.
 func (s *Scheduler) Now() time.Duration { return s.now }
@@ -59,14 +128,33 @@ func (s *Scheduler) Steps() uint64 { return s.steps }
 // caller and panics; scheduling at Never is a no-op (the event can never
 // fire).
 func (s *Scheduler) At(t time.Duration, fn func()) {
-	if t == Never {
+	s.push(event{at: t, fn: fn})
+}
+
+// atTimed schedules fn at t; fn receives the firing instant, so callers
+// need no wrapper closure around a func(time.Duration) they already hold.
+func (s *Scheduler) atTimed(t time.Duration, fn func(time.Duration)) {
+	s.push(event{at: t, tfn: fn})
+}
+
+// atGuarded schedules fn at t, to fire only while *guard still equals want.
+// Bumping *guard invalidates the event in place — the queued entry stays
+// but pops as a no-op — which lets a caller reschedule without allocating
+// a seq-capturing closure per push.
+func (s *Scheduler) atGuarded(t time.Duration, guard *uint64, want uint64, fn func(time.Duration)) {
+	s.push(event{at: t, tfn: fn, guard: guard, want: want})
+}
+
+func (s *Scheduler) push(ev event) {
+	if ev.at == Never {
 		return
 	}
-	if t < s.now {
-		panic(fmt.Sprintf("simnet: scheduling event at %v before now %v", t, s.now))
+	if ev.at < s.now {
+		panic(fmt.Sprintf("simnet: scheduling event at %v before now %v", ev.at, s.now))
 	}
 	s.seq++
-	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+	ev.seq = s.seq
+	s.queue.push(ev)
 }
 
 // After schedules fn after duration d.
@@ -78,20 +166,26 @@ func (s *Scheduler) After(d time.Duration, fn func()) { s.At(addDur(s.now, d), f
 // events executed.
 func (s *Scheduler) RunUntil(limit time.Duration) uint64 {
 	var executed uint64
-	for s.queue.Len() > 0 {
-		next := s.queue[0]
-		if next.at > limit {
+	for len(s.queue) > 0 {
+		if s.queue[0].at > limit {
 			break
 		}
-		heap.Pop(&s.queue)
+		next := s.queue.pop()
 		s.now = next.at
-		next.fn()
+		if next.guard == nil || *next.guard == next.want {
+			if next.fn != nil {
+				next.fn()
+			} else {
+				next.tfn(s.now)
+			}
+		}
 		s.steps++
 		executed++
 	}
 	if s.now < limit && limit != Never {
 		s.now = limit
 	}
+	globalSteps.Add(executed)
 	return executed
 }
 
@@ -99,4 +193,4 @@ func (s *Scheduler) RunUntil(limit time.Duration) uint64 {
 func (s *Scheduler) Run() uint64 { return s.RunUntil(Never) }
 
 // Pending reports how many events are queued.
-func (s *Scheduler) Pending() int { return s.queue.Len() }
+func (s *Scheduler) Pending() int { return len(s.queue) }

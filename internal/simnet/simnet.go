@@ -17,6 +17,46 @@
 //
 // The simulation is single-threaded and fully deterministic for a given
 // configuration and seed.
+//
+// # Kernel invariants
+//
+// The kernel is optimized for flood-scale fan-in (hundreds of concurrent
+// transfers per pipe, millions of events per run) under one non-negotiable
+// contract, pinned by the golden corpus test in internal/harness: outputs
+// are byte-identical for a fixed configuration and seed. The invariants the
+// fast paths rely on:
+//
+//   - Event ordering. Events execute in (timestamp, scheduling-sequence)
+//     order. The sequence number is unique, so the order is total and does
+//     not depend on the heap's internal shape; the queue is a value-typed
+//     4-ary heap purely as an optimization (no per-event allocation, no
+//     container/heap boxing, half the sift depth of a binary heap).
+//
+//   - Water-filling order. The max-min fair share visits transfers in
+//     ascending effective-cap order with index order breaking ties (the
+//     stable-sort order). Pipes maintain that order incrementally across
+//     enqueues and completions; when every active transfer shares one
+//     effective cap — the common case, since floods are modeled by Profile
+//     throttling rather than per-transfer caps — the fill runs in index
+//     order directly, performing bit-identical arithmetic to the sorted
+//     general case.
+//
+//   - Completion planning. A pipe schedules exactly one live wakeup (the
+//     earliest completion); stale wakeups are invalidated in place via a
+//     guard counter and pop as no-ops, and a reschedule that computes the
+//     same instant keeps the queued event instead of pushing a duplicate.
+//     nextCompletion only clones the remaining-bits vector (into pipe-owned
+//     scratch) when the earliest finisher crosses a profile breakpoint.
+//
+//   - Profiles are single-simulation state. RateAt/nextChange cache a
+//     segment cursor (pipes advance monotonically through virtual time), so
+//     a Profile must not be shared between concurrently running networks —
+//     every run builds its own, as the harness and dircache tiers do.
+//
+//   - Scratch reuse. Per-pipe buffers (rates, forward-simulated remaining
+//     bits, compaction index maps) are reused across steps; the uniform-cap
+//     hot path allocates nothing per step (asserted by
+//     TestPipeUniformCapFastPathAllocFree).
 package simnet
 
 import (

@@ -193,6 +193,12 @@ type CostModel = attack.CostModel
 // Never marks an event that did not happen (e.g. latency of a failed run).
 const Never = simnet.Never
 
+// KernelSteps returns the total number of simulation events executed by
+// every scheduler in the process so far. Deltas around a workload give the
+// kernel's event throughput — cmd/benchtables records them per figure in
+// BENCH_tables.json.
+func KernelSteps() uint64 { return simnet.GlobalSteps() }
+
 // ResidualUnderDDoS is the bandwidth left to a flooded node (0.5 Mbit/s,
 // Jansen et al.).
 const ResidualUnderDDoS = attack.ResidualUnderDDoS
