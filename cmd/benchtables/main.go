@@ -15,7 +15,8 @@
 // smoke pass. Select individual artifacts with -only. Every sweep fans its
 // grid out over -workers goroutines (default: all cores) on the shared
 // sweep engine; the rendered tables are byte-identical for any worker
-// count. Ctrl-C cancels the run cleanly between sweep cells.
+// count, and each sweep reports live cell progress to stderr. Ctrl-C
+// cancels the run cleanly between sweep cells.
 //
 // -json additionally writes BENCH_tables.json: per-artifact wall time, the
 // simulation-kernel cost (events executed, events/sec, heap allocations
@@ -179,6 +180,21 @@ func writeReport(path string, report benchReport) bool {
 	return true
 }
 
+// progressFor returns a sweep progress callback that keeps one live
+// "name: done/total cells" line on stderr for the named artifact.
+func progressFor(name string) func(done, total int, cellErr error) {
+	return func(done, total int, cellErr error) {
+		mark := ""
+		if cellErr != nil {
+			mark = " (error)"
+		}
+		fmt.Fprintf(os.Stderr, "%s: %d/%d cells%s", name, done, total, mark)
+		if done == total {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+}
+
 // buildArtifacts assembles the artifact list at the requested scale. The
 // order matches the paper's presentation (cheap artifacts first).
 func buildArtifacts(quick bool, workers int) []artifact {
@@ -221,6 +237,7 @@ func buildArtifacts(quick bool, workers int) []artifact {
 				p = partialtor.Table1Params{Relays: 300, Bandwidth: 100e6, Round: 20 * time.Second}
 			}
 			p.Workers = workers
+			p.OnCell = progressFor("tab1")
 			r, err := partialtor.Table1(ctx, p)
 			if err != nil {
 				return "", nil, err
@@ -244,6 +261,7 @@ func buildArtifacts(quick bool, workers int) []artifact {
 				}
 			}
 			p.Workers = workers
+			p.OnCell = progressFor("fig7")
 			r, err := partialtor.Figure7(ctx, p)
 			if err != nil {
 				return "", nil, err
@@ -276,6 +294,7 @@ func buildArtifacts(quick bool, workers int) []artifact {
 				}
 			}
 			p.Workers = workers
+			p.OnCell = progressFor("fig10")
 			r, err := partialtor.Figure10(ctx, p)
 			if err != nil {
 				return "", nil, err
@@ -297,6 +316,7 @@ func buildArtifacts(quick bool, workers int) []artifact {
 				p = partialtor.Figure11Params{RelayCounts: []int{200, 800}, Outage: time.Minute}
 			}
 			p.Workers = workers
+			p.OnCell = progressFor("fig11")
 			r, err := partialtor.Figure11(ctx, p)
 			if err != nil {
 				return "", nil, err
@@ -335,6 +355,9 @@ func buildArtifacts(quick bool, workers int) []artifact {
 				tp = partialtor.TimeoutParams{Outage: 30 * time.Second, Relays: 150}
 			}
 			es.Workers, dp.Workers, tp.Workers = workers, workers, workers
+			es.OnCell = progressFor("ablation/entry-size")
+			dp.OnCell = progressFor("ablation/delta")
+			tp.OnCell = progressFor("ablation/timeout")
 			esr, err := partialtor.AblationEntrySize(ctx, es)
 			if err != nil {
 				return "", nil, err

@@ -16,9 +16,14 @@
 //
 // Cells fan out over -workers goroutines (default: all cores); the table is
 // printed in grid order after the sweep, so any worker count produces
-// byte-identical output. A failing cell costs one row, not the sweep: its
-// error is reported with the full cell coordinates at the end. Ctrl-C
-// cancels the sweep between cells; completed cells still print.
+// byte-identical output. Live progress goes to stderr as cells finish. A
+// failing cell costs one row, not the sweep: its error is reported with the
+// full cell coordinates at the end. Ctrl-C cancels the sweep between cells;
+// completed cells still print.
+//
+// With -trace the first grid cell (rank 0) runs with the observability
+// layer on and its event stream — cache fetches, fallbacks, serves, fleet
+// coverage, kernel transfers — is written as a Chrome trace.
 package main
 
 import (
@@ -57,6 +62,7 @@ func main() {
 		target        = flag.Float64("target", 0.95, "coverage fraction defining success")
 		seed          = flag.Int64("seed", 42, "simulation seed")
 		workers       = flag.Int("workers", 0, "sweep worker pool (0 = all cores, 1 = serial)")
+		tracePath     = flag.String("trace", "", "write a Chrome trace of the first grid cell (chrome://tracing, Perfetto)")
 	)
 	flag.Parse()
 
@@ -98,10 +104,29 @@ func main() {
 		partialtor.SweepFloats("comp", fractions...),
 	)
 	pricing := partialtor.DefaultCostModel()
+	// Trace only the first cell: one recorder cannot be shared across the
+	// worker pool, and one representative cell is what a trace is for.
+	var rec *partialtor.TraceRecorder
+	if *tracePath != "" {
+		rec = partialtor.NewTraceRecorder(1 << 20)
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	start := time.Now()
-	results := partialtor.RunSweepCtx(ctx, grid, *workers, func(_ context.Context, c partialtor.SweepCell) (cellRow, error) {
+	sp := partialtor.SweepParams{
+		Workers: *workers,
+		OnCell: func(done, total int, cellErr error) {
+			mark := ""
+			if cellErr != nil {
+				mark = " (error)"
+			}
+			fmt.Fprintf(os.Stderr, "cachesweep: %d/%d cells%s", done, total, mark)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		},
+	}
+	results := partialtor.RunSweepParams(ctx, grid, sp, func(_ context.Context, c partialtor.SweepCell) (cellRow, error) {
 		spec := partialtor.DistributionSpec{
 			Caches:         c.Int("caches"),
 			Clients:        c.Int("clients"),
@@ -109,6 +134,9 @@ func main() {
 			TargetCoverage: *target,
 			Seed:           *seed,
 			VerifyClients:  *verify,
+		}
+		if rec != nil && c.Rank == 0 {
+			spec.Tracer = rec
 		}
 		row := cellRow{cost: -1, rent: -1}
 		if res := c.Float("residual"); res >= 0 {
@@ -184,6 +212,20 @@ func main() {
 			fmt.Sprintf("%.1f%%", 100*r.Value.result.Coverage()),
 			fmt.Sprintf("%.1f%%", 100*r.Value.result.NaiveCoverage()),
 			len(r.Value.result.ForkDetections), cost, rent)
+	}
+	if rec != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		werr := partialtor.WriteChromeTrace(f, rec.Events())
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fatalf("writing %s: %v", *tracePath, werr)
+		}
+		fmt.Fprintf(os.Stderr, "cachesweep: cell 0 trace: %d events -> %s\n", rec.Len(), *tracePath)
 	}
 	// Timing goes to stderr: stdout is the table, byte-identical across
 	// worker counts and wall clocks.

@@ -8,6 +8,7 @@
 //	tordirsim -protocol current -relays 8000
 //	tordirsim -protocol current -relays 8000 -attack -attack-minutes 5
 //	tordirsim -protocol ours -relays 8000 -bandwidth 0.5
+//	tordirsim -protocol current -attack -trace trace.json   # chrome://tracing
 package main
 
 import (
@@ -34,6 +35,7 @@ func main() {
 		residualMbit  = flag.Float64("attack-residual", 0.5, "bandwidth left to attacked authorities (Mbit/s); 0 = offline")
 		seed          = flag.Int64("seed", 1, "simulation seed")
 		showLog       = flag.Int("log", -1, "print the protocol log of this authority (-1 = none)")
+		tracePath     = flag.String("trace", "", "write a Chrome trace of the run (chrome://tracing, Perfetto)")
 	)
 	flag.Parse()
 
@@ -57,6 +59,11 @@ func main() {
 		Bandwidth:    *bandwidthMbit * 1e6,
 		Round:        *round,
 		Seed:         *seed,
+	}
+	var rec *partialtor.TraceRecorder
+	if *tracePath != "" {
+		rec = partialtor.NewTraceRecorder(1 << 20)
+		s.Tracer = rec
 	}
 	if *doAttack {
 		plan := partialtor.AttackPlan{
@@ -86,6 +93,22 @@ func main() {
 		fmt.Println("FAILURE: no valid consensus document this period")
 	}
 	fmt.Printf("transport: %d messages, %.2f MB sent\n", res.Messages, float64(res.BytesSent)/1e6)
+	if rec != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tordirsim: %v\n", err)
+			os.Exit(1)
+		}
+		werr := partialtor.WriteChromeTrace(f, rec.Events())
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "tordirsim: writing %s: %v\n", *tracePath, werr)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %d events -> %s\n", rec.Len(), *tracePath)
+	}
 	if *showLog >= 0 && *showLog < 9 {
 		fmt.Printf("\n--- authority %d log ---\n", *showLog)
 		for _, e := range res.Net.NodeLog(simnet.NodeID(*showLog)) {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"partialtor/internal/obs"
 	"partialtor/internal/simnet"
 )
 
@@ -121,6 +122,21 @@ func (p *Plan) IsTarget(index int) bool {
 
 // Duration returns the window length.
 func (p *Plan) Duration() time.Duration { return p.End - p.Start }
+
+// Trace emits the plan's ground truth into a trace: one onset/offset event
+// pair per target, carrying the flood window and residual intensity. The
+// runners call it at wiring time (plans are static, so the whole schedule
+// is known up front); a nil tracer is a no-op.
+func (p *Plan) Trace(tr obs.Tracer) {
+	if tr == nil {
+		return
+	}
+	label := p.Tier.String()
+	for _, t := range p.Targets {
+		tr.Event(obs.Event{Type: obs.EvAttackOn, At: p.Start, Node: t, F: p.Residual, Label: label})
+		tr.Event(obs.Event{Type: obs.EvAttackOff, At: p.End, Node: t, F: p.Residual, Label: label})
+	}
+}
 
 // CompromiseMode selects how a compromised directory cache misbehaves.
 // Unlike a flood (Plan), a compromise does not cost bandwidth: the adversary

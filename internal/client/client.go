@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"partialtor/internal/obs"
 )
 
 // Policy models the consensus lifetime rules.
@@ -184,4 +186,18 @@ func (tl *Timeline) Availability() float64 {
 // enough, §4). Runs before that succeed. The timeline spans `hours` runs.
 func SustainedAttack(p Policy, hours, firstAttacked int) *Timeline {
 	return HourlySchedule(p, hours, func(i int) bool { return i < firstAttacked })
+}
+
+// TraceTimeline emits the timeline's availability ground truth into a
+// trace: one outage event per maximal window without a valid consensus,
+// stamped with the "avail" layer. The Chrome exporter renders them as
+// slices, so a multi-period campaign shows at a glance when the network
+// was dark. A nil tracer (or timeline) is a no-op.
+func TraceTimeline(tr obs.Tracer, tl *Timeline) {
+	if tr == nil || tl == nil {
+		return
+	}
+	for _, w := range tl.Outages() {
+		tr.Event(obs.Event{Type: obs.EvOutage, At: w.From, B: int64(w.To), Layer: "avail"})
+	}
 }

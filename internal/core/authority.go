@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"partialtor/internal/hotstuff"
+	"partialtor/internal/obs"
 	"partialtor/internal/sig"
 	"partialtor/internal/simnet"
 	"partialtor/internal/vote"
@@ -162,6 +163,7 @@ func (a *Authority) Start(ctx *simnet.Context) {
 	a.docs[a.index] = a.doc
 	a.ownerSigs[a.index] = ownerSign(a.me, a.doc)
 	ctx.Logf("notice", "Dissemination: broadcasting status document (%d bytes).", a.doc.EncodedSize())
+	ctx.Trace(obs.Event{Type: obs.EvPhase, Label: "dissemination"})
 	if alt := a.cfg.Equivocators[a.index]; alt != nil {
 		altSig := a.me.Sign(domainDoc, entryInput(a.index, alt.Digest()))
 		for p := 0; p < ctx.N(); p++ {
@@ -245,6 +247,7 @@ func (a *Authority) checkReady(ctx *simnet.Context) {
 		a.ready = true
 		a.readyAt = ctx.Now()
 		ctx.Logf("notice", "Dissemination ready with %d of %d documents.", len(a.docs), a.cfg.n())
+		ctx.Trace(obs.Event{Type: obs.EvPhase, Label: "agreement", A: int64(len(a.docs))})
 		a.sendProposal(ctx, a.hs.View())
 		a.hs.NotifyReady(ctx)
 	}
@@ -411,6 +414,7 @@ func (a *Authority) onDecide(ctx *simnet.Context, v *AgreementValue) {
 	a.decided = v
 	a.decidedAt = ctx.Now()
 	ctx.Logf("notice", "Agreement decided: %d OK entries, %d ⊥.", v.OKCount(), a.cfg.n()-v.OKCount())
+	ctx.Trace(obs.Event{Type: obs.EvPhase, Label: "aggregation", A: int64(v.OKCount())})
 	// Seed aggregation with matching documents already held, then fetch
 	// the rest from everyone (at least one correct holder exists per OK
 	// entry, by the f+1 endorsement rule).
@@ -493,6 +497,7 @@ func (a *Authority) tryAggregate(ctx *simnet.Context) {
 	own := a.me.Sign(domainConsensus, a.consDigest[:])
 	a.consSigs[a.index] = sigRecord{digest: a.consDigest, sg: own}
 	ctx.Logf("notice", "Consensus aggregated from %d documents; digest %s.", len(docs), a.consDigest.Short())
+	ctx.Trace(obs.Event{Type: obs.EvPhase, Label: "signing", A: int64(len(docs))})
 	ctx.Broadcast(&MsgConsSig{Digest: a.consDigest, Sig: own})
 	a.checkDone(ctx)
 }
@@ -525,6 +530,7 @@ func (a *Authority) checkDone(ctx *simnet.Context) {
 	if matching >= a.cfg.Majority() {
 		a.done = true
 		a.doneAt = ctx.Now()
+		ctx.Trace(obs.Event{Type: obs.EvPhase, Label: "published"})
 		ctx.Logf("notice", "Consensus published with %d of %d signatures at %v.",
 			matching, a.cfg.n(), ctx.Now())
 	}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"partialtor/internal/chain"
+	"partialtor/internal/obs"
 	"partialtor/internal/simnet"
 )
 
@@ -87,10 +88,12 @@ func (c *cacheNode) requestNext(ctx *simnet.Context) {
 	auth := c.authOrder[c.attempt%len(c.authOrder)]
 	c.attempt++
 	seq := c.attempt
+	ctx.Trace(obs.Event{Type: obs.EvCacheFetch, Peer: int(auth), A: int64(seq)})
 	ctx.Send(auth, dirRequest{seq: seq})
 	ctx.After(c.spec.CacheFetchTimeout, func() {
 		if !c.have && c.attempt == seq {
 			ctx.Logf("info", "authority %d timed out, falling back", auth)
+			ctx.Trace(obs.Event{Type: obs.EvCacheFallback, Peer: int(auth), A: int64(seq)})
 			c.requestNext(ctx)
 		}
 	})
@@ -149,6 +152,7 @@ func (c *cacheNode) serve(ctx *simnet.Context, from simnet.NodeID, m *fleetFetch
 	c.fullsServed += m.fulls
 	c.diffsServed += m.diffs
 	bytes := int64(m.fulls)*c.spec.DocBytes + int64(m.diffs)*c.spec.DiffBytes
+	ctx.Trace(obs.Event{Type: obs.EvServe, Peer: int(from), A: int64(m.fulls), B: int64(m.diffs)})
 	ctx.Send(from, &docBatch{fulls: m.fulls, diffs: m.diffs, bytes: bytes, link: link})
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"partialtor/internal/attack"
 	"partialtor/internal/chain"
+	"partialtor/internal/obs"
 	"partialtor/internal/sig"
 )
 
@@ -111,6 +112,11 @@ type Spec struct {
 	Seed int64
 	// RunLimit bounds the simulation (default FetchWindow + 30 min).
 	RunLimit time.Duration
+
+	// Tracer receives the run's observability events (nil = tracing off).
+	// Run stamps every event with the "dist" layer; recording never
+	// perturbs the simulation, so results are identical either way.
+	Tracer obs.Tracer
 }
 
 func (s Spec) withDefaults() Spec {

@@ -6,6 +6,7 @@ import (
 
 	"partialtor/internal/chain"
 	"partialtor/internal/client"
+	"partialtor/internal/obs"
 	"partialtor/internal/sig"
 	"partialtor/internal/simnet"
 )
@@ -328,6 +329,7 @@ func (f *fleetNode) receiveBatch(ctx *simnet.Context, from simnet.NodeID, m *doc
 func (f *fleetNode) accept(ctx *simnet.Context, n int) {
 	f.covered += n
 	f.points = append(f.points, CoveragePoint{At: ctx.Now(), Count: n})
+	ctx.Trace(obs.Event{Type: obs.EvCoverage, A: int64(n), B: int64(f.covered)})
 }
 
 // reject distrusts the serving cache and queues the batch's clients for a

@@ -2,6 +2,7 @@ package dircache
 
 import (
 	"partialtor/internal/attack"
+	"partialtor/internal/obs"
 	"partialtor/internal/simnet"
 )
 
@@ -15,12 +16,15 @@ func Run(spec Spec) (*Result, error) {
 	spec = spec.withDefaults()
 
 	net := simnet.New(simnet.Config{Seed: spec.Seed, Overhead: 64})
+	tracer := obs.WithLayer(spec.Tracer, "dist")
+	net.SetObs(tracer)
 
 	// Compile private copies of the plans so a spec whose Attacks slice is
 	// shared across concurrently running sweeps is never mutated here.
 	attacks := append([]attack.Plan(nil), spec.Attacks...)
 	for i := range attacks {
 		attacks[i].Compile()
+		attacks[i].Trace(tracer)
 	}
 
 	// Node layout: [0, A) authorities, [A, A+C) caches, [A+C, A+C+F) fleets.

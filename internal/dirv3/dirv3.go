@@ -23,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"partialtor/internal/obs"
 	"partialtor/internal/sig"
 	"partialtor/internal/simnet"
 	"partialtor/internal/vote"
@@ -196,6 +197,7 @@ func (a *Authority) Start(ctx *simnet.Context) {
 	a.votes[a.index] = a.doc
 	a.voteSigs[a.index] = signDoc(a.me, a.doc)
 	ctx.Logf("notice", "Time to vote.")
+	ctx.Trace(obs.Event{Type: obs.EvPhase, Label: "vote"})
 	alt := a.cfg.Equivocators[a.index]
 	for p := 0; p < ctx.N(); p++ {
 		if p == a.index {
@@ -256,6 +258,7 @@ func (a *Authority) acceptVote(ctx *simnet.Context, d *vote.Document, s sig.Sign
 	}
 	a.votes[idx] = d
 	a.voteSigs[idx] = s
+	ctx.Trace(obs.Event{Type: obs.EvVote, Peer: idx, A: int64(len(a.votes))})
 	if len(a.votes) == a.cfg.n() && a.voteFullAt == simnet.Never {
 		a.voteFullAt = ctx.Now()
 	}
@@ -284,6 +287,7 @@ func authorityAddr(i int) string { return fmt.Sprintf("100.0.0.%d:8080", i+1) }
 
 func (a *Authority) fetchVotes(ctx *simnet.Context) {
 	ctx.Logf("notice", "Time to fetch any votes that we're missing.")
+	ctx.Trace(obs.Event{Type: obs.EvPhase, Label: "fetch-votes"})
 	var missing []int
 	for i := 0; i < a.cfg.n(); i++ {
 		if _, ok := a.votes[i]; !ok {
@@ -331,11 +335,13 @@ func (a *Authority) logGiveUps(ctx *simnet.Context) {
 	sort.Ints(peers)
 	for _, p := range peers {
 		ctx.Logf("info", "connection_dir_client_request_failed(): Giving up downloading votes from %s", authorityAddr(p))
+		ctx.Trace(obs.Event{Type: obs.EvTimeout, Peer: p, Label: "vote-fetch"})
 	}
 }
 
 func (a *Authority) computeConsensus(ctx *simnet.Context) {
 	ctx.Logf("notice", "Time to compute a consensus.")
+	ctx.Trace(obs.Event{Type: obs.EvPhase, Label: "compute-consensus"})
 	majority := a.cfg.Majority()
 	if len(a.votes) < majority {
 		ctx.Logf("warn", "We don't have enough votes to generate a consensus: %d of %d",
@@ -362,6 +368,7 @@ func (a *Authority) computeConsensus(ctx *simnet.Context) {
 
 func (a *Authority) fetchSignatures(ctx *simnet.Context) {
 	ctx.Logf("notice", "Time to fetch any signatures that we're missing.")
+	ctx.Trace(obs.Event{Type: obs.EvPhase, Label: "fetch-signatures"})
 	for j := 0; j < a.cfg.n(); j++ {
 		if _, ok := a.sigs[j]; ok {
 			continue
@@ -376,6 +383,7 @@ func (a *Authority) fetchSignatures(ctx *simnet.Context) {
 }
 
 func (a *Authority) finish(ctx *simnet.Context) {
+	ctx.Trace(obs.Event{Type: obs.EvPhase, Label: "publish"})
 	if !a.computed {
 		ctx.Logf("warn", "No consensus was computed this period.")
 		return

@@ -41,6 +41,9 @@ type EntrySizeParams struct {
 	Round         time.Duration // default 150s
 	Seed          int64
 	Workers       int // sweep worker pool: 0 = all cores, 1 = serial
+	// OnCell, when set, observes sweep progress: called once per finished
+	// cell with the completion count, the grid size, and the cell's error.
+	OnCell func(done, total int, cellErr error)
 }
 
 // AblationEntrySize sweeps the current protocol's failure threshold across
@@ -63,7 +66,7 @@ func AblationEntrySize(ctx context.Context, p EntrySizeParams) (*EntrySizeResult
 	}
 	res := &EntrySizeResult{BandwidthMbit: p.BandwidthMbit, Relays: p.RelayCounts}
 	grid := sweep.MustNew(sweep.Ints("entry", p.EntrySizes...))
-	results, err := sweepE(ctx, grid, p.Workers, func(ctx context.Context, c sweep.Cell) (EntrySizeRow, error) {
+	results, err := sweepE(ctx, grid, sweep.Params{Workers: p.Workers, OnCell: p.OnCell}, func(ctx context.Context, c sweep.Cell) (EntrySizeRow, error) {
 		entry := c.Int("entry")
 		threshold := 0
 		for _, relays := range p.RelayCounts {
@@ -132,6 +135,9 @@ type DeltaParams struct {
 	Relays  int             // default 500
 	Seed    int64
 	Workers int // sweep worker pool: 0 = all cores, 1 = serial
+	// OnCell, when set, observes sweep progress: called once per finished
+	// cell with the completion count, the grid size, and the cell's error.
+	OnCell func(done, total int, cellErr error)
 }
 
 // AblationDelta sweeps Δ with one crashed authority (and, as control, with
@@ -148,7 +154,7 @@ func AblationDelta(ctx context.Context, p DeltaParams) (*DeltaResult, error) {
 		sweep.Of("crash", true, false),
 		sweep.Durations("delta", p.Deltas...),
 	)
-	results, err := sweepE(ctx, grid, p.Workers, func(_ context.Context, c sweep.Cell) (DeltaRow, error) {
+	results, err := sweepE(ctx, grid, sweep.Params{Workers: p.Workers, OnCell: p.OnCell}, func(_ context.Context, c sweep.Cell) (DeltaRow, error) {
 		delta := c.Duration("delta")
 		keys, docs := Inputs(Scenario{Relays: p.Relays, EntryPadding: -1, Seed: p.Seed}.withDefaults())
 		cfg := core.Config{Keys: keys, Docs: docs, Delta: delta, BaseTimeout: 10 * time.Second}
@@ -217,6 +223,9 @@ type TimeoutParams struct {
 	Relays       int             // default 400
 	Seed         int64
 	Workers      int // sweep worker pool: 0 = all cores, 1 = serial
+	// OnCell, when set, observes sweep progress: called once per finished
+	// cell with the completion count, the grid size, and the cell's error.
+	OnCell func(done, total int, cellErr error)
 }
 
 // AblationTimeout sweeps the pacemaker base timeout under an outage on the
@@ -233,7 +242,7 @@ func AblationTimeout(ctx context.Context, p TimeoutParams) (*TimeoutResult, erro
 	}
 	res := &TimeoutResult{Outage: p.Outage}
 	grid := sweep.MustNew(sweep.Durations("timeout", p.BaseTimeouts...))
-	results, err := sweepE(ctx, grid, p.Workers, func(ctx context.Context, c sweep.Cell) (TimeoutRow, error) {
+	results, err := sweepE(ctx, grid, sweep.Params{Workers: p.Workers, OnCell: p.OnCell}, func(ctx context.Context, c sweep.Cell) (TimeoutRow, error) {
 		bt := c.Duration("timeout")
 		plan := attack.Plan{Targets: attack.MajorityTargets(9), Start: 0, End: p.Outage, Residual: 0}
 		run, err := RunE(ctx, Scenario{

@@ -9,6 +9,7 @@ import (
 	"partialtor/internal/chain"
 	"partialtor/internal/client"
 	"partialtor/internal/dircache"
+	"partialtor/internal/obs"
 	"partialtor/internal/sig"
 )
 
@@ -151,6 +152,18 @@ func WithAvailability(p client.Policy) ExperimentOption {
 	return func(e *Experiment) error {
 		e.policy = p
 		e.avail = true
+		return nil
+	}
+}
+
+// WithTracer attaches an observability tracer to every phase of every
+// period: the consensus network's kernel and protocol events, the
+// distribution tier's cache and fleet events, and — when the Avail phase
+// runs — the final outage windows (obs.EvOutage, layer "avail"). A nil
+// tracer is a no-op option; recording never changes results.
+func WithTracer(t obs.Tracer) ExperimentOption {
+	return func(e *Experiment) error {
+		e.base.Tracer = t
 		return nil
 	}
 }
@@ -397,6 +410,7 @@ func (e *Experiment) Run(ctx context.Context) (*ExperimentResult, error) {
 		}
 		res.Availability = res.Timeline.Availability()
 		res.FirstOutage = res.Timeline.FirstOutage()
+		client.TraceTimeline(e.base.Tracer, res.Timeline)
 	}
 	return res, nil
 }

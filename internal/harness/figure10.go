@@ -36,6 +36,9 @@ type Figure10Params struct {
 	EntryPadding   int           // default calibrated
 	Seed           int64
 	Workers        int // sweep worker pool: 0 = all cores, 1 = serial
+	// OnCell, when set, observes sweep progress: called once per finished
+	// cell with the completion count, the grid size, and the cell's error.
+	OnCell func(done, total int, cellErr error)
 }
 
 // Figure10 measures the latency (or failure) of each protocol on every
@@ -67,7 +70,7 @@ func Figure10(ctx context.Context, p Figure10Params) (*Figure10Result, error) {
 		sweep.Floats("mbit", p.BandwidthsMbit...),
 		sweep.Of("protocol", p.Protocols...),
 	)
-	results, err := sweepE(ctx, grid, p.Workers, func(ctx context.Context, c sweep.Cell) (Fig10Cell, error) {
+	results, err := sweepE(ctx, grid, sweep.Params{Workers: p.Workers, OnCell: p.OnCell}, func(ctx context.Context, c sweep.Cell) (Fig10Cell, error) {
 		run, err := RunE(ctx, Scenario{
 			Protocol:     c.Value("protocol").(Protocol),
 			Relays:       c.Int("relays"),

@@ -36,6 +36,9 @@ type Figure11Params struct {
 	EntryPadding int           // default calibrated
 	Seed         int64
 	Workers      int // sweep worker pool: 0 = all cores, 1 = serial
+	// OnCell, when set, observes sweep progress: called once per finished
+	// cell with the completion count, the grid size, and the cell's error.
+	OnCell func(done, total int, cellErr error)
 }
 
 // Figure11 runs the ICPS protocol under a complete outage of the majority
@@ -55,7 +58,7 @@ func Figure11(ctx context.Context, p Figure11Params) (*Figure11Result, error) {
 	}
 	res := &Figure11Result{Outage: p.Outage}
 	grid := sweep.MustNew(sweep.Ints("relays", p.RelayCounts...))
-	results, err := sweepE(ctx, grid, p.Workers, func(ctx context.Context, c sweep.Cell) (Fig11Row, error) {
+	results, err := sweepE(ctx, grid, sweep.Params{Workers: p.Workers, OnCell: p.OnCell}, func(ctx context.Context, c sweep.Cell) (Fig11Row, error) {
 		relays := c.Int("relays")
 		plan := attack.FiveMinuteOutage(attack.MajorityTargets(9))
 		plan.End = p.Outage

@@ -16,8 +16,8 @@ import (
 // folds the first per-cell failure — a misconfigured cell, a cancelled
 // context — into one error, so every generator reports (result, error)
 // instead of panicking mid-sweep.
-func sweepE[T any](ctx context.Context, g sweep.Grid, workers int, fn func(context.Context, sweep.Cell) (T, error)) ([]sweep.Result[T], error) {
-	results := sweep.RunCtx(ctx, g, workers, fn)
+func sweepE[T any](ctx context.Context, g sweep.Grid, sp sweep.Params, fn func(context.Context, sweep.Cell) (T, error)) ([]sweep.Result[T], error) {
+	results := sweep.RunParams(ctx, g, sp, fn)
 	if err := sweep.FirstErr(results); err != nil {
 		return nil, fmt.Errorf("harness: %w", err)
 	}
@@ -147,6 +147,9 @@ type Figure7Params struct {
 	Precision    float64       // Mbit, default 0.25
 	Seed         int64
 	Workers      int // sweep worker pool: 0 = all cores, 1 = serial
+	// OnCell, when set, observes sweep progress: called once per finished
+	// cell with the completion count, the grid size, and the cell's error.
+	OnCell func(done, total int, cellErr error)
 }
 
 // Figure7 binary-searches, per relay count, the minimal bandwidth the five
@@ -173,7 +176,7 @@ func Figure7(ctx context.Context, p Figure7Params) (*Figure7Result, error) {
 	}
 	res := &Figure7Result{Residual: attack.ResidualUnderDDoS / 1e6}
 	grid := sweep.MustNew(sweep.Ints("relays", p.RelayCounts...))
-	results, err := sweepE(ctx, grid, p.Workers, func(ctx context.Context, c sweep.Cell) (Fig7Row, error) {
+	results, err := sweepE(ctx, grid, sweep.Params{Workers: p.Workers, OnCell: p.OnCell}, func(ctx context.Context, c sweep.Cell) (Fig7Row, error) {
 		relays := c.Int("relays")
 		succeeds := func(mbit float64) (bool, error) {
 			plan := attack.Plan{

@@ -12,6 +12,7 @@ import (
 
 	"partialtor/internal/attack"
 	"partialtor/internal/dircache"
+	"partialtor/internal/obs"
 	"partialtor/internal/simnet"
 )
 
@@ -92,7 +93,9 @@ func goldenAttacked(p Protocol, seed int64) Scenario {
 // goldenCompromised is the verification-path scenario: two equivocating
 // caches against chain-verifying fleets, exercising fork detection,
 // retraction and the re-fetch retry machinery.
-func goldenCompromised(p Protocol, seed int64) (*Experiment, error) {
+func goldenCompromised(p Protocol, seed int64, tracer obs.Tracer) (*Experiment, error) {
+	// WithScenario replaces the whole base scenario, so WithTracer must
+	// come after it (options layer in order).
 	return NewExperiment(
 		WithScenario(Scenario{
 			Protocol:     p,
@@ -113,6 +116,7 @@ func goldenCompromised(p Protocol, seed int64) (*Experiment, error) {
 			Mode:    attack.CompromiseEquivocate,
 		}),
 		WithVerifiedClients(),
+		WithTracer(tracer),
 	)
 }
 
@@ -175,12 +179,13 @@ func hashDistribution(w io.Writer, d *dircache.Result) {
 }
 
 // goldenDigest runs one corpus cell and returns the hex digest of its
-// observable output.
-func goldenDigest(t *testing.T, p Protocol, seed int64, compromised bool) string {
+// observable output. A non-nil tracer is attached to the run — the digest
+// must not change (the observability layer's zero-perturbation contract).
+func goldenDigest(t *testing.T, p Protocol, seed int64, compromised bool, tracer obs.Tracer) string {
 	t.Helper()
 	h := sha256.New()
 	if compromised {
-		exp, err := goldenCompromised(p, seed)
+		exp, err := goldenCompromised(p, seed, tracer)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -196,7 +201,9 @@ func goldenDigest(t *testing.T, p Protocol, seed int64, compromised bool) string
 		}
 		fmt.Fprintf(h, "forks=%d misled=%d\n", res.ForksDetected, res.MisledClients)
 	} else {
-		res, err := RunE(t.Context(), goldenAttacked(p, seed))
+		s := goldenAttacked(p, seed)
+		s.Tracer = tracer
+		res, err := RunE(t.Context(), s)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -207,6 +214,37 @@ func goldenDigest(t *testing.T, p Protocol, seed int64, compromised bool) string
 		hashDistribution(h, res.Distribution)
 	}
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestGoldenCorpusTracingNeutral re-runs corpus cells with a recording
+// tracer (and a detector teed in) and demands the exact pinned digests: the
+// observability layer must not perturb the simulation by a single byte, in
+// any protocol, attacked or compromised. It also demands a non-empty
+// recording — a trivially-passing nil pipeline would prove nothing.
+func TestGoldenCorpusTracingNeutral(t *testing.T) {
+	if os.Getenv("GOLDEN_RECORD") != "" {
+		t.Skip("recording digests; the nil-tracer pass owns the corpus")
+	}
+	for _, p := range []Protocol{Current, Synchronous, ICPS} {
+		for _, compromised := range []bool{false, true} {
+			kind := "attacked"
+			if compromised {
+				kind = "compromised"
+			}
+			name := fmt.Sprintf("%s/seed1/%s", p, kind)
+			t.Run(name, func(t *testing.T) {
+				rec := obs.NewRecorder(0)
+				tracer := obs.Tee(rec, obs.NewDetector(obs.DetectorConfig{}))
+				got := goldenDigest(t, p, 1, compromised, tracer)
+				if want := goldenKernelDigests[name]; got != want {
+					t.Errorf("recording tracer perturbed the kernel for %s:\n  got  %s\n  want %s", name, got, want)
+				}
+				if rec.Len() == 0 {
+					t.Fatalf("tracer attached but recorded nothing for %s", name)
+				}
+			})
+		}
+	}
 }
 
 // TestGoldenKernelCorpus checks every corpus cell against its pinned digest.
@@ -221,7 +259,7 @@ func TestGoldenKernelCorpus(t *testing.T) {
 				}
 				name := fmt.Sprintf("%s/seed%d/%s", p, seed, kind)
 				t.Run(name, func(t *testing.T) {
-					got := goldenDigest(t, p, seed, compromised)
+					got := goldenDigest(t, p, seed, compromised, nil)
 					if record {
 						fmt.Printf("\t%q: %q,\n", name, got)
 						return

@@ -38,6 +38,7 @@ import (
 	"partialtor/internal/attack"
 	"partialtor/internal/dircache"
 	"partialtor/internal/dirv3"
+	"partialtor/internal/obs"
 	"partialtor/internal/relay"
 	"partialtor/internal/sig"
 	"partialtor/internal/simnet"
@@ -112,6 +113,13 @@ type Scenario struct {
 	Seed int64
 	// RunLimit bounds the simulation; 0 derives a sensible limit.
 	RunLimit time.Duration
+	// Tracer receives the run's observability events (nil = tracing off).
+	// The protocol network's events carry the "consensus" layer, the
+	// distribution phase's the "dist" layer. Recording never perturbs the
+	// simulation — results are bit-identical with and without a tracer.
+	// When the tracer derives detections (obs.Detector, or an obs.Tee
+	// containing one), RunE surfaces them as RunResult.Detections.
+	Tracer obs.Tracer
 }
 
 func (s Scenario) withDefaults() Scenario {
@@ -156,6 +164,9 @@ type RunResult struct {
 	Distribution *dircache.Result
 	// Protocol-specific result for detailed inspection.
 	Detail any
+	// Detections are the attack onsets the scenario's tracer flagged (set
+	// when Scenario.Tracer is an obs.DetectionSource; nil otherwise).
+	Detections []obs.Detection
 
 	// consensus is the agreed document the driver extracted; see Consensus.
 	consensus *vote.Consensus
@@ -241,6 +252,8 @@ func Inputs(s Scenario) ([]*sig.KeyPair, []*vote.Document) {
 // attack plan applied.
 func buildNetwork(s Scenario) (*simnet.Network, []*simnet.Profile, []*simnet.Profile) {
 	net := simnet.New(simnet.Config{Seed: s.Seed, Overhead: 128})
+	tracer := obs.WithLayer(s.Tracer, "consensus")
+	net.SetObs(tracer)
 	ups := make([]*simnet.Profile, s.N)
 	downs := make([]*simnet.Profile, s.N)
 	// Compile a private copy so a plan shared across concurrently running
@@ -250,6 +263,7 @@ func buildNetwork(s Scenario) (*simnet.Network, []*simnet.Profile, []*simnet.Pro
 		pc := *s.Attack
 		pc.Compile()
 		plan = &pc
+		plan.Trace(tracer)
 	}
 	for i := 0; i < s.N; i++ {
 		ups[i] = simnet.NewProfile(s.Bandwidth)
@@ -363,6 +377,9 @@ func RunE(ctx context.Context, s Scenario) (*RunResult, error) {
 		}
 		res.Distribution = dres
 	}
+	if ds, ok := s.Tracer.(obs.DetectionSource); ok {
+		res.Detections = ds.Detections()
+	}
 	return res, nil
 }
 
@@ -388,6 +405,9 @@ func effectiveDistribution(s Scenario) (dircache.Spec, error) {
 	spec := *s.Distribution
 	if spec.Seed == 0 {
 		spec.Seed = s.Seed
+	}
+	if spec.Tracer == nil {
+		spec.Tracer = s.Tracer
 	}
 	if spec.Authorities == 0 {
 		spec.Authorities = s.N

@@ -39,6 +39,9 @@ type Table1Params struct {
 	EntryPadding int
 	Seed         int64
 	Workers      int // sweep worker pool: 0 = all cores, 1 = serial
+	// OnCell, when set, observes sweep progress: called once per finished
+	// cell with the completion count, the grid size, and the cell's error.
+	OnCell func(done, total int, cellErr error)
 }
 
 var table1Design = map[Protocol][3]string{
@@ -61,7 +64,7 @@ func Table1(ctx context.Context, p Table1Params) (*Table1Result, error) {
 	}
 	res := &Table1Result{Relays: p.Relays, BandwidthMbit: p.Bandwidth / 1e6}
 	grid := sweep.MustNew(sweep.Of("protocol", Current, Synchronous, ICPS))
-	results, err := sweepE(ctx, grid, p.Workers, func(ctx context.Context, c sweep.Cell) (Table1Row, error) {
+	results, err := sweepE(ctx, grid, sweep.Params{Workers: p.Workers, OnCell: p.OnCell}, func(ctx context.Context, c sweep.Cell) (Table1Row, error) {
 		proto := c.Value("protocol").(Protocol)
 		run, err := RunE(ctx, Scenario{
 			Protocol:     proto,

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"partialtor/internal/obs"
 	"partialtor/internal/sig"
 	"partialtor/internal/simnet"
 )
@@ -97,6 +98,7 @@ func (r *Replica) enterView(ctx *simnet.Context, v int) {
 	r.timerGen++
 	gen := r.timerGen
 	ctx.After(r.cfg.viewTimeout(v), func() { r.onLocalTimeout(ctx, v, gen) })
+	ctx.Trace(obs.Event{Type: obs.EvPhase, Label: "view", A: int64(v)})
 	if r.cfg.OnEnterView != nil {
 		r.cfg.OnEnterView(ctx, r.index, v)
 	}
@@ -207,6 +209,7 @@ func (r *Replica) castVote(ctx *simnet.Context, view, phase int, digest sig.Dige
 		return
 	}
 	r.votedPhase[view][phase] = true
+	ctx.Trace(obs.Event{Type: obs.EvVote, A: int64(view), B: int64(phase)})
 	s := r.me.Sign(voteDomain(phase), qcInput(phase, view, digest))
 	v := &MsgVote{View: view, Phase: phase, Digest: digest, Sig: s}
 	leader := r.cfg.Leader(view)
@@ -317,6 +320,7 @@ func (r *Replica) onLocalTimeout(ctx *simnet.Context, view int, gen int) {
 	}
 	r.sentTimout[view] = true
 	ctx.Logf("info", "hotstuff: view %d timed out", view)
+	ctx.Trace(obs.Event{Type: obs.EvTimeout, A: int64(view), Label: "pacemaker"})
 	m := &MsgTimeout{View: view, HighQC: r.lockedQC, Sig: r.me.Sign(domainTimeout, tcInput(view))}
 	ctx.Broadcast(m)
 	r.handleTimeout(ctx, m)

@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// chromeEvent is one entry of the Chrome trace_event JSON array.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Cat  string         `json:"cat,omitempty"`
+	ID   int64          `json:"id,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace converts an event stream into Chrome trace_event JSON
+// (the format chrome://tracing and Perfetto open directly) and writes it to
+// w. Layers become processes, nodes become threads. Phase and attack events
+// become duration slices, pipe samples and coverage ticks become counter
+// tracks, transfers become async slices spanning uplink to delivery, and
+// the remaining protocol events become thread-scoped instants.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	c := &chromeConv{
+		pids:      map[string]int{},
+		tids:      map[[2]int]bool{},
+		openPhase: map[[2]int]string{},
+	}
+	for _, ev := range events {
+		c.add(ev)
+	}
+	c.closeOpenPhases()
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"traceEvents":[`); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(bw)
+	enc.SetEscapeHTML(false)
+	for i, ce := range c.out {
+		if i > 0 {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		// Encoder writes a trailing newline, which doubles as the array
+		// element separator's whitespace.
+		if err := enc.Encode(ce); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+type chromeConv struct {
+	out       []chromeEvent
+	pids      map[string]int
+	pidNames  []string
+	tids      map[[2]int]bool
+	openPhase map[[2]int]string
+	maxTs     float64
+}
+
+// pid interns a layer name as a process id, emitting the process_name
+// metadata event on first sight.
+func (c *chromeConv) pid(layer string) int {
+	if layer == "" {
+		layer = "sim"
+	}
+	if id, ok := c.pids[layer]; ok {
+		return id
+	}
+	id := len(c.pids) + 1
+	c.pids[layer] = id
+	c.pidNames = append(c.pidNames, layer)
+	c.out = append(c.out, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: id,
+		Args: map[string]any{"name": layer},
+	})
+	return id
+}
+
+// tid registers a (pid, node) thread, naming it on first sight.
+func (c *chromeConv) tid(pid, node int) int {
+	key := [2]int{pid, node}
+	if !c.tids[key] {
+		c.tids[key] = true
+		c.out = append(c.out, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: node,
+			Args: map[string]any{"name": "node " + strconv.Itoa(node)},
+		})
+	}
+	return node
+}
+
+func (c *chromeConv) add(ev Event) {
+	ts := float64(ev.At.Microseconds())
+	if ts > c.maxTs {
+		c.maxTs = ts
+	}
+	pid := c.pid(ev.Layer)
+	tid := c.tid(pid, ev.Node)
+	key := [2]int{pid, tid}
+	switch ev.Type {
+	case EvPhase:
+		// A phase slice runs until the node's next phase boundary.
+		if open := c.openPhase[key]; open != "" {
+			c.out = append(c.out, chromeEvent{Name: open, Ph: "E", Ts: ts, Pid: pid, Tid: tid})
+		}
+		c.openPhase[key] = ev.Label
+		c.out = append(c.out, chromeEvent{
+			Name: ev.Label, Ph: "B", Ts: ts, Pid: pid, Tid: tid, Cat: "phase",
+			Args: map[string]any{"n": ev.A},
+		})
+	case EvAttackOn:
+		c.out = append(c.out, chromeEvent{
+			Name: "flood", Ph: "B", Ts: ts, Pid: pid, Tid: tid, Cat: "attack",
+			Args: map[string]any{"residual_bps": ev.F, "tier": ev.Label},
+		})
+	case EvAttackOff:
+		c.out = append(c.out, chromeEvent{Name: "flood", Ph: "E", Ts: ts, Pid: pid, Tid: tid, Cat: "attack"})
+	case EvOutage:
+		c.out = append(c.out, chromeEvent{
+			Name: "outage", Ph: "B", Ts: ts, Pid: pid, Tid: tid, Cat: "avail",
+		}, chromeEvent{
+			Name: "outage", Ph: "E", Ts: float64(ev.B) / 1e3, Pid: pid, Tid: tid, Cat: "avail",
+		})
+	case EvTransferStart:
+		c.out = append(c.out, chromeEvent{
+			Name: ev.Label, Ph: "b", Ts: ts, Pid: pid, Tid: tid, Cat: "transfer", ID: ev.A,
+			Args: map[string]any{"bytes": ev.B, "to": ev.Peer},
+		})
+	case EvTransferEnd:
+		c.out = append(c.out, chromeEvent{
+			Name: ev.Label, Ph: "e", Ts: ts, Pid: pid, Tid: tid, Cat: "transfer", ID: ev.A,
+		})
+	case EvPipeSample:
+		c.out = append(c.out, chromeEvent{
+			Name: "queue " + ev.Label, Ph: "C", Ts: ts, Pid: pid, Tid: tid,
+			Args: map[string]any{"transfers": ev.A},
+		}, chromeEvent{
+			Name: "moved " + ev.Label, Ph: "C", Ts: ts, Pid: pid, Tid: tid,
+			Args: map[string]any{"bits": ev.B},
+		})
+	case EvCapChange:
+		c.out = append(c.out, chromeEvent{
+			Name: "cap " + ev.Label, Ph: "C", Ts: ts, Pid: pid, Tid: tid,
+			Args: map[string]any{"bps": ev.F},
+		})
+	case EvCoverage:
+		c.out = append(c.out, chromeEvent{
+			Name: "covered", Ph: "C", Ts: ts, Pid: pid, Tid: tid,
+			Args: map[string]any{"clients": ev.B},
+		})
+	default:
+		c.out = append(c.out, chromeEvent{
+			Name: ev.Type.String(), Ph: "i", Ts: ts, Pid: pid, Tid: tid, S: "t", Cat: "protocol",
+			Args: map[string]any{"peer": ev.Peer, "a": ev.A, "b": ev.B, "label": ev.Label},
+		})
+	}
+}
+
+// closeOpenPhases ends every still-open phase slice at the trace's end so
+// viewers don't render them as zero-length. Keys are sorted so the output
+// is deterministic.
+func (c *chromeConv) closeOpenPhases() {
+	keys := make([][2]int, 0, len(c.openPhase))
+	for key, name := range c.openPhase {
+		if name != "" {
+			keys = append(keys, key)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, key := range keys {
+		c.out = append(c.out, chromeEvent{Name: c.openPhase[key], Ph: "E", Ts: c.maxTs, Pid: key[0], Tid: key[1]})
+	}
+}

@@ -1,0 +1,264 @@
+package obs
+
+import (
+	"math"
+	"time"
+)
+
+// DetectorConfig tunes the Danner-style detector. The zero value selects
+// the defaults noted per field.
+type DetectorConfig struct {
+	// Window is the rolling baseline length in samples (default 30). At
+	// the kernel's one-second sample cadence that is a 30-second memory —
+	// long enough to absorb a protocol round's burstiness, short enough
+	// that a five-minute flood dominates it.
+	Window int
+	// K is the deviation threshold in standard deviations (default 3).
+	K float64
+	// M is how many consecutive deviating samples flag an attack
+	// (default 3) — a single queued burst is normal, a sustained one is
+	// not.
+	M int
+	// MinSamples is the minimum baseline size before any flagging
+	// (default 10): a victim needs to have seen healthy traffic to know
+	// what unhealthy looks like.
+	MinSamples int
+	// QueueFloor is the standard-deviation floor for the queue-depth
+	// signal (default 2 transfers). An idle pipe's baseline is all zeros
+	// with zero variance; without a floor the first queued message would
+	// be an "attack".
+	QueueFloor float64
+	// RateFloor is the standard-deviation floor for the throughput signal
+	// in bits per sample (default 1e6).
+	RateFloor float64
+}
+
+func (c DetectorConfig) withDefaults() DetectorConfig {
+	if c.Window <= 0 {
+		c.Window = 30
+	}
+	if c.K == 0 {
+		c.K = 3
+	}
+	if c.M <= 0 {
+		c.M = 3
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 10
+	}
+	if c.QueueFloor == 0 {
+		c.QueueFloor = 2
+	}
+	if c.RateFloor == 0 {
+		c.RateFloor = 1e6
+	}
+	return c
+}
+
+// Detection is one flagged attack onset, reported from the victim's chair:
+// the node saw its own pipes deviate from their rolling baseline, without
+// any knowledge of the attack plan. Onset and Latency relate the flag to
+// the plan's ground truth when the trace carries attack events.
+type Detection struct {
+	Layer  string
+	Node   int
+	Signal string // "queue-depth" (sustained high) or "throughput" (sustained low)
+	// At is the simulation time of the flagging sample.
+	At time.Duration
+	// Onset is the matching attack plan's start, or -1 when the trace
+	// carries no attack event for this node.
+	Onset time.Duration
+	// Latency is At - Onset, or -1 when Onset is unknown.
+	Latency time.Duration
+}
+
+// Detector consumes the metrics stream as a Tracer and flags attack onsets
+// Danner-style: per node and pipe direction it keeps a rolling baseline
+// (mean/std over the last Window samples) of queue depth and throughput,
+// and flags when M consecutive samples deviate by more than K standard
+// deviations — queue depth deviating high, throughput deviating low while
+// the pipe's queue shows demand. Each (node, direction, signal) flags at
+// most once; detection latency is measured against the EvAttackOn events
+// in the same stream.
+//
+// Like every Tracer, a Detector observes without perturbing: it keeps all
+// state internally and never touches the simulation.
+type Detector struct {
+	cfg    DetectorConfig
+	states map[detKey]*baseline
+	onsets []Event
+	dets   []Detection
+}
+
+type detKey struct {
+	layer  string
+	node   int
+	dir    string
+	signal uint8 // 0 = queue depth, 1 = throughput
+}
+
+// baseline is one signal's rolling window with incrementally maintained
+// sum and sum of squares.
+type baseline struct {
+	win     []float64
+	next    int
+	full    bool
+	sum     float64
+	sumSq   float64
+	streak  int
+	flagged bool
+}
+
+func (b *baseline) count() int {
+	if b.full {
+		return len(b.win)
+	}
+	return b.next
+}
+
+func (b *baseline) meanStd() (float64, float64) {
+	n := float64(b.count())
+	mean := b.sum / n
+	variance := b.sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, math.Sqrt(variance)
+}
+
+func (b *baseline) push(x float64) {
+	if b.full {
+		old := b.win[b.next]
+		b.sum -= old
+		b.sumSq -= old * old
+		b.win[b.next] = x
+	} else {
+		b.win[b.next] = x
+	}
+	b.sum += x
+	b.sumSq += x * x
+	b.next++
+	if b.next == len(b.win) {
+		b.next = 0
+		b.full = true
+	}
+}
+
+// NewDetector builds a detector (zero cfg = defaults).
+func NewDetector(cfg DetectorConfig) *Detector {
+	return &Detector{cfg: cfg.withDefaults(), states: make(map[detKey]*baseline)}
+}
+
+// Event feeds one trace event into the detector. Only EvPipeSample and
+// EvAttackOn are consumed; everything else passes through untouched (tee
+// the detector with a recorder to keep the full stream).
+func (d *Detector) Event(ev Event) {
+	switch ev.Type {
+	case EvAttackOn:
+		d.onsets = append(d.onsets, ev)
+	case EvPipeSample:
+		d.sample(ev, 0, float64(ev.A), d.cfg.QueueFloor, false)
+		d.sample(ev, 1, float64(ev.B), d.cfg.RateFloor, true)
+	}
+}
+
+// sample checks one signal value against its baseline, then admits it.
+// low selects deviate-low semantics (throughput collapses under a flood);
+// the throughput signal additionally requires queued demand — an idle pipe
+// moving nothing is not an attack.
+func (d *Detector) sample(ev Event, signal uint8, x, floor float64, low bool) {
+	key := detKey{layer: ev.Layer, node: ev.Node, dir: ev.Label, signal: signal}
+	b := d.states[key]
+	if b == nil {
+		b = &baseline{win: make([]float64, d.cfg.Window)}
+		d.states[key] = b
+	}
+	if b.count() >= d.cfg.MinSamples && !b.flagged {
+		mean, std := b.meanStd()
+		if std < floor {
+			std = floor
+		}
+		deviates := x > mean+d.cfg.K*std
+		if low {
+			deviates = x < mean-d.cfg.K*std && ev.A > 0
+		}
+		if deviates {
+			b.streak++
+			if b.streak >= d.cfg.M {
+				b.flagged = true
+				d.flag(ev, signal)
+			}
+		} else {
+			b.streak = 0
+		}
+		// A deviating sample is not admitted into the baseline: under a
+		// sustained flood the window would otherwise learn the attack as
+		// the new normal before the streak completes.
+		if deviates {
+			return
+		}
+	}
+	b.push(x)
+}
+
+func (d *Detector) flag(ev Event, signal uint8) {
+	det := Detection{
+		Layer:   ev.Layer,
+		Node:    ev.Node,
+		Signal:  "queue-depth",
+		At:      ev.At,
+		Onset:   -1,
+		Latency: -1,
+	}
+	if signal == 1 {
+		det.Signal = "throughput"
+	}
+	if onset, ok := d.onsetFor(ev); ok {
+		det.Onset = onset
+		det.Latency = ev.At - onset
+	}
+	d.dets = append(d.dets, det)
+}
+
+// onsetFor finds the ground-truth attack onset to score a flag against:
+// the latest EvAttackOn at or before the flag, preferring an exact
+// (layer, node) match, then a layer match, then any onset.
+func (d *Detector) onsetFor(ev Event) (time.Duration, bool) {
+	best, bestRank := time.Duration(-1), -1
+	for _, on := range d.onsets {
+		if on.At > ev.At {
+			continue
+		}
+		rank := 0
+		if on.Layer == ev.Layer {
+			rank = 1
+			if on.Node == ev.Node {
+				rank = 2
+			}
+		}
+		if rank > bestRank || (rank == bestRank && on.At > best) {
+			best, bestRank = on.At, rank
+		}
+	}
+	return best, bestRank >= 0
+}
+
+// Detections returns the attacks flagged so far, in flag order.
+func (d *Detector) Detections() []Detection {
+	out := make([]Detection, len(d.dets))
+	copy(out, d.dets)
+	return out
+}
+
+// First returns the earliest detection by flag time (ok = false when
+// nothing was flagged).
+func First(dets []Detection) (Detection, bool) {
+	var first Detection
+	ok := false
+	for _, det := range dets {
+		if !ok || det.At < first.At {
+			first, ok = det, true
+		}
+	}
+	return first, ok
+}

@@ -130,3 +130,40 @@ func BenchmarkNetworkBroadcast(b *testing.B) {
 		}
 	}
 }
+
+// nullHandler ignores everything it receives.
+type nullHandler struct{}
+
+func (nullHandler) Start(*Context)                    {}
+func (nullHandler) Deliver(*Context, NodeID, Message) {}
+
+func TestSendPathNilTracerAllocFree(t *testing.T) {
+	// The observability layer's zero-cost contract: with no tracer
+	// installed, the full three-leg send path — uplink contention,
+	// propagation, downlink contention, delivery — allocates nothing in
+	// steady state. The transit pool and pipe scratch absorb per-message
+	// state; the nil-tracer guard must stay a single untaken branch.
+	net := New(Config{Latency: fixedLatency(time.Millisecond)})
+	net.AddNode(nullHandler{}, NewProfile(1e9), NewProfile(1e9))
+	net.AddNode(nullHandler{}, NewProfile(1e9), NewProfile(1e9))
+	net.Start()
+	var msg Message = testMsg{size: 4096, kind: "t"}
+	now := time.Duration(0)
+	step := func() {
+		for j := 0; j < 8; j++ {
+			net.send(0, 1, msg)
+		}
+		now += time.Second
+		net.Run(now)
+	}
+	// Warm the transit pool, pipe scratch and event heap capacity.
+	for i := 0; i < 4; i++ {
+		step()
+	}
+	if allocs := testing.AllocsPerRun(100, step); allocs != 0 {
+		t.Fatalf("nil-tracer send path allocated %.1f times per burst, want 0", allocs)
+	}
+	if got := net.Stats().MessagesDelivered; got == 0 {
+		t.Fatal("no messages delivered")
+	}
+}

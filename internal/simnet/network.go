@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"partialtor/internal/obs"
 )
 
 // Config parameterizes a Network.
@@ -46,6 +48,11 @@ type node struct {
 	log      []LogEntry
 	sent     int64
 	received int64
+
+	// Meter cursors for the observability sampler: the cumulative moved-bits
+	// reading at the previous sample, per pipe direction.
+	upMovedPrev   float64
+	downMovedPrev float64
 }
 
 // Network wires nodes, pipes and the scheduler together.
@@ -59,6 +66,21 @@ type Network struct {
 	stats   Stats
 	started bool
 	tracer  func(ev string, at time.Duration, from, to NodeID, m Message)
+
+	// obs is the typed event tracer (nil = tracing disabled). Every emit
+	// site guards on the nil check, so the disabled path costs one branch.
+	obs obs.Tracer
+	// obsID numbers traced transfers so a start/end pair can be correlated;
+	// it only advances while obs is installed.
+	obsID int64
+	// sampleEvery is the metrics sample cadence (default one second).
+	sampleEvery time.Duration
+	sampleFn    func() // bound once; the sampler reschedules without allocating
+
+	// freeTransit is the pool of transit records: one value carries a
+	// message across its three legs (uplink, latency, downlink), and is
+	// recycled at delivery — the send path allocates only to grow the pool.
+	freeTransit *transit
 
 	// Per-kind accounting is interned: Kind() strings map to dense indices
 	// once, and the per-send hot path does two array increments instead of
@@ -153,6 +175,8 @@ func (n *Network) AddNode(h Handler, up, down *Profile) NodeID {
 		down:    newPipe(n.sched, down),
 	}
 	nd.ctx = &Context{net: n, id: id}
+	nd.up.metered = n.obs != nil
+	nd.down.metered = n.obs != nil
 	n.nodes = append(n.nodes, nd)
 	return id
 }
@@ -171,6 +195,28 @@ func (n *Network) SetTracer(f func(ev string, at time.Duration, from, to NodeID,
 	n.tracer = f
 }
 
+// SetObs installs the typed event tracer (nil disables tracing) and turns
+// on the per-pipe byte meters it samples. Install before Start: the
+// sampler and the capacity-schedule events are wired at network start.
+//
+// Tracing is observation only — the tracer must never mutate simulator
+// state — so a run's outcome is bit-identical with and without it.
+func (n *Network) SetObs(t obs.Tracer) {
+	n.obs = t
+	for _, nd := range n.nodes {
+		nd.up.metered = t != nil
+		nd.down.metered = t != nil
+	}
+}
+
+// Obs returns the installed typed event tracer (nil when disabled). Runner
+// layers use it to emit their own events into the same stream.
+func (n *Network) Obs() obs.Tracer { return n.obs }
+
+// SetSampleEvery overrides the metrics sample cadence (default one
+// second). Call before Start.
+func (n *Network) SetSampleEvery(d time.Duration) { n.sampleEvery = d }
+
 // Start invokes every handler's Start at time zero.
 func (n *Network) Start() {
 	if n.started {
@@ -181,6 +227,57 @@ func (n *Network) Start() {
 		nd := nd
 		n.sched.At(0, func() { nd.handler.Start(nd.ctx) })
 	}
+	if n.obs != nil {
+		// Profiles are precompiled (attack throttles included), so the full
+		// capacity schedule is known now: emit it once instead of hooking
+		// the fluid model's segment walk.
+		for _, nd := range n.nodes {
+			id := int(nd.id)
+			nd.up.prof.Each(func(at time.Duration, rate float64) {
+				n.obs.Event(obs.Event{Type: obs.EvCapChange, At: at, Node: id, F: rate, Label: "up"})
+			})
+			nd.down.prof.Each(func(at time.Duration, rate float64) {
+				n.obs.Event(obs.Event{Type: obs.EvCapChange, At: at, Node: id, F: rate, Label: "down"})
+			})
+		}
+		if n.sampleEvery <= 0 {
+			n.sampleEvery = time.Second
+		}
+		n.sampleFn = n.sample
+		n.sched.At(n.sampleEvery, n.sampleFn)
+	}
+}
+
+// sample emits one EvPipeSample per pipe direction per node, then
+// reschedules itself — unless the event queue has drained, so a finished
+// run is not kept alive just to keep sampling. Sampling only reads pipe
+// state; queue depths are exact, moved-bits deltas are accounted up to the
+// pipe's last activity (the fluid model advances lazily, and forcing an
+// advance here would perturb its floating-point step boundaries).
+func (n *Network) sample() {
+	now := n.sched.Now()
+	interval := seconds(n.sampleEvery)
+	for _, nd := range n.nodes {
+		n.samplePipe(nd, nd.up, &nd.upMovedPrev, "up", now, interval)
+		n.samplePipe(nd, nd.down, &nd.downMovedPrev, "down", now, interval)
+	}
+	if n.sched.Pending() == 0 {
+		return
+	}
+	n.sched.At(addDur(now, n.sampleEvery), n.sampleFn)
+}
+
+func (n *Network) samplePipe(nd *node, p *pipe, prev *float64, dir string, now time.Duration, interval float64) {
+	moved := p.moved - *prev
+	*prev = p.moved
+	util := 0.0
+	if rate := p.prof.RateAt(now); rate > 0 {
+		util = moved / (rate * interval)
+	}
+	n.obs.Event(obs.Event{
+		Type: obs.EvPipeSample, At: now, Node: int(nd.id),
+		A: int64(p.queued()), B: int64(moved), F: util, Label: dir,
+	})
 }
 
 // Run starts the network (if needed) and executes events until the limit.
@@ -228,20 +325,85 @@ func (n *Network) send(from, to NodeID, m Message) {
 	if n.delay != nil {
 		lat += n.delay(from, to, m)
 	}
-	src, dst := n.nodes[from], n.nodes[to]
-	src.up.enqueue(size, linkCap, func(upDone time.Duration) {
-		n.sched.At(addDur(upDone, lat), func() {
-			dst.down.enqueue(size, linkCap, func(at time.Duration) {
-				n.stats.MessagesDelivered++
-				n.stats.BytesDelivered += size
-				dst.received += size
-				if n.tracer != nil {
-					n.tracer("deliver", at, from, to, m)
-				}
-				dst.handler.Deliver(dst.ctx, from, m)
-			})
+	t := n.allocTransit()
+	t.from, t.to, t.msg = from, to, m
+	t.size, t.linkCap, t.lat = size, linkCap, lat
+	if n.obs != nil {
+		n.obsID++
+		t.id = n.obsID
+		n.obs.Event(obs.Event{
+			Type: obs.EvTransferStart, At: n.sched.Now(), Node: int(from), Peer: int(to),
+			A: t.id, B: size, Label: m.Kind(),
 		})
-	})
+	}
+	n.nodes[from].up.enqueueC(size, linkCap, t)
+}
+
+// transit carries one message across the transport's three legs — uplink
+// contention, propagation latency, downlink contention — as a single pooled
+// value advanced through the scheduler's completion path. It replaces the
+// three per-send closures that were the transport's last per-message
+// garbage; its event pushes mirror the closure chain exactly, so the
+// executed event sequence (and with it every golden digest) is unchanged.
+type transit struct {
+	net      *Network
+	from, to NodeID
+	msg      Message
+	size     int64
+	linkCap  float64
+	lat      time.Duration
+	id       int64 // obs transfer id; 0 while tracing is disabled
+	stage    uint8
+	next     *transit // pool free list
+}
+
+func (t *transit) complete(at time.Duration) {
+	switch t.stage {
+	case 0: // uplink drained: propagate
+		t.stage = 1
+		t.net.sched.atCompletion(addDur(at, t.lat), t)
+	case 1: // arrived: contend for the receiver's downlink
+		t.stage = 2
+		t.net.nodes[t.to].down.enqueueC(t.size, t.linkCap, t)
+	default: // downlink drained: deliver
+		n := t.net
+		from, to, m, size, id := t.from, t.to, t.msg, t.size, t.id
+		n.releaseTransit(t)
+		n.stats.MessagesDelivered++
+		n.stats.BytesDelivered += size
+		dst := n.nodes[to]
+		dst.received += size
+		if n.tracer != nil {
+			n.tracer("deliver", at, from, to, m)
+		}
+		if n.obs != nil {
+			n.obs.Event(obs.Event{
+				Type: obs.EvTransferEnd, At: at, Node: int(from), Peer: int(to),
+				A: id, B: size, Label: m.Kind(),
+			})
+		}
+		dst.handler.Deliver(dst.ctx, from, m)
+	}
+}
+
+func (n *Network) allocTransit() *transit {
+	if t := n.freeTransit; t != nil {
+		n.freeTransit = t.next
+		t.next = nil
+		return t
+	}
+	return &transit{net: n}
+}
+
+// releaseTransit returns a delivered transit to the pool. The message
+// reference is dropped so the pool never pins payloads; the caller copies
+// every field it still needs before releasing.
+func (n *Network) releaseTransit(t *transit) {
+	t.msg = nil
+	t.id = 0
+	t.stage = 0
+	t.next = n.freeTransit
+	n.freeTransit = t
 }
 
 // NodeLog returns the protocol log of a node.
@@ -283,6 +445,18 @@ func (c *Context) At(t time.Duration, fn func()) { c.net.sched.At(t, fn) }
 
 // Rand returns the deterministic network RNG.
 func (c *Context) Rand() *rand.Rand { return c.net.rng }
+
+// Trace emits a typed observability event on behalf of this node. The
+// event's At and Node fields are stamped here; the caller fills the rest.
+// With tracing disabled (the default) the call is one branch.
+func (c *Context) Trace(ev obs.Event) {
+	if c.net.obs == nil {
+		return
+	}
+	ev.At = c.net.sched.Now()
+	ev.Node = int(c.id)
+	c.net.obs.Event(ev)
+}
 
 // Logf appends a line to the node's protocol log.
 func (c *Context) Logf(level, format string, args ...any) {

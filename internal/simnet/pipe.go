@@ -10,11 +10,14 @@ import (
 // absorbs float rounding in the fluid model.
 const epsBits = 0.5
 
-// transfer is one in-flight transmission on a pipe.
+// transfer is one in-flight transmission on a pipe. Exactly one of done
+// and c is set: done is the closure form, c the pooled completion-object
+// form the transport's transit records use.
 type transfer struct {
 	remaining float64 // bits still to move
 	maxRate   float64 // per-transfer cap in bits/s; <= 0 means uncapped
 	done      func(at time.Duration)
+	c         completion
 }
 
 // effCap returns the effective per-transfer rate cap (Inf when uncapped).
@@ -48,6 +51,13 @@ type pipe struct {
 	rem    []float64 // scratch: nextCompletion's forward-simulated bits
 	idxMap []int     // scratch: old->new index map for compactions
 
+	// metered enables the observability meter: advance then accumulates the
+	// bits actually moved into moved. Off (the default) the meter costs one
+	// branch per segment step and nothing else; the samples never feed back
+	// into the fluid model, so metering cannot perturb the simulation.
+	metered bool
+	moved   float64 // cumulative bits moved while metered
+
 	wakeFn func(time.Duration) // p.wake, bound once so reschedule never allocates
 }
 
@@ -77,13 +87,27 @@ func (p *pipe) insert(t transfer) {
 // enqueue adds a transfer of the given size; done fires (via the scheduler)
 // when the last bit has moved.
 func (p *pipe) enqueue(bytes int64, maxRate float64, done func(at time.Duration)) {
+	p.add(transfer{remaining: sizeBits(bytes), maxRate: maxRate, done: done})
+}
+
+// enqueueC is enqueue with a completion object in place of the closure.
+func (p *pipe) enqueueC(bytes int64, maxRate float64, c completion) {
+	p.add(transfer{remaining: sizeBits(bytes), maxRate: maxRate, c: c})
+}
+
+func (p *pipe) add(t transfer) {
 	p.advance(p.sched.Now())
+	p.insert(t)
+	p.reschedule()
+}
+
+// sizeBits converts a byte count to transferable bits.
+func sizeBits(bytes int64) float64 {
 	bits := float64(bytes) * 8
 	if bits < 1 {
 		bits = 1 // zero-size messages still occupy the pipe for an instant
 	}
-	p.insert(transfer{remaining: bits, maxRate: maxRate, done: done})
-	p.reschedule()
+	return bits
 }
 
 // queued reports the number of in-flight transfers (for tests/metrics).
@@ -193,6 +217,11 @@ func (p *pipe) advance(now time.Duration) {
 		for i := range p.active {
 			p.active[i].remaining -= rates[i] * stepSec
 		}
+		if p.metered {
+			for i := range p.active {
+				p.moved += rates[i] * stepSec
+			}
+		}
 		p.last += step
 		p.collectDone()
 	}
@@ -220,7 +249,11 @@ func (p *pipe) collectDone() {
 			if sn := p.sched.Now(); at < sn {
 				at = sn
 			}
-			p.sched.atTimed(at, t.done)
+			if t.c != nil {
+				p.sched.atCompletion(at, t.c)
+			} else {
+				p.sched.atTimed(at, t.done)
+			}
 			if t.maxRate > 0 {
 				p.capped--
 			}

@@ -82,6 +82,16 @@ func (p *Profile) nextChange(t time.Duration) time.Duration {
 	return p.points[i].at
 }
 
+// Each calls fn for every breakpoint in order: from instant at onward the
+// rate is rate, until the next breakpoint. The observability layer walks
+// profiles once at network start to emit the full capacity schedule
+// (including attack throttles) as cap-change events.
+func (p *Profile) Each(fn func(at time.Duration, rate float64)) {
+	for _, pt := range p.points {
+		fn(pt.at, pt.rate)
+	}
+}
+
 // transform rewrites the window [from, to) with f applied to the existing
 // rate of each overlapped segment. to == Never rewrites everything from
 // `from` onward.

@@ -6,19 +6,29 @@ import (
 	"time"
 )
 
+// completion is a stateful continuation: an object advanced at its
+// scheduled instant. The transport's pooled transit records implement it,
+// which is what lets a message's three legs (uplink, latency, downlink)
+// ride one reusable value instead of three per-send closures.
+type completion interface {
+	complete(at time.Duration)
+}
+
 // event is a scheduled callback. Events with equal timestamps run in
 // scheduling order (seq), which keeps the simulation deterministic.
 //
-// A callback is either fn (plain) or tfn (timed: receives the virtual
+// A callback is one of fn (plain), tfn (timed: receives the virtual
 // instant, sparing callers the closure that would otherwise capture the
-// scheduler just to read Now). A non-nil guard makes the event conditional:
-// it fires only while *guard still equals want — the allocation-free form
-// of the "stale wakeup" closures the pipes used to capture seq in.
+// scheduler just to read Now) or c (a completion object). A non-nil guard
+// makes the event conditional: it fires only while *guard still equals
+// want — the allocation-free form of the "stale wakeup" closures the pipes
+// used to capture seq in.
 type event struct {
 	at    time.Duration
 	seq   uint64
 	fn    func()
 	tfn   func(time.Duration)
+	c     completion
 	guard *uint64
 	want  uint64
 }
@@ -145,6 +155,13 @@ func (s *Scheduler) atGuarded(t time.Duration, guard *uint64, want uint64, fn fu
 	s.push(event{at: t, tfn: fn, guard: guard, want: want})
 }
 
+// atCompletion schedules a completion object at t. Like atTimed it carries
+// no closure; unlike atTimed the callee is a value that can hold per-event
+// state (a transit record's current leg) across reschedules.
+func (s *Scheduler) atCompletion(t time.Duration, c completion) {
+	s.push(event{at: t, c: c})
+}
+
 func (s *Scheduler) push(ev event) {
 	if ev.at == Never {
 		return
@@ -173,10 +190,13 @@ func (s *Scheduler) RunUntil(limit time.Duration) uint64 {
 		next := s.queue.pop()
 		s.now = next.at
 		if next.guard == nil || *next.guard == next.want {
-			if next.fn != nil {
+			switch {
+			case next.fn != nil:
 				next.fn()
-			} else {
+			case next.tfn != nil:
 				next.tfn(s.now)
+			default:
+				next.c.complete(s.now)
 			}
 		}
 		s.steps++

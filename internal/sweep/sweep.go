@@ -192,13 +192,44 @@ func Run[T any](g Grid, workers int, fn func(Cell) (T, error)) []Result[T] {
 // ctx's error wrapped in ErrCellSkipped. Completed work is never discarded —
 // the property adaptive grids and long interactive sweeps rely on.
 func RunCtx[T any](ctx context.Context, g Grid, workers int, fn func(context.Context, Cell) (T, error)) []Result[T] {
+	return RunParams(ctx, g, Params{Workers: workers}, fn)
+}
+
+// Params configures a sweep run beyond the grid and the cell function.
+type Params struct {
+	// Workers bounds the worker pool (<= 0 selects GOMAXPROCS).
+	Workers int
+	// OnCell, when set, observes progress: it is called once per finished
+	// cell — including cells skipped by cancellation — with the running
+	// completion count, the grid size, and that cell's error (nil on
+	// success). Calls are serialized, so the callback needs no locking of
+	// its own, but they come from worker goroutines: a slow callback slows
+	// the sweep.
+	OnCell func(done, total int, cellErr error)
+}
+
+// RunParams is RunCtx with a Params block: the same pool, cancellation and
+// determinism contract, plus optional live progress reporting.
+func RunParams[T any](ctx context.Context, g Grid, p Params, fn func(context.Context, Cell) (T, error)) []Result[T] {
 	n := g.Size()
 	results := make([]Result[T], n)
+	workers := p.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > n {
 		workers = n
+	}
+	var progressMu sync.Mutex
+	done := 0
+	report := func(err error) {
+		if p.OnCell == nil {
+			return
+		}
+		progressMu.Lock()
+		done++
+		p.OnCell(done, n, err)
+		progressMu.Unlock()
 	}
 	ranks := make(chan int)
 	var wg sync.WaitGroup
@@ -213,9 +244,11 @@ func RunCtx[T any](ctx context.Context, g Grid, workers int, fn func(context.Con
 				// cancellation" deterministic rather than racy.
 				if err := ctx.Err(); err != nil {
 					results[rank] = skippedCell[T](cell, err)
+					report(results[rank].Err)
 					continue
 				}
 				results[rank] = runCell(ctx, cell, fn)
+				report(results[rank].Err)
 			}
 		}()
 	}
@@ -232,6 +265,7 @@ dispatch:
 	wg.Wait()
 	for rank := next; rank < n; rank++ {
 		results[rank] = skippedCell[T](g.Cell(rank), ctx.Err())
+		report(results[rank].Err)
 	}
 	return results
 }

@@ -332,3 +332,72 @@ func TestFirstErrSkipsCancelledCells(t *testing.T) {
 		t.Fatal("completed prefix miscounted as skipped")
 	}
 }
+
+func TestOnCellReportsEveryCell(t *testing.T) {
+	g := MustNew(Ints("i", 0, 1, 2, 3, 4, 5, 6, 7, 8, 9))
+	boom := errors.New("boom")
+	var calls []int
+	var errs int
+	last := 0
+	results := RunParams(context.Background(), g, Params{
+		Workers: 4,
+		OnCell: func(done, total int, cellErr error) {
+			// The callback contract: serialized, done strictly increasing,
+			// total constant.
+			if total != g.Size() {
+				panic(fmt.Sprintf("total=%d", total))
+			}
+			if done != last+1 {
+				panic(fmt.Sprintf("done jumped %d -> %d", last, done))
+			}
+			last = done
+			calls = append(calls, done)
+			if cellErr != nil {
+				errs++
+			}
+		},
+	}, func(_ context.Context, c Cell) (int, error) {
+		if c.Int("i")%3 == 0 {
+			return 0, boom
+		}
+		return c.Int("i"), nil
+	})
+	if len(results) != g.Size() {
+		t.Fatalf("results=%d", len(results))
+	}
+	if len(calls) != g.Size() {
+		t.Fatalf("OnCell fired %d times, want %d", len(calls), g.Size())
+	}
+	if errs != 4 {
+		t.Fatalf("OnCell saw %d errors, want 4", errs)
+	}
+}
+
+func TestOnCellCountsSkippedCells(t *testing.T) {
+	// Cancellation mid-sweep: every cell still reports exactly once, the
+	// skipped ones with ErrCellSkipped, so a progress meter always reaches
+	// total and never hangs at n-1.
+	g := MustNew(Ints("i", 0, 1, 2, 3, 4, 5, 6, 7))
+	ctx, cancel := context.WithCancel(context.Background())
+	var fired, skipped atomic.Int32
+	RunParams(ctx, g, Params{
+		Workers: 1,
+		OnCell: func(done, total int, cellErr error) {
+			fired.Add(1)
+			if errors.Is(cellErr, ErrCellSkipped) {
+				skipped.Add(1)
+			}
+		},
+	}, func(_ context.Context, c Cell) (int, error) {
+		if c.Int("i") == 2 {
+			cancel()
+		}
+		return 0, nil
+	})
+	if int(fired.Load()) != g.Size() {
+		t.Fatalf("OnCell fired %d times, want %d (skipped cells must report too)", fired.Load(), g.Size())
+	}
+	if skipped.Load() == 0 {
+		t.Fatal("no skipped cells reported despite mid-sweep cancellation")
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"crypto/ed25519"
 	"time"
 
+	"partialtor/internal/obs"
 	"partialtor/internal/sig"
 	"partialtor/internal/simnet"
 	"partialtor/internal/vote"
@@ -226,6 +227,7 @@ func (a *Authority) Start(ctx *simnet.Context) {
 	a.docs[a.index] = a.doc
 	a.docSigs[a.index] = signDoc(a.me, a.doc)
 	ctx.Logf("notice", "Propose round: sending relay list.")
+	ctx.Trace(obs.Event{Type: obs.EvPhase, Label: "propose"})
 	ctx.Broadcast(&msgDoc{Doc: a.doc, Sig: a.docSigs[a.index]})
 	ctx.At(a.cfg.round(), func() { a.voteRound(ctx) })
 	ctx.At(a.cfg.dsStart(), func() { a.startSync(ctx) })
@@ -266,6 +268,7 @@ func (a *Authority) voteRound(ctx *simnet.Context) {
 	}
 	full := mk(a.docs)
 	ctx.Logf("notice", "Vote round: bundling %d documents.", len(full.Docs))
+	ctx.Trace(obs.Event{Type: obs.EvPhase, Label: "vote"})
 	if a.cfg.EquivocateLeader && a.index == a.cfg.Leader && len(a.docs) > 1 {
 		// Byzantine leader: odd peers get a truncated bundle.
 		partial := make(map[int]*vote.Document)
@@ -296,6 +299,7 @@ func (a *Authority) startSync(ctx *simnet.Context) {
 		return
 	}
 	ctx.Logf("notice", "Synchronize rounds: broadcasting bundle digest %s.", a.leaderBundle.Digest.Short())
+	ctx.Trace(obs.Event{Type: obs.EvPhase, Label: "synchronize"})
 	mark := func(d sig.Digest) *msgChain {
 		a.extracted[d] = true
 		a.relayed[d] = true
@@ -358,6 +362,7 @@ func (a *Authority) acceptDoc(ctx *simnet.Context, m *msgDoc) {
 	}
 	a.docs[idx] = m.Doc
 	a.docSigs[idx] = m.Sig
+	ctx.Trace(obs.Event{Type: obs.EvVote, Peer: idx, A: int64(len(a.docs))})
 	if len(a.docs) == a.cfg.n() && a.docsFullAt == simnet.Never {
 		a.docsFullAt = ctx.Now()
 	}
@@ -371,6 +376,7 @@ func (a *Authority) acceptBundle(ctx *simnet.Context, m *msgBundle) {
 	}
 	if ctx.Now() >= a.cfg.dsStart() {
 		ctx.Logf("warn", "Leader bundle arrived after the vote round deadline; discarding.")
+		ctx.Trace(obs.Event{Type: obs.EvTimeout, Label: "late-bundle"})
 		return
 	}
 	if len(m.Docs) != len(m.DocSigs) || len(m.Docs) < a.cfg.Majority() {
@@ -433,6 +439,7 @@ func (a *Authority) acceptChain(ctx *simnet.Context, m *msgChain) {
 // decide closes the extraction: exactly one digest means agreement on the
 // leader's bundle; anything else is ⊥ (a detectably faulty leader).
 func (a *Authority) decide(ctx *simnet.Context) {
+	ctx.Trace(obs.Event{Type: obs.EvPhase, Label: "decide"})
 	if len(a.extracted) != 1 {
 		a.decidedBottom = true
 		ctx.Logf("warn", "Dolev-Strong extracted %d values; outputting bottom.", len(a.extracted))
@@ -480,6 +487,7 @@ func (a *Authority) acceptConsSig(ctx *simnet.Context, from int, m *msgConsSig) 
 }
 
 func (a *Authority) finish(ctx *simnet.Context) {
+	ctx.Trace(obs.Event{Type: obs.EvPhase, Label: "publish"})
 	if !a.computed {
 		ctx.Logf("warn", "No consensus was computed this period.")
 		return

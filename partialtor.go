@@ -77,6 +77,7 @@ package partialtor
 import (
 	"context"
 	"crypto/ed25519"
+	"io"
 	"time"
 
 	"partialtor/internal/attack"
@@ -84,6 +85,7 @@ import (
 	"partialtor/internal/client"
 	"partialtor/internal/dircache"
 	"partialtor/internal/harness"
+	"partialtor/internal/obs"
 	"partialtor/internal/relay"
 	"partialtor/internal/sig"
 	"partialtor/internal/simnet"
@@ -288,6 +290,11 @@ func WithCompromise(p CompromisePlan) ExperimentOption { return harness.WithComp
 // serving caches distrusted, and fork proofs recorded per period.
 func WithVerifiedClients() ExperimentOption { return harness.WithVerifiedClients() }
 
+// WithTracer attaches an observability tracer to every phase of every
+// period; recording never changes results (see the observability
+// re-exports below).
+func WithTracer(t Tracer) ExperimentOption { return harness.WithTracer(t) }
+
 // --- protocol driver re-exports ---
 
 // ProtocolDriver builds runnable instances of one directory protocol; see
@@ -413,6 +420,17 @@ func RunSweepCtx[T any](ctx context.Context, g SweepGrid, workers int, fn func(c
 	return sweep.RunCtx(ctx, g, workers, fn)
 }
 
+// SweepParams configures a sweep run beyond the grid: the worker pool and
+// an optional per-cell progress callback (serialized; includes skipped
+// cells).
+type SweepParams = sweep.Params
+
+// RunSweepParams is RunSweepCtx with a SweepParams block, for sweeps that
+// report live progress (cmd/cachesweep, cmd/benchtables).
+func RunSweepParams[T any](ctx context.Context, g SweepGrid, p SweepParams, fn func(context.Context, SweepCell) (T, error)) []SweepResult[T] {
+	return sweep.RunParams(ctx, g, p, fn)
+}
+
 // SweepCellSkipped marks cells a cancelled context prevented from running;
 // test with errors.Is.
 var SweepCellSkipped = sweep.ErrCellSkipped
@@ -436,6 +454,59 @@ func ParseSweepCounts(s string) ([]int, error) { return sweep.ParsePositiveInts(
 
 // ParseSweepFloats parses a comma-separated float axis flag ("0.5,1,2.5").
 func ParseSweepFloats(s string) ([]float64, error) { return sweep.ParseFloats(s) }
+
+// --- observability re-exports ---
+//
+// The tracing layer (internal/obs) sees inside a run without changing it:
+// a nil Tracer costs one branch per event site, and a recording tracer
+// never perturbs the simulation — golden digests are byte-identical with
+// tracing off and on. Events flow from all four layers: the simnet kernel
+// (transfers, capacity changes, sampled queue depth and utilization), the
+// protocol drivers (phases, votes, timeouts), the distribution tier (cache
+// fetches, fallbacks, serves, fleet coverage) and the attack machinery
+// (flood onsets and offsets).
+
+// Tracer receives observability events; nil means tracing is off.
+type Tracer = obs.Tracer
+
+// TraceEvent is one typed observability event.
+type TraceEvent = obs.Event
+
+// TraceRecorder is a bounded in-memory event sink that can replay to JSONL
+// or a Chrome trace.
+type TraceRecorder = obs.Recorder
+
+// NewTraceRecorder returns a recorder keeping the last `capacity` events
+// (0 selects the default).
+func NewTraceRecorder(capacity int) *TraceRecorder { return obs.NewRecorder(capacity) }
+
+// TraceTee fans events out to several sinks.
+func TraceTee(sinks ...Tracer) Tracer { return obs.Tee(sinks...) }
+
+// WriteChromeTrace renders recorded events in Chrome trace-event format
+// (load the file in chrome://tracing or Perfetto).
+func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
+	return obs.WriteChromeTrace(w, events)
+}
+
+// Detector is the Danner-style flood detector: rolling per-node baselines
+// over the kernel's queue-depth and throughput samples, flagging sustained
+// deviations and scoring them against the attack onsets it observed.
+type Detector = obs.Detector
+
+// DetectorConfig tunes the detector's window, threshold and streak.
+type DetectorConfig = obs.DetectorConfig
+
+// NewDetector returns a detector with the given configuration (zero values
+// select the defaults).
+func NewDetector(cfg DetectorConfig) *Detector { return obs.NewDetector(cfg) }
+
+// Detection is one flagged attack onset with its detection latency.
+type Detection = obs.Detection
+
+// FirstDetection returns the earliest detection (ok reports whether one
+// exists).
+func FirstDetection(dets []Detection) (Detection, bool) { return obs.First(dets) }
 
 // --- evaluation re-exports (one per paper artifact) ---
 //
