@@ -9,6 +9,7 @@
 //	Table 1   — design comparison with measured transport cost
 //	Table 2   — sub-protocol round counts
 //	Cost      — §4.3 attack pricing
+//	Regional  — racing clients vs a regional mirror flood (continents)
 //
 // By default everything runs at paper scale (150s rounds, up to 10000
 // relays), which takes a few minutes; -quick shrinks the sweeps for a fast
@@ -98,7 +99,7 @@ type benchReport struct {
 func main() {
 	var (
 		quick    = flag.Bool("quick", false, "run reduced sweeps (seconds instead of minutes)")
-		only     = flag.String("only", "", "comma-separated subset: fig1,fig6,fig7,fig10,fig11,tab1,tab2,cost,ablation")
+		only     = flag.String("only", "", "comma-separated subset: fig1,fig6,fig7,fig10,fig11,tab1,tab2,cost,regional,ablation")
 		workers  = flag.Int("workers", 0, "sweep worker pool (0 = all cores, 1 = serial)")
 		jsonOut  = flag.Bool("json", false, "write BENCH_tables.json with per-artifact wall time + headline metrics")
 		jsonPath = flag.String("json-path", "BENCH_tables.json", "where -json writes the report")
@@ -338,6 +339,37 @@ func buildArtifacts(quick bool, workers int) []artifact {
 				metrics["max_recovery_s"] = worst.Seconds()
 			}
 			metrics["never_recovered_rows"] = float64(neverRecovered)
+			return r.Render(), metrics, nil
+		}},
+		{name: "regional", run: func(ctx context.Context) (string, map[string]float64, error) {
+			p := partialtor.RegionalParams{}
+			if quick {
+				p = partialtor.RegionalParams{
+					Clients: 50_000,
+					Caches:  12,
+					Window:  20 * time.Minute,
+				}
+			}
+			p.Workers = workers
+			p.OnCell = progressFor("regional")
+			r, err := partialtor.RegionalTable(ctx, p)
+			if err != nil {
+				return "", nil, err
+			}
+			// Track each flooded cell's coverage and the racing overhead;
+			// T99 == Never is a sentinel, so only report reached cells.
+			metrics := map[string]float64{}
+			for _, row := range r.Rows {
+				if !row.Flood {
+					continue
+				}
+				key := fmt.Sprintf("flood_k%d", row.RaceK)
+				metrics[key+"_coverage"] = row.Coverage
+				if row.T99 != partialtor.Never {
+					metrics[key+"_t99_s"] = row.T99.Seconds()
+				}
+				metrics[key+"_waste_mb"] = float64(row.WasteBytes) / 1e6
+			}
 			return r.Render(), metrics, nil
 		}},
 		{name: "ablation", run: func(ctx context.Context) (string, map[string]float64, error) {

@@ -14,6 +14,15 @@
 // back to honest caches — the table shows the coverage cliff as the
 // compromised fraction crosses one half.
 //
+// With -topology continents the tiers are placed on the builtin continental
+// map (regional latencies, bandwidth tiers, region-share client
+// populations) and each row is followed by its per-region coverage and
+// p50/p99 time-to-coverage. -flood-region then scopes the flood to one
+// region's caches ("flood the EU mirrors") instead of the majority prefix.
+// The -race axis sweeps the racing-client width K: 0 is the legacy
+// single-cache client, 1 a failover client, K>=2 races each fetch against K
+// caches (first response wins, laggards priced as waste).
+//
 // Cells fan out over -workers goroutines (default: all cores); the table is
 // printed in grid order after the sweep, so any worker count produces
 // byte-identical output. Live progress goes to stderr as cells finish. A
@@ -43,6 +52,15 @@ func fatalf(format string, args ...any) {
 	os.Exit(1)
 }
 
+// fmtDuration renders a time-to-coverage cell; Never means the fraction was
+// not reached within the fetch window.
+func fmtDuration(d time.Duration) string {
+	if d == partialtor.Never {
+		return "never"
+	}
+	return d.Round(time.Second).String()
+}
+
 // cellRow is one sweep cell's rendered outcome.
 type cellRow struct {
 	result *partialtor.DistributionResult
@@ -57,6 +75,9 @@ func main() {
 		residualsFlag = flag.String("residuals", "-1,500000,0", "attack residual bits/s (-1 = no attack)")
 		compFlag      = flag.String("compromised", "0,0.25,0.6", "compromised-cache fractions to sweep")
 		modeFlag      = flag.String("mode", "equivocate", "compromise mode: stale or equivocate")
+		topoFlag      = flag.String("topology", "flat", "topology: flat or continents")
+		raceFlag      = flag.String("race", "0", "racing-client widths K to sweep (0 = legacy client)")
+		floodFlag     = flag.String("flood-region", "", "flood only this region's caches (requires -topology)")
 		verify        = flag.Bool("verify", true, "clients run proposal-239 chain verification")
 		window        = flag.Duration("window", 30*time.Minute, "client fetch window")
 		target        = flag.Float64("target", 0.95, "coverage fraction defining success")
@@ -96,12 +117,29 @@ func main() {
 	default:
 		fatalf("invalid -mode %q: want stale or equivocate", *modeFlag)
 	}
+	topology, err := partialtor.TopologyByName(*topoFlag)
+	if err != nil {
+		fatalf("invalid -topology: %v", err)
+	}
+	races, err := partialtor.ParseSweepInts(*raceFlag)
+	if err != nil {
+		fatalf("invalid -race: %v", err)
+	}
+	for _, k := range races {
+		if k < 0 {
+			fatalf("invalid -race: width %d is negative", k)
+		}
+	}
+	if *floodFlag != "" && topology == nil {
+		fatalf("-flood-region %q needs -topology", *floodFlag)
+	}
 
 	grid := partialtor.MustNewSweepGrid(
 		partialtor.SweepInts("caches", cacheCounts...),
 		partialtor.SweepInts("clients", populations...),
 		partialtor.SweepFloats("residual", residuals...),
 		partialtor.SweepFloats("comp", fractions...),
+		partialtor.SweepInts("race", races...),
 	)
 	pricing := partialtor.DefaultCostModel()
 	// Trace only the first cell: one recorder cannot be shared across the
@@ -134,6 +172,8 @@ func main() {
 			TargetCoverage: *target,
 			Seed:           *seed,
 			VerifyClients:  *verify,
+			Topology:       topology,
+			RaceK:          c.Int("race"),
 		}
 		if rec != nil && c.Rank == 0 {
 			spec.Tracer = rec
@@ -142,10 +182,19 @@ func main() {
 		if res := c.Float("residual"); res >= 0 {
 			plan := partialtor.AttackPlan{
 				Tier:     partialtor.TierCache,
-				Targets:  partialtor.MajorityTargets(spec.Caches),
 				Start:    0,
 				End:      *window + 30*time.Minute,
 				Residual: res,
+			}
+			if *floodFlag != "" {
+				// Resolve "flood region X" against the placement here, so
+				// the plan is priced by the caches it actually hits.
+				plan.TargetRegion = *floodFlag
+				if err := plan.ResolveRegion(topology, spec.Caches); err != nil {
+					return cellRow{}, err
+				}
+			} else {
+				plan.Targets = partialtor.MajorityTargets(spec.Caches)
 			}
 			spec.Attacks = []partialtor.AttackPlan{plan}
 			row.cost = pricing.PlanCost(plan)
@@ -179,8 +228,8 @@ func main() {
 		return row, nil
 	})
 
-	fmt.Printf("%-8s %-10s %-12s %-6s %-12s %-10s %-10s %-7s %-10s %-10s\n",
-		"caches", "clients", "residual", "comp", "t95", "coverage", "naive", "forks", "cost", "rent/mo")
+	fmt.Printf("%-8s %-10s %-12s %-6s %-5s %-12s %-12s %-10s %-10s %-7s %-10s %-10s\n",
+		"caches", "clients", "residual", "comp", "race", "t95", "p99", "coverage", "naive", "forks", "cost", "rent/mo")
 	failed := 0
 	for _, r := range results {
 		nc, pop := r.Cell.Int("caches"), r.Cell.Int("clients")
@@ -190,15 +239,12 @@ func main() {
 			label = fmt.Sprintf("%.1fMbit", res/1e6)
 		}
 		comp := fmt.Sprintf("%.0f%%", 100*r.Cell.Float("comp"))
+		race := r.Cell.Int("race")
 		if r.Err != nil {
 			failed++
-			fmt.Printf("%-8d %-10d %-12s %-6s %-12s %-10s %-10s %-7s %-10s %-10s\n",
-				nc, pop, label, comp, "ERROR", "-", "-", "-", "-", "-")
+			fmt.Printf("%-8d %-10d %-12s %-6s %-5d %-12s %-12s %-10s %-10s %-7s %-10s %-10s\n",
+				nc, pop, label, comp, race, "ERROR", "-", "-", "-", "-", "-", "-")
 			continue
-		}
-		t95 := "never"
-		if r.Value.result.TimeToTarget != partialtor.Never {
-			t95 = r.Value.result.TimeToTarget.Round(time.Second).String()
 		}
 		cost, rent := "-", "-"
 		if r.Value.cost >= 0 {
@@ -207,11 +253,19 @@ func main() {
 		if r.Value.rent >= 0 {
 			rent = fmt.Sprintf("$%.0f", r.Value.rent)
 		}
-		fmt.Printf("%-8d %-10d %-12s %-6s %-12s %-10s %-10s %-7d %-10s %-10s\n",
-			nc, pop, label, comp, t95,
+		fmt.Printf("%-8d %-10d %-12s %-6s %-5d %-12s %-12s %-10s %-10s %-7d %-10s %-10s\n",
+			nc, pop, label, comp, race,
+			fmtDuration(r.Value.result.TimeToTarget),
+			fmtDuration(r.Value.result.TimeToCoverage(0.99)),
 			fmt.Sprintf("%.1f%%", 100*r.Value.result.Coverage()),
 			fmt.Sprintf("%.1f%%", 100*r.Value.result.NaiveCoverage()),
 			len(r.Value.result.ForkDetections), cost, rent)
+		for _, rc := range r.Value.result.Regions {
+			fmt.Printf("  region %-4s clients %-9d coverage %-7s p50 %-12s p99 %-12s\n",
+				rc.Name, rc.Clients,
+				fmt.Sprintf("%.1f%%", 100*rc.Coverage()),
+				fmtDuration(rc.P50), fmtDuration(rc.P99))
+		}
 	}
 	if rec != nil {
 		f, err := os.Create(*tracePath)

@@ -3,11 +3,18 @@
 // DDoS attack window, and observe whether a consensus document is produced
 // and how long it takes.
 //
+// With -clients the run continues into the distribution phase: the consensus
+// fans out through directory caches to a synthetic client population. On
+// -topology continents both tiers sit on the builtin continental map and the
+// report gains a per-region coverage/p50/p99 breakdown; -race K makes each
+// client race its fetch against K caches (first response wins).
+//
 // Examples:
 //
 //	tordirsim -protocol current -relays 8000
 //	tordirsim -protocol current -relays 8000 -attack -attack-minutes 5
 //	tordirsim -protocol ours -relays 8000 -bandwidth 0.5
+//	tordirsim -protocol ours -clients 100000 -topology continents -race 2
 //	tordirsim -protocol current -attack -trace trace.json   # chrome://tracing
 package main
 
@@ -24,6 +31,15 @@ import (
 	"partialtor/internal/simnet"
 )
 
+// fmtCoverageTime renders a time-to-coverage value; Never means the fraction
+// was not reached within the fetch window.
+func fmtCoverageTime(d time.Duration) string {
+	if d == partialtor.Never {
+		return "never"
+	}
+	return d.Round(time.Second).String()
+}
+
 func main() {
 	var (
 		protoName     = flag.String("protocol", "ours", "protocol: current | synchronous | ours")
@@ -34,6 +50,10 @@ func main() {
 		attackMinutes = flag.Float64("attack-minutes", 5, "attack window length in minutes")
 		residualMbit  = flag.Float64("attack-residual", 0.5, "bandwidth left to attacked authorities (Mbit/s); 0 = offline")
 		seed          = flag.Int64("seed", 1, "simulation seed")
+		topoName      = flag.String("topology", "flat", "topology: flat or continents")
+		clients       = flag.Int("clients", 0, "run the distribution phase with this many clients (0 = skip)")
+		caches        = flag.Int("caches", 20, "directory caches in the distribution phase")
+		raceK         = flag.Int("race", 0, "racing-client width K (0 = legacy client)")
 		showLog       = flag.Int("log", -1, "print the protocol log of this authority (-1 = none)")
 		tracePath     = flag.String("trace", "", "write a Chrome trace of the run (chrome://tracing, Perfetto)")
 	)
@@ -52,6 +72,11 @@ func main() {
 		os.Exit(2)
 	}
 
+	topology, err := partialtor.TopologyByName(*topoName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tordirsim: %v\n", err)
+		os.Exit(2)
+	}
 	s := partialtor.Scenario{
 		Protocol:     proto,
 		Relays:       *relays,
@@ -59,6 +84,18 @@ func main() {
 		Bandwidth:    *bandwidthMbit * 1e6,
 		Round:        *round,
 		Seed:         *seed,
+		Topology:     topology,
+	}
+	if *clients > 0 {
+		s.Distribution = &partialtor.DistributionSpec{
+			Clients: *clients,
+			Caches:  *caches,
+			Seed:    *seed,
+			RaceK:   *raceK,
+		}
+	} else if *raceK > 0 {
+		fmt.Fprintln(os.Stderr, "tordirsim: -race needs a distribution phase; set -clients")
+		os.Exit(2)
 	}
 	var rec *partialtor.TraceRecorder
 	if *tracePath != "" {
@@ -93,6 +130,14 @@ func main() {
 		fmt.Println("FAILURE: no valid consensus document this period")
 	}
 	fmt.Printf("transport: %d messages, %.2f MB sent\n", res.Messages, float64(res.BytesSent)/1e6)
+	if d := res.Distribution; d != nil {
+		fmt.Printf("distribution: %s\n", d.Summary())
+		for _, rc := range d.Regions {
+			fmt.Printf("  region %-4s clients %-9d coverage %5.1f%%  p50 %-10s p99 %s\n",
+				rc.Name, rc.Clients, 100*rc.Coverage(),
+				fmtCoverageTime(rc.P50), fmtCoverageTime(rc.P99))
+		}
+	}
 	if rec != nil {
 		f, err := os.Create(*tracePath)
 		if err != nil {

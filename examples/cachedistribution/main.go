@@ -6,6 +6,9 @@
 // the caches instead of the authorities ("flood the mirrors"), then with a
 // quarter of the caches *compromised* — equivocating mirrors serving an
 // adversary-signed fork — with and without proposal-239 chain-verifying
+// clients, then moves the tier onto the builtin continental topology and
+// floods one region's mirrors to show racing clients (K parallel fetches,
+// first response wins) riding out a regional flood that strands legacy
 // clients, and finally composes the full pipeline — consensus generation,
 // cache distribution, population-level availability — as one declarative
 // Experiment (Generate → Distribute → Avail).
@@ -52,6 +55,18 @@ func report(name string, r *partialtor.DistributionResult) {
 	fmt.Printf("  caches serving:     %d/%d (%d authority fallbacks)\n",
 		r.CachesWithDoc, r.Spec.Caches, r.CacheFallbacks)
 	fmt.Printf("  failed fetches:     %d\n", r.FailedFetches)
+	if r.Spec.RaceK >= 1 {
+		fmt.Printf("  racing:             K=%d, %d laggards (%.1f MB wasted), %d wave timeouts\n",
+			r.Spec.RaceK, r.RaceLaggards, float64(r.RaceWasteBytes)/1e6, r.RaceTimeouts)
+	}
+	for _, rc := range r.Regions {
+		p99 := "never"
+		if rc.P99 != partialtor.Never {
+			p99 = rc.P99.Round(time.Second).String()
+		}
+		fmt.Printf("  region %-4s         %d clients, %.1f%% covered, p99 %s\n",
+			rc.Name, rc.Clients, 100*rc.Coverage(), p99)
+	}
 	fmt.Println()
 }
 
@@ -112,6 +127,43 @@ func main() {
 			name = "chain-verifying clients"
 		}
 		report(fmt.Sprintf("%s (6/24 mirrors equivocating, $%.0f/month)", name, rent), r)
+	}
+
+	// Planet-scale: the same tier on the builtin continental topology, the
+	// flood aimed at one region's mirrors ("flood the EU mirrors" — the plan
+	// names the region, the run resolves it against the placement). A legacy
+	// client pinned to a flooded mirror waits out the window; a racing client
+	// (K=2) races every fetch against two caches and takes the first
+	// response, riding out the flood at the price of duplicate egress.
+	fmt.Println("== regional flood: EU mirrors offline, legacy vs racing clients ==")
+	fmt.Println()
+	for _, k := range []int{0, 2} {
+		s := spec()
+		s.Clients = 200_000
+		s.Topology = partialtor.Continents()
+		s.Fleets = 12 // two fleets per continent
+		s.RaceK = k
+		plan := partialtor.AttackPlan{
+			Tier:         partialtor.TierCache,
+			TargetRegion: "eu",
+			Start:        0,
+			End:          time.Hour,
+			Residual:     0,
+		}
+		if err := plan.ResolveRegion(s.Topology, s.Caches); err != nil {
+			log.Fatalf("cachedistribution: %v", err)
+		}
+		cost := partialtor.DefaultCostModel().PlanCost(plan)
+		s.Attacks = []partialtor.AttackPlan{plan}
+		r, err := partialtor.RunDistribution(s)
+		if err != nil {
+			log.Fatalf("cachedistribution: %v", err)
+		}
+		name := "legacy clients"
+		if k >= 2 {
+			name = fmt.Sprintf("racing clients (K=%d)", k)
+		}
+		report(fmt.Sprintf("%s, %d EU mirrors offline ($%.2f)", name, len(plan.Targets), cost), r)
 	}
 
 	// End to end: run the actual directory protocol (scaled), then

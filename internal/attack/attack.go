@@ -7,6 +7,7 @@ import (
 
 	"partialtor/internal/obs"
 	"partialtor/internal/simnet"
+	"partialtor/internal/topo"
 )
 
 // ResidualUnderDDoS is the bandwidth left to a flooded node, per Jansen et
@@ -40,6 +41,13 @@ type Plan struct {
 	// Targets are node indices under attack, relative to the plan's tier
 	// (authority indices for TierAuthority, cache indices for TierCache).
 	Targets []int
+	// TargetRegion, if non-empty, scopes the flood geographically instead
+	// of by explicit indices: "flood the EU mirrors" is a TierCache plan
+	// with TargetRegion "eu". The name is resolved against the run's
+	// topology at wiring time (ResolveRegion fills Targets with every node
+	// of the tier placed in that region), so a region-scoped plan needs a
+	// run with a non-nil topology and empty Targets.
+	TargetRegion string
 	// Start and End bound the window [Start, End).
 	Start, End time.Duration
 	// Residual is the bandwidth (bits/s) left to each target during the
@@ -78,6 +86,42 @@ func (p *Plan) Validate() error {
 			return fmt.Errorf("attack: negative target index %d", t)
 		}
 	}
+	if p.TargetRegion != "" && len(p.Targets) > 0 {
+		return errors.New("attack: plan carries both explicit Targets and a TargetRegion; pick one")
+	}
+	return nil
+}
+
+// ResolveRegion expands a region-scoped plan against the run's topology:
+// Targets becomes every node of the plan's n-node tier the topology places
+// in TargetRegion. It is a no-op for index-scoped plans, and an error when
+// the region name is unknown, the run is flat (nil topology), or the region
+// holds none of the tier's nodes — a flood of nobody would silently report
+// resilience it never tested. Callers price and Compile the plan after
+// resolution, so region floods go through the same cost model as any other.
+func (p *Plan) ResolveRegion(t topo.Topology, tierSize int) error {
+	if p.TargetRegion == "" {
+		return nil
+	}
+	if len(p.Targets) > 0 {
+		return errors.New("attack: plan carries both explicit Targets and a TargetRegion; pick one")
+	}
+	if t == nil {
+		return fmt.Errorf("attack: region-scoped plan (%q) needs a topology; the flat model has no regions", p.TargetRegion)
+	}
+	r, err := topo.RegionByName(t, p.TargetRegion)
+	if err != nil {
+		return fmt.Errorf("attack: %w", err)
+	}
+	targets := topo.RegionTargets(t, r, tierSize)
+	if len(targets) == 0 {
+		return fmt.Errorf("attack: region %q holds none of the %d-node %v tier", p.TargetRegion, tierSize, p.Tier)
+	}
+	// A resolved plan is a plain index plan; clearing the region name makes
+	// resolution idempotent, so a caller that resolved early (e.g. to price
+	// the flood) can hand the same plan to a runner that resolves again.
+	p.Targets = targets
+	p.TargetRegion = ""
 	return nil
 }
 

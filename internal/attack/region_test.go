@@ -1,0 +1,83 @@
+package attack
+
+import (
+	"testing"
+	"time"
+
+	"partialtor/internal/topo"
+)
+
+func TestResolveRegionFillsTargetsFromPlacement(t *testing.T) {
+	c := topo.Continents()
+	p := Plan{Tier: TierCache, TargetRegion: "eu", End: 5 * time.Minute}
+	if err := p.ResolveRegion(c, 20); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Targets) == 0 {
+		t.Fatal("resolution produced no targets")
+	}
+	eu, _ := topo.RegionByName(c, "eu")
+	want := topo.RegionTargets(c, eu, 20)
+	if len(p.Targets) != len(want) {
+		t.Fatalf("targets %v, want %v", p.Targets, want)
+	}
+	for i := range want {
+		if p.Targets[i] != want[i] {
+			t.Fatalf("targets %v, want %v", p.Targets, want)
+		}
+	}
+	// A resolved plan prices like any explicit-target plan.
+	m := DefaultCostModel()
+	if got := m.PlanCost(p); got <= 0 {
+		t.Fatalf("resolved region flood priced at $%.2f", got)
+	}
+	if got, per := m.PlanCost(p), m.PlanCost(Plan{Tier: TierCache, Targets: []int{0}, End: 5 * time.Minute}); got != per*float64(len(p.Targets)) {
+		t.Fatalf("region flood cost %.4f, want %d x %.4f", got, len(p.Targets), per)
+	}
+}
+
+func TestResolveRegionNoopWithoutRegion(t *testing.T) {
+	p := Plan{Tier: TierCache, Targets: []int{1, 2}}
+	if err := p.ResolveRegion(nil, 20); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Targets) != 2 {
+		t.Fatalf("targets mutated: %v", p.Targets)
+	}
+}
+
+func TestResolveRegionErrors(t *testing.T) {
+	c := topo.Continents()
+	cases := []struct {
+		name string
+		plan Plan
+		topo topo.Topology
+	}{
+		{"flat run", Plan{TargetRegion: "eu"}, nil},
+		{"unknown region", Plan{TargetRegion: "atlantis"}, c},
+		{"both targets and region", Plan{TargetRegion: "eu", Targets: []int{0}}, c},
+	}
+	for _, tc := range cases {
+		p := tc.plan
+		if err := p.ResolveRegion(tc.topo, 20); err == nil {
+			t.Errorf("%s: resolution accepted", tc.name)
+		}
+	}
+	// A region that exists but holds no node of a tiny tier must refuse:
+	// continents places a 1-node tier entirely in the largest-share region.
+	p := Plan{TargetRegion: "oc"}
+	if err := p.ResolveRegion(c, 1); err == nil {
+		t.Error("empty region target set accepted")
+	}
+}
+
+func TestValidateRejectsAmbiguousRegionPlan(t *testing.T) {
+	p := Plan{TargetRegion: "eu", Targets: []int{3}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("plan with both Targets and TargetRegion validated")
+	}
+	ok := Plan{TargetRegion: "eu"}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("unresolved region plan rejected: %v", err)
+	}
+}

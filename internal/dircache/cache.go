@@ -142,7 +142,7 @@ func (c *cacheNode) serve(ctx *simnet.Context, from simnet.NodeID, m *fleetFetch
 		link = &c.chainCtx.Fork
 	default:
 		if !c.have {
-			ctx.Send(from, &fetchNack{fulls: m.fulls, diffs: m.diffs})
+			ctx.Send(from, &fetchNack{fulls: m.fulls, diffs: m.diffs, race: m.race})
 			return
 		}
 		if c.chainCtx != nil {
@@ -153,7 +153,7 @@ func (c *cacheNode) serve(ctx *simnet.Context, from simnet.NodeID, m *fleetFetch
 	c.diffsServed += m.diffs
 	bytes := int64(m.fulls)*c.spec.DocBytes + int64(m.diffs)*c.spec.DiffBytes
 	ctx.Trace(obs.Event{Type: obs.EvServe, Peer: int(from), A: int64(m.fulls), B: int64(m.diffs)})
-	ctx.Send(from, &docBatch{fulls: m.fulls, diffs: m.diffs, bytes: bytes, link: link})
+	ctx.Send(from, &docBatch{fulls: m.fulls, diffs: m.diffs, bytes: bytes, link: link, race: m.race})
 }
 
 // fallbacks reports how many extra authority requests the cache needed

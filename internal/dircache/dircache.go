@@ -9,6 +9,7 @@ import (
 	"partialtor/internal/chain"
 	"partialtor/internal/obs"
 	"partialtor/internal/sig"
+	"partialtor/internal/topo"
 )
 
 // Default sizes of the documents moving through the tier. DocBytes
@@ -49,6 +50,31 @@ type Spec struct {
 	// Weights biases the fleets' cache selection; len(Weights) == Caches,
 	// nil means uniform. Weights need not be normalized.
 	Weights []float64
+
+	// Topology places the tier in regions (nil = the historical flat
+	// model, byte-identical to pre-topology runs). Authorities and caches
+	// are placed by Topology.Place (contiguous per-region blocks sized by
+	// the region shares); fleets aggregate the client population, so they
+	// cycle through the regions — one per region when Fleets defaults to
+	// the region count — and size themselves by their region's share.
+	// Node bandwidths are scaled by the region's tier, pair latencies come
+	// from the region-pair matrix, and each fleet's cache selection is
+	// biased toward nearby caches (inverse expected latency).
+	Topology topo.Topology
+
+	// RaceK switches the fleets from single-cache fetching to the racing
+	// client: every batch is raced against up to RaceK caches in parallel,
+	// the fastest response wins, laggards are cancelled (their transferred
+	// bytes are accounted in Result.RaceWasteBytes), and a race that is
+	// still unanswered after RaceTimeout fails over to the next caches in
+	// the fleet's preference order. 0 (the default) keeps the historical
+	// single-fetch path bit for bit; 1 is the failover client (no
+	// parallelism, timeout re-race only).
+	RaceK int
+	// RaceTimeout is the racing client's failover delay: how long a race
+	// waits for any response before re-racing against the next RaceK
+	// caches (default 20s).
+	RaceTimeout time.Duration
 
 	// DocBytes is the full consensus size; 0 selects DefaultDocBytes.
 	DocBytes int64
@@ -128,6 +154,11 @@ func (s Spec) withDefaults() Spec {
 	}
 	if s.Fleets == 0 {
 		s.Fleets = 4
+		// A regional run wants at least one fleet per region, or the small
+		// regions would have no coverage curve to report.
+		if s.Topology != nil && s.Topology.NumRegions() > s.Fleets {
+			s.Fleets = s.Topology.NumRegions()
+		}
 	}
 	if s.Clients == 0 {
 		s.Clients = 1_000_000
@@ -174,6 +205,12 @@ func (s Spec) withDefaults() Spec {
 	if s.CacheRetry == 0 {
 		s.CacheRetry = 10 * time.Second
 	}
+	if s.RaceTimeout == 0 {
+		s.RaceTimeout = 20 * time.Second
+	}
+	if s.RaceK > s.Caches {
+		s.RaceK = s.Caches
+	}
 	if s.TargetCoverage == 0 {
 		s.TargetCoverage = 0.95
 	}
@@ -214,10 +251,13 @@ func (s Spec) Validate() error {
 		return errors.New("dircache: negative document size")
 	}
 	for _, d := range []time.Duration{s.PublishAt, s.FetchWindow, s.Tick,
-		s.RetryDelay, s.CacheFetchTimeout, s.CacheRetry, s.RunLimit} {
+		s.RetryDelay, s.CacheFetchTimeout, s.CacheRetry, s.RunLimit, s.RaceTimeout} {
 		if d < 0 {
 			return errors.New("dircache: negative duration")
 		}
+	}
+	if s.RaceK < 0 {
+		return fmt.Errorf("dircache: negative race width %d", s.RaceK)
 	}
 	if s0.DiffFraction > 1 {
 		return fmt.Errorf("dircache: diff fraction %.2f > 1", s0.DiffFraction)
@@ -248,6 +288,10 @@ func (s Spec) Validate() error {
 			tierSize = s0.Caches
 		default:
 			return fmt.Errorf("dircache: attack %d: unknown tier %v", i, p.Tier)
+		}
+		if p.TargetRegion != "" && s.Topology == nil {
+			return fmt.Errorf("dircache: attack %d: region %q needs a topology; the flat model has no regions",
+				i, p.TargetRegion)
 		}
 		for _, t := range p.Targets {
 			if t >= tierSize {
@@ -303,7 +347,14 @@ func (notReady) Kind() string { return "not-ready" }
 
 // fleetFetch aggregates one tick of client fetches from a fleet to a cache:
 // fulls clients need the whole document, diffs only the consensus diff.
-type fleetFetch struct{ fulls, diffs int }
+// race is the fleet's race id when the racing client issued the fetch as
+// one leg of a K-way race (0 = the single-fetch path); the cache echoes it
+// so the fleet can match responses to races. The id is bookkeeping, not
+// payload — Size is unchanged.
+type fleetFetch struct {
+	fulls, diffs int
+	race         int64
+}
 
 func (m *fleetFetch) Size() int64  { return int64(m.fulls+m.diffs) * reqBytes }
 func (m *fleetFetch) Kind() string { return "fleet-req" }
@@ -319,13 +370,17 @@ type docBatch struct {
 	fulls, diffs int
 	bytes        int64
 	link         *chain.Link
+	race         int64 // echoed fleetFetch.race; 0 = single-fetch path
 }
 
 func (m *docBatch) Size() int64  { return m.bytes }
 func (m *docBatch) Kind() string { return "doc-batch" }
 
 // fetchNack refuses a fleetFetch because the cache has no document yet.
-type fetchNack struct{ fulls, diffs int }
+type fetchNack struct {
+	fulls, diffs int
+	race         int64 // echoed fleetFetch.race; 0 = single-fetch path
+}
 
 func (m *fetchNack) Size() int64  { return int64(m.fulls+m.diffs) * nackBytes }
 func (m *fetchNack) Kind() string { return "fetch-nack" }

@@ -51,4 +51,23 @@
 // always counts holders of the genuine current consensus; NaiveCoverage adds
 // the misled — the gap is the damage a compromised mirror does to clients
 // that do not verify.
+//
+// # Topology and racing clients
+//
+// Spec.Topology places the tier on a topo.Topology (nil = the historical
+// flat model, byte-identical): authorities, caches and fleets get regions,
+// inter-region latency shapes every transfer, fleet client mass follows the
+// topology's region shares, and each fleet's cache-selection weights are
+// biased toward low-latency mirrors. Result.Regions then breaks the
+// coverage curve down per region with p50/p99 time-to-coverage, and a
+// region-scoped attack.Plan (TargetRegion) floods exactly one region's
+// caches.
+//
+// Spec.RaceK arms the racing client: 0 is the legacy single-cache client,
+// 1 a failover client, K>=2 races each fetch wave against K caches and the
+// first response wins. The simulator cannot cancel an in-flight transfer,
+// so a lost race's response still crosses the wire and is accounted as
+// Result.RaceWasteBytes/RaceLaggards — the honest price of racing. A wave
+// unanswered for Spec.RaceTimeout re-races against the next caches in the
+// fleet's weight ranking (Result.RaceTimeouts counts the re-races).
 package dircache

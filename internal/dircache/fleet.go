@@ -9,6 +9,7 @@ import (
 	"partialtor/internal/obs"
 	"partialtor/internal/sig"
 	"partialtor/internal/simnet"
+	"partialtor/internal/topo"
 )
 
 // CoveragePoint is one step of a coverage curve. In a fleet's local curve
@@ -46,11 +47,21 @@ type digestState struct {
 // verifier serves the whole fleet — the aggregation-level analogue of every
 // client checking its own chain, at one signature verification per distinct
 // document.
+//
+// With Spec.RaceK >= 1 every batch becomes a race: the batch is requested
+// from up to K caches at once, the first response wins, and laggard
+// downloads are discarded client-side with their bytes charged to
+// Result.RaceWasteBytes — the simulator cannot cancel an in-flight
+// transfer, so the duplicate egress is the honestly measured price of
+// racing. A wave that produces no response within Spec.RaceTimeout fails
+// over to the next K untried caches (weight-descending order), so K=1 is a
+// pure failover client and K>=2 is the drand-style optimizing client.
 type fleetNode struct {
 	spec    *Spec
 	clients int
 	caches  []simnet.NodeID
 	weights []float64 // normalized, len == len(caches)
+	region  topo.Region
 
 	unrequested int // clients that have not yet issued their first fetch
 	covered     int
@@ -77,6 +88,18 @@ type fleetNode struct {
 	extraFetches    int64 // re-fetch attempts verification caused
 	forkEvents      []forkEvent
 
+	// --- racing state (nil/zero unless Spec.RaceK >= 1) ---
+
+	races    map[int64]*raceState // live races by id; never iterated
+	nextRace int64                // race ids start at 1; 0 on the wire = legacy fetch
+
+	ranking   []int // cache indices, weight-descending, ties by index
+	rankDirty bool
+
+	raceWaste    int64 // bytes of laggard downloads discarded after a win
+	raceDup      int   // laggard batches discarded
+	raceTimeouts int   // waves that expired and failed over
+
 	// Per-fleet scratch: tick and armRetry run once per Tick per fleet for
 	// the whole fetch window, and without reuse each run allocates one
 	// slice per cache — the distribution tier's hot-path garbage.
@@ -92,6 +115,20 @@ type fleetNode struct {
 type forkEvent struct {
 	det    ForkDetection
 	blamed sig.Digest
+}
+
+// raceState tracks one racing batch: the clients it carries, which caches
+// have been asked, and how many answers are still outstanding. A finished
+// race (done) lingers in the map until every outstanding answer has drained
+// so laggards can be recognized and their bytes charged as racing waste.
+type raceState struct {
+	fulls, diffs int
+	sent         int // requests issued across all waves
+	answered     int // batches plus nacks received back
+	nacks        int // refusals among the answers
+	wave         int // guards stale wave timers
+	tried        []bool
+	done         bool
 }
 
 func (f *fleetNode) Start(ctx *simnet.Context) {
@@ -211,6 +248,25 @@ func (f *fleetNode) recomputeWeights() {
 		}
 	}
 	f.effWeights = masked
+	f.rankDirty = true
+}
+
+// cacheRanking is the failover order races walk through: caches sorted by
+// current selection weight, heaviest first, index breaking ties. Cached
+// until a distrust/retrust changes the weights.
+func (f *fleetNode) cacheRanking() []int {
+	if f.ranking != nil && !f.rankDirty {
+		return f.ranking
+	}
+	weights := f.curWeights()
+	r := f.ranking[:0]
+	for i := range weights {
+		r = append(r, i)
+	}
+	sort.SliceStable(r, func(a, b int) bool { return weights[r[a]] > weights[r[b]] })
+	f.ranking = r
+	f.rankDirty = false
+	return r
 }
 
 // tick issues this interval's fetch arrivals: per-cache Poisson draws whose
@@ -258,20 +314,162 @@ func (f *fleetNode) tick(ctx *simnet.Context, k int) {
 		}
 		f.unrequested -= n
 		diffs := binomial(ctx.Rand(), n, f.spec.DiffFraction)
-		ctx.Send(f.caches[i], &fleetFetch{fulls: n - diffs, diffs: diffs})
+		if f.spec.RaceK >= 1 {
+			f.startRace(ctx, i, n-diffs, diffs)
+		} else {
+			ctx.Send(f.caches[i], &fleetFetch{fulls: n - diffs, diffs: diffs})
+		}
 	}
 }
 
 func (f *fleetNode) Deliver(ctx *simnet.Context, from simnet.NodeID, msg simnet.Message) {
 	switch m := msg.(type) {
 	case *docBatch:
+		if m.race != 0 {
+			f.receiveRaceBatch(ctx, from, m)
+			return
+		}
 		f.receiveBatch(ctx, from, m)
 
 	case *fetchNack:
+		if m.race != 0 {
+			f.receiveRaceNack(ctx, m)
+			return
+		}
 		f.failed += int64(m.fulls + m.diffs)
 		f.pendingFulls += m.fulls
 		f.pendingDiffs += m.diffs
 		f.armRetry(ctx)
+	}
+}
+
+// startRace opens a race for one batch and sends its first wave, primary
+// (the weighted draw's cache) first.
+func (f *fleetNode) startRace(ctx *simnet.Context, primary, fulls, diffs int) {
+	if f.races == nil {
+		f.races = make(map[int64]*raceState)
+	}
+	f.nextRace++
+	id := f.nextRace
+	r := &raceState{fulls: fulls, diffs: diffs, tried: make([]bool, len(f.caches))}
+	f.races[id] = r
+	f.sendWave(ctx, id, r, primary)
+}
+
+// sendWave asks up to RaceK untried caches for the race's batch — the
+// primary first when one is given, then down the weight ranking — and arms
+// the failover timer. With nobody left to ask the race is abandoned into
+// the ordinary retry pool.
+func (f *fleetNode) sendWave(ctx *simnet.Context, id int64, r *raceState, primary int) {
+	weights := f.curWeights()
+	k := f.spec.RaceK
+	sent := 0
+	try := func(i int) {
+		if sent >= k || r.tried[i] || weights[i] <= 0 {
+			return
+		}
+		r.tried[i] = true
+		r.sent++
+		sent++
+		ctx.Send(f.caches[i], &fleetFetch{fulls: r.fulls, diffs: r.diffs, race: id})
+	}
+	if primary >= 0 {
+		try(primary)
+	}
+	for _, i := range f.cacheRanking() {
+		if sent >= k {
+			break
+		}
+		try(i)
+	}
+	if sent == 0 {
+		f.abandonRace(ctx, id, r)
+		return
+	}
+	wave := r.wave
+	ctx.After(f.spec.RaceTimeout, func() { f.raceTimeout(ctx, id, wave) })
+}
+
+// raceTimeout fires when a wave has produced no winner within RaceTimeout:
+// fail over to the next wave of untried caches.
+func (f *fleetNode) raceTimeout(ctx *simnet.Context, id int64, wave int) {
+	r := f.races[id]
+	if r == nil || r.done || r.wave != wave {
+		return
+	}
+	r.wave++
+	f.raceTimeouts++
+	f.sendWave(ctx, id, r, -1)
+}
+
+// receiveRaceBatch settles a race on its first response — which then flows
+// through the ordinary verification/acceptance path — and writes every
+// later response off as racing waste.
+func (f *fleetNode) receiveRaceBatch(ctx *simnet.Context, from simnet.NodeID, m *docBatch) {
+	r := f.races[m.race]
+	if r == nil || r.done {
+		// A laggard (or a response to an abandoned race): its clients were
+		// satisfied — or re-pooled — elsewhere, but the download still
+		// crossed the network. That duplicate egress is the price of racing.
+		f.raceDup++
+		f.raceWaste += m.bytes
+		if r != nil {
+			r.answered++
+			f.finishRace(m.race, r)
+		}
+		return
+	}
+	r.answered++
+	r.done = true
+	f.finishRace(m.race, r)
+	f.receiveBatch(ctx, from, m)
+}
+
+// receiveRaceNack records one cache's refusal. A race only gives up when
+// every request so far was refused and no untried cache remains; otherwise
+// the outstanding requests or the wave timer keep it alive.
+func (f *fleetNode) receiveRaceNack(ctx *simnet.Context, m *fetchNack) {
+	f.failed += int64(m.fulls + m.diffs)
+	r := f.races[m.race]
+	if r == nil {
+		return
+	}
+	r.answered++
+	r.nacks++
+	if !r.done && r.nacks == r.sent && f.nextUntried(r) < 0 {
+		f.abandonRace(ctx, m.race, r)
+		return
+	}
+	f.finishRace(m.race, r)
+}
+
+// nextUntried is the first cache (by failover ranking) the race has not
+// asked yet and could still ask, or -1.
+func (f *fleetNode) nextUntried(r *raceState) int {
+	weights := f.curWeights()
+	for _, i := range f.cacheRanking() {
+		if !r.tried[i] && weights[i] > 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// abandonRace pools a race's clients into the coalesced retry path — the
+// same place legacy refused fetches go — and marks it settled so any
+// still-outstanding response is written off as waste.
+func (f *fleetNode) abandonRace(ctx *simnet.Context, id int64, r *raceState) {
+	r.done = true
+	f.pendingFulls += r.fulls
+	f.pendingDiffs += r.diffs
+	f.finishRace(id, r)
+	f.armRetry(ctx)
+}
+
+// finishRace drops a settled race once all its outstanding answers drained.
+func (f *fleetNode) finishRace(id int64, r *raceState) {
+	if r.done && r.answered >= r.sent {
+		delete(f.races, id)
 	}
 }
 
@@ -522,7 +720,11 @@ func (f *fleetNode) armRetry(ctx *simnet.Context) {
 			if fullSplit[i]+diffSplit[i] == 0 {
 				continue
 			}
-			ctx.Send(f.caches[i], &fleetFetch{fulls: fullSplit[i], diffs: diffSplit[i]})
+			if f.spec.RaceK >= 1 {
+				f.startRace(ctx, i, fullSplit[i], diffSplit[i])
+			} else {
+				ctx.Send(f.caches[i], &fleetFetch{fulls: fullSplit[i], diffs: diffSplit[i]})
+			}
 		}
 	})
 }

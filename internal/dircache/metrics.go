@@ -11,6 +11,7 @@ import (
 	"partialtor/internal/client"
 	"partialtor/internal/sig"
 	"partialtor/internal/simnet"
+	"partialtor/internal/topo"
 )
 
 // Result is the outcome of one distribution phase.
@@ -81,8 +82,49 @@ type Result struct {
 	// trusting (sorted, deduplicated).
 	DistrustedCaches []int
 
+	// --- racing-client outcomes (all zero unless Spec.RaceK >= 1) ---
+
+	// RaceWasteBytes is the payload of laggard downloads the racing clients
+	// discarded after another cache had already won the race — the duplicate
+	// egress racing costs the cache tier.
+	RaceWasteBytes int64
+	// RaceLaggards counts those discarded batches.
+	RaceLaggards int
+	// RaceTimeouts counts waves that expired without a response and failed
+	// over to the next set of caches.
+	RaceTimeouts int
+
+	// Regions is the per-region coverage breakdown, ordered by region index.
+	// Nil for flat (topology-less) runs.
+	Regions []RegionCoverage
+
 	// Stats is the transport-level accounting of the distribution network.
 	Stats simnet.Stats
+}
+
+// RegionCoverage is one region's slice of the distribution outcome: its
+// client population, how much of it finished, and how long the region's
+// median and tail clients waited.
+type RegionCoverage struct {
+	Region  topo.Region
+	Name    string
+	Clients int
+	Covered int
+	// Points is the region's cumulative coverage curve.
+	Points []CoveragePoint
+	// TimeToTarget is when the region reached Spec.TargetCoverage; P50 and
+	// P99 when half and 99% of its population held the consensus
+	// (simnet.Never where the mark was missed).
+	TimeToTarget time.Duration
+	P50, P99     time.Duration
+}
+
+// Coverage is the region's final covered fraction.
+func (rc *RegionCoverage) Coverage() float64 {
+	if rc.Clients == 0 {
+		return 0
+	}
+	return float64(rc.Covered) / float64(rc.Clients)
 }
 
 // ForkDetection is one caught equivocation: the proposal-239 fork proof the
@@ -112,6 +154,9 @@ func collect(spec Spec, net *simnet.Network, authIDs, cacheIDs, fleetIDs []simne
 		res.Misled += f.misled
 		res.StaleRejections += f.staleRejections
 		res.ExtraFetches += f.extraFetches
+		res.RaceWasteBytes += f.raceWaste
+		res.RaceLaggards += f.raceDup
+		res.RaceTimeouts += f.raceTimeouts
 		for i, ok := range f.trust {
 			if !ok {
 				distrusted[i] = true
@@ -143,19 +188,8 @@ func collect(spec Spec, net *simnet.Network, authIDs, cacheIDs, fleetIDs []simne
 		res.DistrustedCaches = append(res.DistrustedCaches, i)
 	}
 	sort.Ints(res.DistrustedCaches)
-	sort.Slice(res.Points, func(i, j int) bool { return res.Points[i].At < res.Points[j].At })
-	// Collapse to a cumulative curve with one point per instant.
-	cum := 0
-	merged := res.Points[:0]
-	for _, p := range res.Points {
-		cum += p.Count
-		if n := len(merged); n > 0 && merged[n-1].At == p.At {
-			merged[n-1].Count = cum
-			continue
-		}
-		merged = append(merged, CoveragePoint{At: p.At, Count: cum})
-	}
-	res.Points = merged
+	res.Points = cumulativeCurve(res.Points)
+	res.Regions = regionBreakdown(spec, fleets)
 
 	for _, c := range caches {
 		res.CacheFallbacks += int64(c.fallbacks())
@@ -181,6 +215,70 @@ func collect(spec Spec, net *simnet.Network, authIDs, cacheIDs, fleetIDs []simne
 	res.Stats = net.Stats()
 	res.TimeToTarget = res.TimeToCoverage(spec.TargetCoverage)
 	return res
+}
+
+// cumulativeCurve sorts per-fleet deltas by time and collapses them into a
+// cumulative curve with one point per instant, reusing the input's backing
+// array.
+func cumulativeCurve(points []CoveragePoint) []CoveragePoint {
+	sort.Slice(points, func(i, j int) bool { return points[i].At < points[j].At })
+	cum := 0
+	merged := points[:0]
+	for _, p := range points {
+		cum += p.Count
+		if n := len(merged); n > 0 && merged[n-1].At == p.At {
+			merged[n-1].Count = cum
+			continue
+		}
+		merged = append(merged, CoveragePoint{At: p.At, Count: cum})
+	}
+	return merged
+}
+
+// regionBreakdown groups the fleets by region and derives each region's
+// coverage curve and latency marks. Flat runs have no breakdown.
+func regionBreakdown(spec Spec, fleets []*fleetNode) []RegionCoverage {
+	tp := spec.Topology
+	if tp == nil {
+		return nil
+	}
+	out := make([]RegionCoverage, tp.NumRegions())
+	for r := range out {
+		out[r].Region = topo.Region(r)
+		out[r].Name = tp.RegionName(topo.Region(r))
+		out[r].TimeToTarget = simnet.Never
+		out[r].P50 = simnet.Never
+		out[r].P99 = simnet.Never
+	}
+	for _, f := range fleets {
+		rc := &out[f.region]
+		rc.Clients += f.clients
+		rc.Covered += f.covered
+		rc.Points = append(rc.Points, f.points...)
+	}
+	for r := range out {
+		rc := &out[r]
+		rc.Points = cumulativeCurve(rc.Points)
+		rc.TimeToTarget = timeToFraction(rc.Points, rc.Clients, spec.TargetCoverage)
+		rc.P50 = timeToFraction(rc.Points, rc.Clients, 0.5)
+		rc.P99 = timeToFraction(rc.Points, rc.Clients, 0.99)
+	}
+	return out
+}
+
+// timeToFraction is the first instant a cumulative curve reaches frac of a
+// population of total clients, or simnet.Never.
+func timeToFraction(points []CoveragePoint, total int, frac float64) time.Duration {
+	need := int(math.Ceil(frac * float64(total)))
+	if need < 1 {
+		need = 1
+	}
+	for _, p := range points {
+		if p.Count >= need {
+			return p.At
+		}
+	}
+	return simnet.Never
 }
 
 // digestPair keys a fork proof by its unordered conflicting digests, so the
@@ -254,16 +352,7 @@ func (r *Result) NaiveCoverage() float64 {
 // TimeToCoverage returns the first instant at which at least frac of the
 // population held the consensus, or simnet.Never.
 func (r *Result) TimeToCoverage(frac float64) time.Duration {
-	need := int(math.Ceil(frac * float64(r.TotalClients)))
-	if need < 1 {
-		need = 1
-	}
-	for _, p := range r.Points {
-		if p.Count >= need {
-			return p.At
-		}
-	}
-	return simnet.Never
+	return timeToFraction(r.Points, r.TotalClients, frac)
 }
 
 // FleetRun converts the distribution outcome of one consensus period into a
@@ -306,6 +395,10 @@ func (r *Result) Summary() string {
 	if r.Misled > 0 || r.StaleRejections > 0 || len(r.ForkDetections) > 0 {
 		fmt.Fprintf(&b, "; %d misled, %d stale rejections, %d forks detected, %d extra fetches",
 			r.Misled, r.StaleRejections, len(r.ForkDetections), r.ExtraFetches)
+	}
+	if r.Spec.RaceK >= 1 {
+		fmt.Fprintf(&b, "; racing K=%d: %d laggards (%.1f MB wasted), %d wave timeouts",
+			r.Spec.RaceK, r.RaceLaggards, float64(r.RaceWasteBytes)/1e6, r.RaceTimeouts)
 	}
 	return b.String()
 }

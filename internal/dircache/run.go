@@ -1,9 +1,13 @@
 package dircache
 
 import (
+	"fmt"
+	"sort"
+
 	"partialtor/internal/attack"
 	"partialtor/internal/obs"
 	"partialtor/internal/simnet"
+	"partialtor/internal/topo"
 )
 
 // Run simulates one distribution phase: authority stubs publish at
@@ -15,14 +19,39 @@ func Run(spec Spec) (*Result, error) {
 	}
 	spec = spec.withDefaults()
 
-	net := simnet.New(simnet.Config{Seed: spec.Seed, Overhead: 64})
+	net := simnet.New(simnet.Config{Seed: spec.Seed, Overhead: 64, Topology: spec.Topology})
 	tracer := obs.WithLayer(spec.Tracer, "dist")
 	net.SetObs(tracer)
 
+	// Regional placement (all nil/0 under the flat model): infrastructure
+	// tiers land in contiguous per-region blocks sized by the region
+	// shares; fleets cycle through the regions and carry their region's
+	// share of the client population.
+	tp := spec.Topology
+	var authRegions, cacheRegions, fleetRegions []topo.Region
+	if tp != nil {
+		authRegions = topo.PlaceTier(tp, spec.Authorities)
+		cacheRegions = topo.PlaceTier(tp, spec.Caches)
+		fleetRegions = make([]topo.Region, spec.Fleets)
+		for i := range fleetRegions {
+			fleetRegions[i] = topo.Region(i % tp.NumRegions())
+		}
+	}
+
 	// Compile private copies of the plans so a spec whose Attacks slice is
 	// shared across concurrently running sweeps is never mutated here.
+	// Region-scoped plans resolve against the placement first, so "flood
+	// the EU mirrors" turns into the EU block's indices here and nowhere
+	// else.
 	attacks := append([]attack.Plan(nil), spec.Attacks...)
 	for i := range attacks {
+		tierSize := spec.Authorities
+		if attacks[i].Tier == attack.TierCache {
+			tierSize = spec.Caches
+		}
+		if err := attacks[i].ResolveRegion(tp, tierSize); err != nil {
+			return nil, fmt.Errorf("dircache: attack %d: %w", i, err)
+		}
 		attacks[i].Compile()
 		attacks[i].Trace(tracer)
 	}
@@ -31,10 +60,11 @@ func Run(spec Spec) (*Result, error) {
 	authIDs := make([]simnet.NodeID, spec.Authorities)
 	for i := range authIDs {
 		stub := &authorityStub{spec: &spec, publishAt: spec.PublishAt}
-		up := simnet.NewProfile(spec.AuthorityBandwidth)
-		down := simnet.NewProfile(spec.AuthorityBandwidth)
+		region, bw := nodePlacement(tp, authRegions, i, spec.AuthorityBandwidth)
+		up := simnet.NewProfile(bw)
+		down := simnet.NewProfile(bw)
 		applyAttacks(attacks, attack.TierAuthority, i, up, down)
-		authIDs[i] = net.AddNode(stub, up, down)
+		authIDs[i] = net.AddNodeIn(stub, up, down, region)
 	}
 
 	compromise := spec.activeCompromise()
@@ -46,30 +76,32 @@ func Run(spec Spec) (*Result, error) {
 			spec:      &spec,
 			role:      roles[i],
 			chainCtx:  spec.Chain,
-			authOrder: authorityOrder(authIDs, i),
+			authOrder: authorityOrder(tp, authIDs, authRegions, cacheRegions, i),
 		}
-		up := simnet.NewProfile(spec.CacheBandwidth)
-		down := simnet.NewProfile(spec.CacheBandwidth)
+		region, bw := nodePlacement(tp, cacheRegions, i, spec.CacheBandwidth)
+		up := simnet.NewProfile(bw)
+		down := simnet.NewProfile(bw)
 		applyAttacks(attacks, attack.TierCache, i, up, down)
 		caches[i] = c
-		cacheIDs[i] = net.AddNode(c, up, down)
+		cacheIDs[i] = net.AddNodeIn(c, up, down, region)
 	}
 
 	weights := normalizeWeights(spec.Weights, spec.Caches)
 	fleets := make([]*fleetNode, spec.Fleets)
 	fleetIDs := make([]simnet.NodeID, spec.Fleets)
-	base, extra := spec.Clients/spec.Fleets, spec.Clients%spec.Fleets
+	fleetClients := splitClients(tp, fleetRegions, spec.Fleets, spec.Clients)
 	for i := range fleets {
-		clients := base
-		if i < extra {
-			clients++
-		}
-		f := &fleetNode{spec: &spec, clients: clients, caches: cacheIDs,
+		f := &fleetNode{spec: &spec, clients: fleetClients[i], caches: cacheIDs,
 			weights: weights, chainCtx: spec.Chain}
-		up := simnet.NewProfile(spec.FleetBandwidth)
-		down := simnet.NewProfile(spec.FleetBandwidth)
+		region, bw := nodePlacement(tp, fleetRegions, i, spec.FleetBandwidth)
+		if tp != nil {
+			f.region = region
+			f.weights = biasWeights(tp, region, cacheRegions, weights)
+		}
+		up := simnet.NewProfile(bw)
+		down := simnet.NewProfile(bw)
 		fleets[i] = f
-		fleetIDs[i] = net.AddNode(f, up, down)
+		fleetIDs[i] = net.AddNodeIn(f, up, down, region)
 	}
 
 	// Equivocating caches fork to a prefix of the fleets: deterministic, so
@@ -89,6 +121,101 @@ func Run(spec Spec) (*Result, error) {
 
 	net.Run(spec.RunLimit)
 	return collect(spec, net, authIDs, cacheIDs, fleetIDs, caches, fleets), nil
+}
+
+// nodePlacement resolves one node's region and tier-scaled bandwidth; the
+// flat model (nil topology) keeps region 0 and the nominal figure.
+func nodePlacement(tp topo.Topology, regions []topo.Region, i int, nominal float64) (topo.Region, float64) {
+	if tp == nil {
+		return 0, nominal
+	}
+	r := regions[i]
+	return r, tp.Bandwidth(r, nominal)
+}
+
+// splitClients sizes the fleets: uniformly under the flat model (the
+// historical base/extra split), by region share under a topology — a fleet
+// aggregates its region's slice of the population, split evenly among the
+// region's fleets, apportioned by largest remainder so exactly Clients
+// clients exist.
+func splitClients(tp topo.Topology, fleetRegions []topo.Region, fleets, clients int) []int {
+	out := make([]int, fleets)
+	if tp == nil {
+		base, extra := clients/fleets, clients%fleets
+		for i := range out {
+			out[i] = base
+			if i < extra {
+				out[i]++
+			}
+		}
+		return out
+	}
+	perRegion := make(map[topo.Region]int)
+	for _, r := range fleetRegions {
+		perRegion[r]++
+	}
+	// Region shares are not exposed directly; recover each region's share
+	// of a large placed tier, which is proportional by construction.
+	const probe = 1 << 16
+	regionShare := make([]float64, tp.NumRegions())
+	for i := 0; i < probe; i++ {
+		regionShare[tp.Place(i, probe)]++
+	}
+	w := make([]float64, fleets)
+	total := 0.0
+	for i, r := range fleetRegions {
+		w[i] = regionShare[r] / float64(perRegion[r])
+		total += w[i]
+	}
+	if total <= 0 {
+		for i := range w {
+			w[i], total = 1, float64(fleets)
+		}
+		total = float64(fleets)
+	}
+	used := 0
+	fracs := make([]float64, fleets)
+	for i := range out {
+		exact := float64(clients) * w[i] / total
+		out[i] = int(exact)
+		fracs[i] = exact - float64(out[i])
+		used += out[i]
+	}
+	for used < clients {
+		best := 0
+		for i := 1; i < fleets; i++ {
+			if fracs[i] > fracs[best] {
+				best = i
+			}
+		}
+		out[best]++
+		fracs[best] = -1
+		used++
+	}
+	return out
+}
+
+// biasWeights tilts a fleet's cache-selection weights toward nearby caches:
+// each weight is divided by the expected one-way latency to the cache (base
+// plus half the jitter span, floored to keep intra-region preference
+// finite), then renormalized. This is the aggregate analogue of clients
+// preferring low-RTT mirrors; it is deterministic, so installing a topology
+// perturbs no RNG draw.
+func biasWeights(tp topo.Topology, fleetRegion topo.Region, cacheRegions []topo.Region, weights []float64) []float64 {
+	out := make([]float64, len(weights))
+	total := 0.0
+	for i, w := range weights {
+		lat := tp.BaseLatency(fleetRegion, cacheRegions[i]) + tp.Jitter(fleetRegion, cacheRegions[i])/2
+		out[i] = w / (lat.Seconds() + 0.025)
+		total += out[i]
+	}
+	if total <= 0 {
+		return weights
+	}
+	for i := range out {
+		out[i] /= total
+	}
+	return out
 }
 
 // cacheRoles maps an active compromise plan onto per-cache behaviors.
@@ -130,13 +257,25 @@ func applyAttacks(plans []attack.Plan, tier attack.Tier, index int, up, down *si
 	}
 }
 
-// authorityOrder is cache i's fallback order: a rotation of the authority
-// list, so the initial fetch load spreads evenly over the authorities.
-func authorityOrder(auths []simnet.NodeID, i int) []simnet.NodeID {
+// authorityOrder is cache i's fallback order. Flat runs rotate the
+// authority list so the initial fetch load spreads evenly; under a topology
+// the cache prefers nearby authorities (stable-sorted by expected one-way
+// latency from its region, rotation rank breaking ties so co-located caches
+// still spread their load).
+func authorityOrder(tp topo.Topology, auths []simnet.NodeID, authRegions []topo.Region, cacheRegions []topo.Region, i int) []simnet.NodeID {
 	out := make([]simnet.NodeID, len(auths))
 	for k := range out {
 		out[k] = auths[(i+k)%len(auths)]
 	}
+	if tp == nil {
+		return out
+	}
+	cr := cacheRegions[i]
+	sort.SliceStable(out, func(a, b int) bool {
+		la := tp.BaseLatency(cr, authRegions[int(out[a])])
+		lb := tp.BaseLatency(cr, authRegions[int(out[b])])
+		return la < lb
+	})
 	return out
 }
 

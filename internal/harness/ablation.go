@@ -161,7 +161,7 @@ func AblationDelta(ctx context.Context, p DeltaParams) (*DeltaResult, error) {
 		if c.Value("crash").(bool) {
 			cfg.Silent = map[int]bool{8: true}
 		}
-		net, ups, downs := buildNetwork(Scenario{N: 9, Bandwidth: DefaultBandwidth, Seed: p.Seed}.withDefaults())
+		net, ups, downs, _ := buildNetwork(Scenario{N: 9, Bandwidth: DefaultBandwidth, Seed: p.Seed}.withDefaults())
 		auths := core.NewAuthorities(cfg)
 		for i, a := range auths {
 			net.AddNode(a, ups[i], downs[i])

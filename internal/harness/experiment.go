@@ -11,6 +11,7 @@ import (
 	"partialtor/internal/dircache"
 	"partialtor/internal/obs"
 	"partialtor/internal/sig"
+	"partialtor/internal/topo"
 )
 
 // Phase names one stage of the experiment pipeline. Every experiment runs
@@ -141,6 +142,17 @@ func WithDistribution(spec dircache.Spec) ExperimentOption {
 	return func(e *Experiment) error {
 		sp := spec
 		e.dist = &sp
+		return nil
+	}
+}
+
+// WithTopology places every period's networks on the given regional map
+// (authority placement and latencies in the consensus phase, cache and
+// fleet placement plus per-region coverage in the Distribute phase).
+// Passing nil keeps the flat model.
+func WithTopology(t topo.Topology) ExperimentOption {
+	return func(e *Experiment) error {
+		e.base.Topology = t
 		return nil
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"partialtor/internal/dircache"
 	"partialtor/internal/obs"
 	"partialtor/internal/simnet"
+	"partialtor/internal/topo"
 )
 
 // The golden kernel corpus pins byte-identical outputs of the simulation
@@ -50,6 +51,20 @@ var goldenKernelDigests = map[string]string{
 	"Ours/seed7/compromised":         "e08acbb12e1fb9ea09cf08b7ebd131c5353f3b215170ccd64b99d1c72f969999",
 	"Ours/seed42/attacked":           "6ee696ced497c97c66d97b78e28798fbaaf79f3123b632b2bdaa99aa676207a8",
 	"Ours/seed42/compromised":        "504d2e1da16cd2759bfec94da2f5b850b43bd182aedfbe8778c33a8a068a2eac",
+
+	// The regional cells pin the topology layer: continental placement and
+	// latencies, a region-scoped mirror flood, and the K=2 racing client.
+	// They were recorded after the cells above and extend the corpus — the
+	// flat cells' digests did not change when the topology layer landed.
+	"Current/seed1/regional":      "4a93099c085443dd5b7f537a07b14d1fb87e6ffcb917ed95d33f80fcaf421417",
+	"Current/seed7/regional":      "3c4c50a0eec792e9cab697f14325e0ab9482ef5f08590a98c48750847800eff5",
+	"Current/seed42/regional":     "3d6a73785ead629ed4547404e7c0afef54f1d0316e49a9bc0e6b53819d25cdf6",
+	"Synchronous/seed1/regional":  "9613a2da96ef915d585e01cfa2f2d1e814d2a36f62c3e368a4ee2db805dbdd74",
+	"Synchronous/seed7/regional":  "4654fc35793318946da15a1882ec784efd9f8aed3eabc61a1219beb6df9a4e66",
+	"Synchronous/seed42/regional": "41aac68126b61441db270fc7964d3690179622a417881573db21a64e1a22dbd9",
+	"Ours/seed1/regional":         "b6a16182dfbce1960644a9c156cbf6de369bf0b3f71350a361a9410e7c9f58e7",
+	"Ours/seed7/regional":         "88b24ec428858cb87964c8f70c7a85c7bfbebb3e8bfd076d1cd4aaf8fb40aecb",
+	"Ours/seed42/regional":        "81d4f6e20eb5ad16b29607e7505d7a886e8f89e5585a6310f26368b955ac0c76",
 }
 
 // goldenSeeds are the corpus seeds; small primes apart so the latency maps
@@ -85,6 +100,37 @@ func goldenAttacked(p Protocol, seed int64) Scenario {
 				Start:    0,
 				End:      2 * time.Minute,
 				Residual: 1e6,
+			}},
+		},
+	}
+}
+
+// goldenRegional is the topology-layer scenario: authorities and caches
+// placed on the continental map, an "eu"-scoped cache flood resolved against
+// that placement, and fleets running the K=2 racing client — the regional
+// latency maps, region targeting and racing paths in one deterministic run.
+func goldenRegional(p Protocol, seed int64) Scenario {
+	return Scenario{
+		Protocol:     p,
+		Relays:       150,
+		EntryPadding: 0,
+		Round:        15 * time.Second,
+		Seed:         seed,
+		Topology:     topo.Continents(),
+		Distribution: &dircache.Spec{
+			Clients:     20_000,
+			Caches:      6,
+			Fleets:      6,
+			RaceK:       2,
+			RaceTimeout: 10 * time.Second,
+			FetchWindow: 6 * time.Minute,
+			Tick:        5 * time.Second,
+			Attacks: []attack.Plan{{
+				Tier:         attack.TierCache,
+				TargetRegion: "eu",
+				Start:        0,
+				End:          2 * time.Minute,
+				Residual:     1e6,
 			}},
 		},
 	}
@@ -169,6 +215,16 @@ func hashDistribution(w io.Writer, d *dircache.Result) {
 	}
 	fmt.Fprintf(w, "misled=%d stale=%d extra=%d distrusted=%v\n",
 		d.Misled, d.StaleRejections, d.ExtraFetches, d.DistrustedCaches)
+	// Racing and region lines appear only when those features ran, so the
+	// flat corpus cells hash the exact bytes they always did.
+	if d.Spec.RaceK >= 1 {
+		fmt.Fprintf(w, "race k=%d waste=%d laggards=%d timeouts=%d\n",
+			d.Spec.RaceK, d.RaceWasteBytes, d.RaceLaggards, d.RaceTimeouts)
+	}
+	for _, rc := range d.Regions {
+		fmt.Fprintf(w, "region=%s clients=%d covered=%d target=%d p50=%d p99=%d\n",
+			rc.Name, rc.Clients, rc.Covered, rc.TimeToTarget, rc.P50, rc.P99)
+	}
 	for _, det := range d.ForkDetections {
 		fmt.Fprintf(w, "fork at=%d caches=%v", det.At, det.Caches)
 		if det.Proof != nil {
@@ -178,13 +234,16 @@ func hashDistribution(w io.Writer, d *dircache.Result) {
 	}
 }
 
+// goldenKinds are the corpus cell kinds, one scenario builder each.
+var goldenKinds = []string{"attacked", "compromised", "regional"}
+
 // goldenDigest runs one corpus cell and returns the hex digest of its
 // observable output. A non-nil tracer is attached to the run — the digest
 // must not change (the observability layer's zero-perturbation contract).
-func goldenDigest(t *testing.T, p Protocol, seed int64, compromised bool, tracer obs.Tracer) string {
+func goldenDigest(t *testing.T, p Protocol, seed int64, kind string, tracer obs.Tracer) string {
 	t.Helper()
 	h := sha256.New()
-	if compromised {
+	if kind == "compromised" {
 		exp, err := goldenCompromised(p, seed, tracer)
 		if err != nil {
 			t.Fatal(err)
@@ -202,6 +261,9 @@ func goldenDigest(t *testing.T, p Protocol, seed int64, compromised bool, tracer
 		fmt.Fprintf(h, "forks=%d misled=%d\n", res.ForksDetected, res.MisledClients)
 	} else {
 		s := goldenAttacked(p, seed)
+		if kind == "regional" {
+			s = goldenRegional(p, seed)
+		}
 		s.Tracer = tracer
 		res, err := RunE(t.Context(), s)
 		if err != nil {
@@ -209,7 +271,7 @@ func goldenDigest(t *testing.T, p Protocol, seed int64, compromised bool, tracer
 		}
 		hashRun(h, res)
 		if res.Distribution == nil {
-			t.Fatal("attacked corpus scenario produced no distribution phase")
+			t.Fatalf("%s corpus scenario produced no distribution phase", kind)
 		}
 		hashDistribution(h, res.Distribution)
 	}
@@ -226,16 +288,12 @@ func TestGoldenCorpusTracingNeutral(t *testing.T) {
 		t.Skip("recording digests; the nil-tracer pass owns the corpus")
 	}
 	for _, p := range []Protocol{Current, Synchronous, ICPS} {
-		for _, compromised := range []bool{false, true} {
-			kind := "attacked"
-			if compromised {
-				kind = "compromised"
-			}
+		for _, kind := range goldenKinds {
 			name := fmt.Sprintf("%s/seed1/%s", p, kind)
 			t.Run(name, func(t *testing.T) {
 				rec := obs.NewRecorder(0)
 				tracer := obs.Tee(rec, obs.NewDetector(obs.DetectorConfig{}))
-				got := goldenDigest(t, p, 1, compromised, tracer)
+				got := goldenDigest(t, p, 1, kind, tracer)
 				if want := goldenKernelDigests[name]; got != want {
 					t.Errorf("recording tracer perturbed the kernel for %s:\n  got  %s\n  want %s", name, got, want)
 				}
@@ -252,14 +310,10 @@ func TestGoldenKernelCorpus(t *testing.T) {
 	record := os.Getenv("GOLDEN_RECORD") != ""
 	for _, p := range []Protocol{Current, Synchronous, ICPS} {
 		for _, seed := range goldenSeeds {
-			for _, compromised := range []bool{false, true} {
-				kind := "attacked"
-				if compromised {
-					kind = "compromised"
-				}
+			for _, kind := range goldenKinds {
 				name := fmt.Sprintf("%s/seed%d/%s", p, seed, kind)
 				t.Run(name, func(t *testing.T) {
-					got := goldenDigest(t, p, seed, compromised, nil)
+					got := goldenDigest(t, p, seed, kind, nil)
 					if record {
 						fmt.Printf("\t%q: %q,\n", name, got)
 						return

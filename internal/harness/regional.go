@@ -1,0 +1,157 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"partialtor/internal/attack"
+	"partialtor/internal/dircache"
+	"partialtor/internal/simnet"
+	"partialtor/internal/sweep"
+	"partialtor/internal/topo"
+)
+
+// RegionalRow is one cell of the regional-flood experiment: a distribution
+// run on the continental topology, with or without the flood on one region's
+// mirrors, at one racing-client width.
+type RegionalRow struct {
+	Flood bool // the region's caches knocked offline for the whole window
+	RaceK int  // racing-client width (0 = legacy client)
+	// Coverage is the fraction of clients covered when the fetch window
+	// closes; T99 the time to 99% coverage (simnet.Never if unreached).
+	Coverage float64
+	T99      time.Duration
+	// RegionP99 is the flooded region's own 99th-percentile fetch time —
+	// where a regional flood actually bites.
+	RegionP99 time.Duration
+	// WasteBytes and Timeouts price the racing: duplicate egress from
+	// laggard responses, and wave timeouts that triggered a re-race.
+	WasteBytes int64
+	Timeouts   int
+}
+
+// RegionalResult compares legacy and racing clients under a regional mirror
+// flood. The headline: under a flood that strands legacy clients for the
+// window, racing K>=2 keeps the flooded region near full coverage at the
+// price of duplicate cache egress.
+type RegionalResult struct {
+	Region string
+	Window time.Duration
+	Rows   []RegionalRow
+}
+
+// RegionalParams scales the experiment (zero values = demo scale).
+type RegionalParams struct {
+	Clients int           // default 200 000
+	Caches  int           // default 24
+	Fleets  int           // default two per continent
+	Window  time.Duration // default 30 minutes
+	Region  string        // flooded region, default "eu"
+	RaceKs  []int         // racing widths to sweep, default {0, 2}
+	Seed    int64         // default 42
+	Workers int           // sweep worker pool: 0 = all cores, 1 = serial
+	// OnCell, when set, observes sweep progress: called once per finished
+	// cell with the completion count, the grid size, and the cell's error.
+	OnCell func(done, total int, cellErr error)
+}
+
+// RegionalTable runs the flood × racing-width grid on the continental
+// topology and reports per-cell coverage, time to 99%, the flooded region's
+// p99 and the racing overhead. Cells fan out over the sweep engine.
+func RegionalTable(ctx context.Context, p RegionalParams) (*RegionalResult, error) {
+	tp := topo.Continents()
+	if p.Clients == 0 {
+		p.Clients = 200_000
+	}
+	if p.Caches == 0 {
+		p.Caches = 24
+	}
+	if p.Fleets == 0 {
+		p.Fleets = 2 * tp.NumRegions()
+	}
+	if p.Window == 0 {
+		p.Window = 30 * time.Minute
+	}
+	if p.Region == "" {
+		p.Region = "eu"
+	}
+	if len(p.RaceKs) == 0 {
+		p.RaceKs = []int{0, 2}
+	}
+	if p.Seed == 0 {
+		p.Seed = 42
+	}
+	res := &RegionalResult{Region: p.Region, Window: p.Window}
+	grid := sweep.MustNew(
+		sweep.Of("flood", false, true),
+		sweep.Ints("race", p.RaceKs...),
+	)
+	results, err := sweepE(ctx, grid, sweep.Params{Workers: p.Workers, OnCell: p.OnCell}, func(_ context.Context, c sweep.Cell) (RegionalRow, error) {
+		row := RegionalRow{Flood: c.Value("flood").(bool), RaceK: c.Int("race")}
+		spec := dircache.Spec{
+			Clients:     p.Clients,
+			Caches:      p.Caches,
+			Fleets:      p.Fleets,
+			FetchWindow: p.Window,
+			Seed:        p.Seed,
+			Topology:    tp,
+			RaceK:       row.RaceK,
+		}
+		if row.Flood {
+			spec.Attacks = []attack.Plan{{
+				Tier:         attack.TierCache,
+				TargetRegion: p.Region,
+				Start:        0,
+				End:          p.Window + time.Hour,
+				Residual:     0,
+			}}
+		}
+		r, err := dircache.Run(spec)
+		if err != nil {
+			return RegionalRow{}, err
+		}
+		row.Coverage = r.CoverageAt(p.Window)
+		row.T99 = r.TimeToCoverage(0.99)
+		row.WasteBytes = r.RaceWasteBytes
+		row.Timeouts = r.RaceTimeouts
+		row.RegionP99 = simnet.Never
+		for _, rc := range r.Regions {
+			if rc.Name == p.Region {
+				row.RegionP99 = rc.P99
+			}
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range results {
+		res.Rows = append(res.Rows, r.Value)
+	}
+	return res, nil
+}
+
+// Render prints the comparison table.
+func (r *RegionalResult) Render() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		flood := "healthy"
+		if row.Flood {
+			flood = r.Region + " offline"
+		}
+		rows = append(rows, []string{
+			flood,
+			fmt.Sprintf("%d", row.RaceK),
+			fmt.Sprintf("%.1f%%", 100*row.Coverage),
+			fmtLatency(row.T99),
+			fmtLatency(row.RegionP99),
+			fmtBytes(row.WasteBytes),
+			fmt.Sprintf("%d", row.Timeouts),
+		})
+	}
+	title := fmt.Sprintf("Regional: %q mirror flood vs racing clients (continents, %v window)", r.Region, r.Window)
+	return renderTable(title,
+		[]string{"Tier", "Race K", "Coverage", "t99 (s)", r.Region + " p99 (s)", "Race waste", "Timeouts"},
+		rows)
+}

@@ -42,6 +42,7 @@ import (
 	"partialtor/internal/relay"
 	"partialtor/internal/sig"
 	"partialtor/internal/simnet"
+	"partialtor/internal/topo"
 	"partialtor/internal/vote"
 )
 
@@ -109,6 +110,12 @@ type Scenario struct {
 	// scenario seed) when left zero, and Attack is carried over into the
 	// spec's Attacks unless it already holds an authority-tier plan.
 	Distribution *dircache.Spec
+	// Topology, if non-nil, places the authorities in regions and gives the
+	// protocol network region-pair latencies and region-scaled bandwidth
+	// (see internal/topo). It carries over into the distribution phase
+	// unless Distribution.Topology is set explicitly. Nil keeps the
+	// historical flat model, bit for bit.
+	Topology topo.Topology
 	// Seed drives all randomness.
 	Seed int64
 	// RunLimit bounds the simulation; 0 derives a sensible limit.
@@ -248,14 +255,19 @@ func Inputs(s Scenario) ([]*sig.KeyPair, []*vote.Document) {
 	return e.keys, e.docs
 }
 
-// buildNetwork wires an n-node network with the scenario's bandwidth and
-// attack plan applied.
-func buildNetwork(s Scenario) (*simnet.Network, []*simnet.Profile, []*simnet.Profile) {
-	net := simnet.New(simnet.Config{Seed: s.Seed, Overhead: 128})
+// buildNetwork wires an n-node network with the scenario's bandwidth,
+// topology placement and attack plan applied. The returned regions slice is
+// the authorities' placement (all zero under the flat model).
+func buildNetwork(s Scenario) (*simnet.Network, []*simnet.Profile, []*simnet.Profile, []topo.Region) {
+	net := simnet.New(simnet.Config{Seed: s.Seed, Overhead: 128, Topology: s.Topology})
 	tracer := obs.WithLayer(s.Tracer, "consensus")
 	net.SetObs(tracer)
 	ups := make([]*simnet.Profile, s.N)
 	downs := make([]*simnet.Profile, s.N)
+	regions := make([]topo.Region, s.N)
+	if s.Topology != nil {
+		regions = topo.PlaceTier(s.Topology, s.N)
+	}
 	// Compile a private copy so a plan shared across concurrently running
 	// scenarios is never mutated here.
 	var plan *attack.Plan
@@ -266,13 +278,17 @@ func buildNetwork(s Scenario) (*simnet.Network, []*simnet.Profile, []*simnet.Pro
 		plan.Trace(tracer)
 	}
 	for i := 0; i < s.N; i++ {
-		ups[i] = simnet.NewProfile(s.Bandwidth)
-		downs[i] = simnet.NewProfile(s.Bandwidth)
+		bw := s.Bandwidth
+		if s.Topology != nil {
+			bw = s.Topology.Bandwidth(regions[i], bw)
+		}
+		ups[i] = simnet.NewProfile(bw)
+		downs[i] = simnet.NewProfile(bw)
 		if plan != nil {
 			plan.Throttle(i, ups[i], downs[i])
 		}
 	}
-	return net, ups, downs
+	return net, ups, downs, regions
 }
 
 // validateAuthorityAttack is the single validated path for an authority-tier
@@ -317,6 +333,19 @@ func RunE(ctx context.Context, s Scenario) (*RunResult, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
+	if s.Attack != nil && s.Attack.TargetRegion != "" {
+		// Resolve "flood region X" against the authority placement on a
+		// private copy, so the caller's plan is never mutated and the
+		// distribution carry-over inherits the resolved targets.
+		pc := *s.Attack
+		if err := pc.ResolveRegion(s.Topology, s.N); err != nil {
+			return nil, fmt.Errorf("harness: %w", err)
+		}
+		if err := validateAuthorityAttack(&pc, s.N); err != nil {
+			return nil, err
+		}
+		s.Attack = &pc
+	}
 	drv, err := DriverFor(s.Protocol)
 	if err != nil {
 		return nil, err
@@ -335,7 +364,7 @@ func RunE(ctx context.Context, s Scenario) (*RunResult, error) {
 		return nil, fmt.Errorf("harness: scenario cancelled before the protocol phase: %w", err)
 	}
 	keys, docs := Inputs(s)
-	net, ups, downs := buildNetwork(s)
+	net, ups, downs, regions := buildNetwork(s)
 	pr, err := drv.Build(s, keys, docs)
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s driver: %w", drv.Name(), err)
@@ -344,7 +373,7 @@ func RunE(ctx context.Context, s Scenario) (*RunResult, error) {
 		return nil, fmt.Errorf("harness: %s driver built %d nodes for %d authorities", drv.Name(), len(pr.Nodes), s.N)
 	}
 	for i, node := range pr.Nodes {
-		net.AddNode(node, ups[i], downs[i])
+		net.AddNodeIn(node, ups[i], downs[i], regions[i])
 	}
 	limit := s.RunLimit
 	if limit == 0 {
@@ -411,6 +440,10 @@ func effectiveDistribution(s Scenario) (dircache.Spec, error) {
 	}
 	if spec.Authorities == 0 {
 		spec.Authorities = s.N
+	}
+	if spec.Topology == nil {
+		// The client tier lives on the same planet as the authorities.
+		spec.Topology = s.Topology
 	}
 	if err := spec.Validate(); err != nil {
 		return dircache.Spec{}, fmt.Errorf("harness: %w", err)

@@ -6,13 +6,26 @@ import (
 	"time"
 
 	"partialtor/internal/obs"
+	"partialtor/internal/topo"
 )
 
 // Config parameterizes a Network.
 type Config struct {
 	// Latency returns the one-way propagation delay between two nodes.
-	// Nil uses DefaultLatency with the configured seed.
+	//
+	// Deprecated: set Topology instead — the topology layer derives pair
+	// latencies from node placement, and a custom function bypasses it. The
+	// field is kept as an adapter for pre-topology callers: when set it wins
+	// over Topology, preserving old behavior bit for bit. Nil Latency + nil
+	// Topology selects DefaultLatency (the flat fallback).
 	Latency func(from, to NodeID) time.Duration
+	// Topology, if non-nil, derives pair latencies from node placement: the
+	// one-way delay between two nodes is the BaseLatency of their region
+	// pair plus deterministic per-pair jitter in [0, Jitter) hashed from the
+	// seed (the same construction as DefaultLatency, so no RNG draw order
+	// changes). Register each node's region with AddNodeIn; plain AddNode
+	// places it in region 0. Ignored while the deprecated Latency is set.
+	Topology topo.Topology
 	// LinkRate returns a per-transfer rate cap in bits/s between a pair
 	// (<= 0 means uncapped; only the access pipes then limit throughput).
 	LinkRate func(from, to NodeID) float64
@@ -46,6 +59,7 @@ type node struct {
 	up, down *pipe
 	ctx      *Context
 	log      []LogEntry
+	region   topo.Region
 	sent     int64
 	received int64
 
@@ -99,16 +113,28 @@ func New(cfg Config) *Network {
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		kindIdx: make(map[string]int),
 	}
-	if n.cfg.Latency == nil {
+	if n.cfg.Latency == nil && n.cfg.Topology == nil {
 		n.cfg.Latency = DefaultLatency(cfg.Seed)
 	}
 	return n
 }
 
+// pairHash is the cheap deterministic hash of (seed, lo, hi) behind every
+// per-pair latency sample — the flat DefaultLatency and the topology jitter
+// draw from the same construction, so neither touches the RNG stream.
+func pairHash(seed int64, lo, hi NodeID) uint64 {
+	h := uint64(seed)*0x9e3779b97f4a7c15 + uint64(lo)*0xbf58476d1ce4e5b9 + uint64(hi)*0x94d049bb133111eb
+	h ^= h >> 31
+	h *= 0xd6e8feb86659fd93
+	h ^= h >> 29
+	return h
+}
+
 // DefaultLatency returns a symmetric latency function sampling one-way
 // delays uniformly in [20ms, 150ms) per unordered pair, deterministically
 // from the seed. This approximates the geographic spread of the nine Tor
-// directory authorities.
+// directory authorities, and is the flat fallback used whenever neither
+// Config.Topology nor the deprecated Config.Latency is set.
 func DefaultLatency(seed int64) func(a, b NodeID) time.Duration {
 	return func(a, b NodeID) time.Duration {
 		if a == b {
@@ -118,14 +144,34 @@ func DefaultLatency(seed int64) func(a, b NodeID) time.Duration {
 		if lo > hi {
 			lo, hi = hi, lo
 		}
-		// Cheap deterministic hash of (seed, lo, hi).
-		h := uint64(seed)*0x9e3779b97f4a7c15 + uint64(lo)*0xbf58476d1ce4e5b9 + uint64(hi)*0x94d049bb133111eb
-		h ^= h >> 31
-		h *= 0xd6e8feb86659fd93
-		h ^= h >> 29
+		h := pairHash(seed, lo, hi)
 		ms := 20 + float64(h%1000)/1000*130
 		return time.Duration(ms * float64(time.Millisecond))
 	}
+}
+
+// pairLatency resolves one pair's one-way propagation delay: the deprecated
+// Latency adapter when set (bit-identical to the pre-topology behavior),
+// the topology's region-pair floor plus per-pair jitter otherwise.
+func (n *Network) pairLatency(from, to NodeID) time.Duration {
+	if n.cfg.Latency != nil {
+		return n.cfg.Latency(from, to)
+	}
+	if from == to {
+		return 0
+	}
+	ra, rb := n.nodes[from].region, n.nodes[to].region
+	base := n.cfg.Topology.BaseLatency(ra, rb)
+	span := n.cfg.Topology.Jitter(ra, rb)
+	if span <= 0 {
+		return base
+	}
+	lo, hi := from, to
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	h := pairHash(n.cfg.Seed, lo, hi)
+	return base + time.Duration(float64(span)*float64(h%1000)/1000)
 }
 
 // Scheduler exposes the underlying clock (for runners that need to schedule
@@ -161,9 +207,22 @@ func (n *Network) NodeBytesSent(id NodeID) int64 { return n.nodes[id].sent }
 // NodeBytesReceived returns the bytes node id has received.
 func (n *Network) NodeBytesReceived(id NodeID) int64 { return n.nodes[id].received }
 
+// NodeRegion returns the region node id was placed in (0 unless AddNodeIn
+// said otherwise).
+func (n *Network) NodeRegion(id NodeID) topo.Region { return n.nodes[id].region }
+
 // AddNode registers a handler with its uplink/downlink capacity profiles and
-// returns its id. All nodes must be added before Start.
+// returns its id. All nodes must be added before Start. The node lives in
+// region 0; runners placing nodes in a topology use AddNodeIn.
 func (n *Network) AddNode(h Handler, up, down *Profile) NodeID {
+	return n.AddNodeIn(h, up, down, 0)
+}
+
+// AddNodeIn is AddNode with explicit placement: the node lives in region r
+// of Config.Topology, which determines its pair latencies. The region is
+// ignored (but remembered) under a nil Topology or while the deprecated
+// Config.Latency adapter is in force.
+func (n *Network) AddNodeIn(h Handler, up, down *Profile, r topo.Region) NodeID {
 	if n.started {
 		panic("simnet: AddNode after Start")
 	}
@@ -173,6 +232,7 @@ func (n *Network) AddNode(h Handler, up, down *Profile) NodeID {
 		handler: h,
 		up:      newPipe(n.sched, up),
 		down:    newPipe(n.sched, down),
+		region:  r,
 	}
 	nd.ctx = &Context{net: n, id: id}
 	nd.up.metered = n.obs != nil
@@ -321,7 +381,7 @@ func (n *Network) send(from, to NodeID, m Message) {
 	if n.cfg.LinkRate != nil {
 		linkCap = n.cfg.LinkRate(from, to)
 	}
-	lat := n.cfg.Latency(from, to)
+	lat := n.pairLatency(from, to)
 	if n.delay != nil {
 		lat += n.delay(from, to, m)
 	}

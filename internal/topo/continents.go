@@ -1,0 +1,44 @@
+package topo
+
+import "time"
+
+// Continent indices of the builtin Continents map, in region order.
+const (
+	NA Region = iota // North America
+	EU               // Europe
+	AS               // Asia
+	SA               // South America
+	AF               // Africa
+	OC               // Oceania
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+// Continents returns the builtin continent-level topology: six regions with
+// one-way base latencies approximating public inter-continent RTT medians
+// (halved), placement shares matching the EU-heavy spread of Tor directory
+// infrastructure, and access-bandwidth tiers that thin out away from the
+// NA/EU backbone. The numbers are deliberately round — the map models the
+// structure (an intra-region fetch beats a trans-Pacific one several times
+// over), not any one measurement campaign.
+func Continents() *Map {
+	return &Map{
+		Names: []string{"na", "eu", "as", "sa", "af", "oc"},
+		// Tor's directory infrastructure skews heavily toward Europe and
+		// North America; the tail regions still get a share so per-region
+		// coverage tails exist to measure.
+		Share: []float64{0.30, 0.40, 0.12, 0.07, 0.04, 0.07},
+		Lat: [][]time.Duration{
+			//        na       eu       as       sa       af       oc
+			{ms(25), ms(45), ms(80), ms(60), ms(75), ms(75)},    // na
+			{ms(45), ms(20), ms(70), ms(90), ms(45), ms(130)},   // eu
+			{ms(80), ms(70), ms(35), ms(140), ms(95), ms(60)},   // as
+			{ms(60), ms(90), ms(140), ms(35), ms(110), ms(135)}, // sa
+			{ms(75), ms(45), ms(95), ms(110), ms(40), ms(115)},  // af
+			{ms(75), ms(130), ms(60), ms(135), ms(115), ms(30)}, // oc
+		},
+		// Access tiers: NA/EU at the nominal figure, the rest scaled down to
+		// model thinner last-mile and transit capacity.
+		Scale: []float64{1.0, 1.0, 0.8, 0.5, 0.4, 0.7},
+	}
+}

@@ -1,0 +1,265 @@
+// Package topo is the planet-scale topology layer: it models WHERE the
+// directory system's nodes sit and what the network between those places
+// looks like — coarse geographic regions, a region-pair latency matrix and
+// per-region access-bandwidth tiers.
+//
+// # Role in the pipeline
+//
+// The simulation kernel (internal/simnet) historically modelled a flat
+// network: one seeded latency function over node pairs and one uniform
+// uplink/downlink profile per node. Real directory traffic crosses
+// continents — inter-region latency structure dominates what clients
+// experience — so the runners (internal/harness for the consensus phase,
+// internal/dircache for the distribution tier) now place their nodes in a
+// Topology's regions: simnet derives pair latencies from the region pair
+// plus deterministic per-pair jitter, and the runners scale each node's
+// nominal bandwidth by its region's tier.
+//
+// # The zero value is the flat model
+//
+// A nil Topology everywhere (simnet.Config.Topology, dircache.Spec.Topology,
+// harness.Scenario.Topology) selects the historical flat model untouched:
+// simnet.DefaultLatency for latencies and the caller's nominal bandwidth for
+// every node. Every pre-topology scenario is byte-identical under a nil
+// Topology — the golden determinism corpus (internal/harness golden tests)
+// pins that equivalence.
+//
+// # Determinism
+//
+// Everything here is a pure function of its inputs: placement depends only
+// on (region shares, tier size, index), latency only on the region pair, and
+// the per-pair jitter is hashed in the kernel from (seed, node pair), never
+// drawn from an RNG stream. Installing a topology therefore perturbs no RNG
+// draw order, and two runs of the same spec remain bit-identical.
+package topo
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Region is an index into a Topology's region set. Regions are small dense
+// integers so per-node placement can be stored in plain slices.
+type Region int
+
+// Topology models planet-scale structure for a simulation: a fixed set of
+// named regions, deterministic placement of a tier's nodes into them, a
+// region-pair latency matrix and per-region bandwidth tiers.
+//
+// Implementations must be pure: every method is a function of the receiver
+// and its arguments only, so a Topology is safe to share across concurrently
+// running simulations.
+type Topology interface {
+	// NumRegions returns the number of regions (>= 1).
+	NumRegions() int
+	// RegionName returns region r's short name (e.g. "eu").
+	RegionName(r Region) string
+	// Place returns the region of node i of an n-node tier. Placement is
+	// deterministic and tiers are placed independently: callers pass
+	// tier-local indices (authority 3 of 9, cache 7 of 20, ...).
+	Place(i, n int) Region
+	// BaseLatency is the one-way propagation floor between two regions
+	// (a == b gives the intra-region floor). Symmetric.
+	BaseLatency(a, b Region) time.Duration
+	// Jitter is the span of per-pair latency variation stacked on top of
+	// BaseLatency: a concrete node pair's one-way delay is sampled
+	// deterministically from [BaseLatency, BaseLatency+Jitter). Symmetric.
+	Jitter(a, b Region) time.Duration
+	// Bandwidth maps a node's nominal access bandwidth (bits/s) to what the
+	// node actually gets in region r — regional access tiers scale the flat
+	// model's uniform figure.
+	Bandwidth(r Region, nominal float64) float64
+}
+
+// Map is a concrete Topology over named regions: placement shares, a
+// symmetric latency/jitter matrix and per-region bandwidth scales. The
+// builtin maps (Continents) are Maps; tests and callers can assemble their
+// own.
+type Map struct {
+	// Names are the region names; len(Names) is the region count.
+	Names []string
+	// Share is each region's fraction of any tier's nodes; it need not be
+	// normalized. Nil places every node in region 0.
+	Share []float64
+	// Lat is the symmetric one-way base-latency matrix, indexed [a][b].
+	Lat [][]time.Duration
+	// Jit is the symmetric per-pair jitter-span matrix; nil selects a
+	// default of 15ms intra-region and 35ms inter-region.
+	Jit [][]time.Duration
+	// Scale is each region's bandwidth multiplier; nil means 1 everywhere.
+	Scale []float64
+}
+
+// NumRegions implements Topology.
+func (m *Map) NumRegions() int { return len(m.Names) }
+
+// RegionName implements Topology.
+func (m *Map) RegionName(r Region) string {
+	if r < 0 || int(r) >= len(m.Names) {
+		return fmt.Sprintf("region%d", int(r))
+	}
+	return m.Names[r]
+}
+
+// Place implements Topology: the tier is split into contiguous per-region
+// blocks sized by largest-remainder apportionment of the shares, so a
+// tier's region populations are within one node of proportional and a
+// region's nodes form an index range (which is what makes "flood the EU
+// mirrors" a contiguous target set).
+func (m *Map) Place(i, n int) Region {
+	if n <= 0 || i < 0 || i >= n {
+		return 0
+	}
+	counts := m.regionCounts(n)
+	for r, c := range counts {
+		if i < c {
+			return Region(r)
+		}
+		i -= c
+	}
+	return Region(len(counts) - 1)
+}
+
+// regionCounts apportions n nodes over the regions by largest remainder.
+func (m *Map) regionCounts(n int) []int {
+	k := m.NumRegions()
+	counts := make([]int, k)
+	if k == 0 {
+		return counts
+	}
+	total := 0.0
+	for r := 0; r < k; r++ {
+		total += m.share(r)
+	}
+	if total <= 0 {
+		counts[0] = n
+		return counts
+	}
+	// Floor pass, then hand the leftover to the largest fractional parts
+	// (ties broken by region index, so the split is deterministic).
+	used := 0
+	fracs := make([]float64, k)
+	for r := 0; r < k; r++ {
+		exact := float64(n) * m.share(r) / total
+		counts[r] = int(exact)
+		fracs[r] = exact - float64(counts[r])
+		used += counts[r]
+	}
+	for used < n {
+		best := 0
+		for r := 1; r < k; r++ {
+			if fracs[r] > fracs[best] {
+				best = r
+			}
+		}
+		counts[best]++
+		fracs[best] = -1
+		used++
+	}
+	return counts
+}
+
+func (m *Map) share(r int) float64 {
+	if m.Share == nil {
+		if r == 0 {
+			return 1
+		}
+		return 0
+	}
+	if s := m.Share[r]; s > 0 {
+		return s
+	}
+	return 0
+}
+
+// BaseLatency implements Topology.
+func (m *Map) BaseLatency(a, b Region) time.Duration {
+	if int(a) >= len(m.Lat) || int(b) >= len(m.Lat[a]) || a < 0 || b < 0 {
+		return 0
+	}
+	return m.Lat[a][b]
+}
+
+// Default jitter spans when Map.Jit is nil: per-pair latency varies within
+// this much of the regional floor.
+const (
+	defaultIntraJitter = 15 * time.Millisecond
+	defaultInterJitter = 35 * time.Millisecond
+)
+
+// Jitter implements Topology.
+func (m *Map) Jitter(a, b Region) time.Duration {
+	if m.Jit == nil {
+		if a == b {
+			return defaultIntraJitter
+		}
+		return defaultInterJitter
+	}
+	if int(a) >= len(m.Jit) || int(b) >= len(m.Jit[a]) || a < 0 || b < 0 {
+		return 0
+	}
+	return m.Jit[a][b]
+}
+
+// Bandwidth implements Topology.
+func (m *Map) Bandwidth(r Region, nominal float64) float64 {
+	if m.Scale == nil || int(r) >= len(m.Scale) || r < 0 {
+		return nominal
+	}
+	return nominal * m.Scale[r]
+}
+
+// RegionByName resolves a region name (case-insensitive) against a
+// topology's region set.
+func RegionByName(t Topology, name string) (Region, error) {
+	for r := 0; r < t.NumRegions(); r++ {
+		if strings.EqualFold(t.RegionName(Region(r)), name) {
+			return Region(r), nil
+		}
+	}
+	return 0, fmt.Errorf("topo: unknown region %q (have %s)", name, strings.Join(RegionNames(t), ", "))
+}
+
+// RegionNames lists a topology's region names in region order.
+func RegionNames(t Topology) []string {
+	out := make([]string, t.NumRegions())
+	for r := range out {
+		out[r] = t.RegionName(Region(r))
+	}
+	return out
+}
+
+// PlaceTier places an n-node tier: element i is node i's region.
+func PlaceTier(t Topology, n int) []Region {
+	out := make([]Region, n)
+	for i := range out {
+		out[i] = t.Place(i, n)
+	}
+	return out
+}
+
+// RegionTargets returns the indices of an n-node tier that the topology
+// places in region r — the target set of a region-scoped flood.
+func RegionTargets(t Topology, r Region, n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		if t.Place(i, n) == r {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ByName resolves a topology by name: "" and "flat" select the flat model
+// (a nil Topology), "continents" the builtin continent map. This is the
+// single parser behind every -topology command-line flag.
+func ByName(name string) (Topology, error) {
+	switch strings.ToLower(name) {
+	case "", "flat":
+		return nil, nil
+	case "continents":
+		return Continents(), nil
+	}
+	return nil, fmt.Errorf("topo: unknown topology %q (want flat or continents)", name)
+}

@@ -23,6 +23,16 @@
 //     windows clients actually experience — fresh one hour, valid three
 //     (internal/client).
 //
+// A pluggable topology layer (internal/topo) optionally places all four
+// layers on a planet: regions with placement shares, a region-pair latency
+// matrix, per-region bandwidth tiers, and a builtin continental map
+// (Continents). Distribution results then break coverage down per region
+// with p50/p99 time-to-coverage, fleets can race each fetch against K
+// caches (DistributionSpec.RaceK — first response wins, laggards are
+// discarded and their bytes accounted), and attack plans can target a
+// region by name ("flood the EU mirrors"). A nil Topology keeps the
+// historical flat model, bit for bit.
+//
 // The DDoS adversary (internal/attack) floods either tier: authority plans
 // reproduce the paper's five-minute consensus-breaking attack, cache plans
 // the "flood the mirrors, not the authorities" family. Beyond floods, a
@@ -90,6 +100,7 @@ import (
 	"partialtor/internal/sig"
 	"partialtor/internal/simnet"
 	"partialtor/internal/sweep"
+	"partialtor/internal/topo"
 )
 
 // Protocol selects one of the three directory protocol designs.
@@ -191,6 +202,41 @@ type ClientTimeline = client.Timeline
 
 // CostModel reproduces the paper's §4.3 attack pricing.
 type CostModel = attack.CostModel
+
+// --- topology re-exports ---
+//
+// The planet-scale topology layer (internal/topo) places nodes in regions
+// and derives deterministic region-pair latencies and per-region bandwidth
+// tiers. A nil Topology anywhere keeps the historical flat model, bit for
+// bit — the golden corpus enforces it.
+
+// Topology places nodes in regions and prices region-pair links.
+type Topology = topo.Topology
+
+// Region indexes one region of a Topology.
+type Region = topo.Region
+
+// TopologyMap is a concrete Topology: region names, placement shares, a
+// latency matrix and bandwidth scale factors.
+type TopologyMap = topo.Map
+
+// RegionCoverage is one region's slice of a distribution outcome: client
+// population, coverage, and the p50/p99 time-to-coverage marks.
+type RegionCoverage = dircache.RegionCoverage
+
+// Continents returns the builtin six-region continental topology.
+func Continents() *TopologyMap { return topo.Continents() }
+
+// TopologyByName resolves a topology flag value: "" and "flat" select the
+// flat model (nil), "continents" the builtin continental map.
+func TopologyByName(name string) (Topology, error) { return topo.ByName(name) }
+
+// RegionNames lists a topology's region names in region order.
+func RegionNames(t Topology) []string { return topo.RegionNames(t) }
+
+// WithTopology places every period's networks on the given regional map; nil
+// keeps the flat model.
+func WithTopology(t Topology) ExperimentOption { return harness.WithTopology(t) }
 
 // Never marks an event that did not happen (e.g. latency of a failed run).
 const Never = simnet.Never
@@ -538,6 +584,12 @@ func Figure11(ctx context.Context, p harness.Figure11Params) (*harness.Figure11R
 	return harness.Figure11(ctx, p)
 }
 
+// RegionalTable compares legacy and racing clients under a regional mirror
+// flood on the continental topology.
+func RegionalTable(ctx context.Context, p harness.RegionalParams) (*harness.RegionalResult, error) {
+	return harness.RegionalTable(ctx, p)
+}
+
 // Table1 compares the three designs with measured transport cost.
 func Table1(ctx context.Context, p harness.Table1Params) (*harness.Table1Result, error) {
 	return harness.Table1(ctx, p)
@@ -559,6 +611,8 @@ type (
 	Figure10Params = harness.Figure10Params
 	// Figure11Params scales the Figure 11 experiment.
 	Figure11Params = harness.Figure11Params
+	// RegionalParams scales the regional-flood racing experiment.
+	RegionalParams = harness.RegionalParams
 	// Table1Params scales the Table 1 measurement.
 	Table1Params = harness.Table1Params
 	// CampaignParams configures a multi-period campaign.
