@@ -12,6 +12,7 @@ package main
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"partialtor/internal/core"
@@ -75,8 +76,13 @@ func main() {
 		}
 	}
 	fmt.Println("current protocol (dirv3):")
-	for d, who := range digests {
-		fmt.Printf("  consensus %s… computed by authorities %v\n", d, who)
+	shorts := make([]string, 0, len(digests))
+	for d := range digests {
+		shorts = append(shorts, d)
+	}
+	sort.Strings(shorts)
+	for _, d := range shorts {
+		fmt.Printf("  consensus %s… computed by authorities %v\n", d, digests[d])
 	}
 	fmt.Printf("  => %d distinct consensus documents; %d of %d authorities published\n",
 		len(digests), cur.SuccessCount, n)

@@ -368,10 +368,11 @@ func (a *Authority) buildValue(view int) *AgreementValue {
 			for d := range byDigest {
 				ds = append(ds, d)
 			}
-			// Deterministic order for reproducible proofs.
-			if string(ds[0][:]) > string(ds[1][:]) {
-				ds[0], ds[1] = ds[1], ds[0]
-			}
+			// Deterministic order for reproducible proofs. Sorting the whole
+			// set (not just swapping a pair) keeps the two digests entering
+			// the proof stable even when an equivocator signed three or more
+			// distinct values, where map order used to pick the pair.
+			sort.Slice(ds, func(x, y int) bool { return string(ds[x][:]) < string(ds[y][:]) })
 			entries[j] = ValueEntry{
 				Status:       EntryBotEquivocation,
 				EquivDigests: [2]sig.Digest{ds[0], ds[1]},
@@ -379,6 +380,7 @@ func (a *Authority) buildValue(view int) *AgreementValue {
 			}
 		default:
 			var okEntry *ValueEntry
+			//detlint:maporder ok(byDigest holds at most one entry here: two or more take the equivocation case above)
 			for d, sd := range byDigest {
 				if len(sd.endorsements) >= f+1 {
 					okEntry = &ValueEntry{
@@ -483,6 +485,7 @@ func (a *Authority) tryAggregate(ctx *simnet.Context) {
 		}
 	}
 	docs := make([]*vote.Document, 0, len(a.aggDocs))
+	//detlint:maporder ok(Aggregate sorts its input by authority index, so document order cannot reach the consensus)
 	for _, d := range a.aggDocs {
 		docs = append(docs, d)
 	}

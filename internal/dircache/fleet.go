@@ -275,6 +275,8 @@ func (f *fleetNode) cacheRanking() []int {
 // arrivals in the shortened interval. The final tick then flushes every
 // client the Poisson draws left behind, so exactly `clients` first fetches
 // are issued within the window.
+//
+//detlint:hotpath
 func (f *fleetNode) tick(ctx *simnet.Context, k int) {
 	if f.unrequested == 0 {
 		return
@@ -589,6 +591,7 @@ func (f *fleetNode) handleFork(ctx *simnet.Context, cacheIdx int, m *docBatch) {
 		if f.verifier.Switch(link) {
 			f.retract(ctx, accepted.Digest, accSt)
 		}
+		//detlint:maporder ok(retrust is a commutative per-cache trust flip; the recomputed weights depend only on the final trust set)
 		for c := range offSt.caches {
 			f.retrust(c)
 		}
@@ -627,6 +630,7 @@ func (f *fleetNode) handleFork(ctx *simnet.Context, cacheIdx int, m *docBatch) {
 func (f *fleetNode) retract(ctx *simnet.Context, d sig.Digest, st *digestState) {
 	n := st.fulls + st.diffs
 	defer func() {
+		//detlint:maporder ok(distrust is a commutative per-cache trust flip; the recomputed weights depend only on the final trust set)
 		for c := range st.caches {
 			f.distrust(c)
 		}

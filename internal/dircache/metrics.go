@@ -182,7 +182,17 @@ func collect(spec Spec, net *simnet.Network, authIDs, cacheIDs, fleetIDs []simne
 		res.ForkDetections = append(res.ForkDetections, *d)
 	}
 	sort.Slice(res.ForkDetections, func(i, j int) bool {
-		return res.ForkDetections[i].At < res.ForkDetections[j].At
+		a, b := &res.ForkDetections[i], &res.ForkDetections[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		// Distinct forks caught at the same instant: order by digest pair
+		// so the listing never depends on map iteration order.
+		ka, kb := digestPair(a.Proof), digestPair(b.Proof)
+		if ka[0] != kb[0] {
+			return string(ka[0][:]) < string(kb[0][:])
+		}
+		return string(ka[1][:]) < string(kb[1][:])
 	})
 	for i := range distrusted {
 		res.DistrustedCaches = append(res.DistrustedCaches, i)

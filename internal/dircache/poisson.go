@@ -70,16 +70,20 @@ type drawScratch struct {
 	splitB  []int
 }
 
+//detlint:hotpath
 func intScratch(buf *[]int, n int) []int {
 	if cap(*buf) < n {
+		//detlint:hotpath ok(amortized scratch growth: make runs only while the high-water mark rises)
 		*buf = make([]int, n)
 	}
 	*buf = (*buf)[:n]
 	return *buf
 }
 
+//detlint:hotpath
 func floatScratch(buf *[]float64, n int) []float64 {
 	if cap(*buf) < n {
+		//detlint:hotpath ok(amortized scratch growth: make runs only while the high-water mark rises)
 		*buf = make([]float64, n)
 	}
 	*buf = (*buf)[:n]
@@ -94,6 +98,8 @@ func floatScratch(buf *[]float64, n int) []float64 {
 // low-index caches their full draw and systematically starves the rest.
 // No cache is allocated more than it drew. The result (which may alias the
 // scratch) is valid until the scratch's next clampDraws call.
+//
+//detlint:hotpath
 func clampDraws(s *drawScratch, draws []int, budget int) []int {
 	total := 0
 	for _, d := range draws {
@@ -113,6 +119,7 @@ func clampDraws(s *drawScratch, draws []int, budget int) []int {
 		fracs[i] = exact - float64(out[i])
 		order[i] = i
 	}
+	//detlint:hotpath ok(sort closure captures scratch slices that outlive the call anyway; it runs only on over-budget ticks)
 	sort.SliceStable(order, func(a, b int) bool { return fracs[order[a]] > fracs[order[b]] })
 	for j := 0; assigned < budget; j++ {
 		out[order[j]]++
@@ -124,6 +131,8 @@ func clampDraws(s *drawScratch, draws []int, budget int) []int {
 // splitCounts distributes n items over len(weights) bins as an exact
 // multinomial draw, via sequential conditional binomials, writing into the
 // caller's scratch buffer (grown in place as needed).
+//
+//detlint:hotpath
 func splitCounts(buf *[]int, rng *rand.Rand, n int, weights []float64) []int {
 	out := intScratch(buf, len(weights))
 	for i := range out {

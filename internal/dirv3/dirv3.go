@@ -349,6 +349,7 @@ func (a *Authority) computeConsensus(ctx *simnet.Context) {
 		return
 	}
 	docs := make([]*vote.Document, 0, len(a.votes))
+	//detlint:maporder ok(Aggregate sorts its input by authority index, so vote order cannot reach the consensus)
 	for _, d := range a.votes {
 		docs = append(docs, d)
 	}

@@ -227,6 +227,7 @@ func Inputs(s Scenario) ([]*sig.KeyPair, []*vote.Document) {
 		if len(inputsCache.m) >= inputsCacheLimit {
 			// Evict an arbitrary entry; callers mid-build hold their own
 			// references, so eviction only costs a potential rebuild.
+			//detlint:maporder ok(eviction victim is deliberately arbitrary; cache contents never reach simulation outputs)
 			for k := range inputsCache.m {
 				delete(inputsCache.m, k)
 				break

@@ -294,9 +294,11 @@ func (n *Network) Start() {
 		for _, nd := range n.nodes {
 			id := int(nd.id)
 			nd.up.prof.Each(func(at time.Duration, rate float64) {
+				//detlint:tracerguard ok(Each calls back synchronously inside the enclosing n.obs != nil guard)
 				n.obs.Event(obs.Event{Type: obs.EvCapChange, At: at, Node: id, F: rate, Label: "up"})
 			})
 			nd.down.prof.Each(func(at time.Duration, rate float64) {
+				//detlint:tracerguard ok(Each calls back synchronously inside the enclosing n.obs != nil guard)
 				n.obs.Event(obs.Event{Type: obs.EvCapChange, At: at, Node: id, F: rate, Label: "down"})
 			})
 		}
@@ -328,6 +330,9 @@ func (n *Network) sample() {
 }
 
 func (n *Network) samplePipe(nd *node, p *pipe, prev *float64, dir string, now time.Duration, interval float64) {
+	if n.obs == nil {
+		return
+	}
 	moved := p.moved - *prev
 	*prev = p.moved
 	util := 0.0
@@ -349,11 +354,14 @@ func (n *Network) Run(limit time.Duration) {
 }
 
 // send implements the three-leg transport: uplink, latency, downlink.
+//
+//detlint:hotpath
 func (n *Network) send(from, to NodeID, m Message) {
 	if from == to {
 		panic("simnet: self-send; handlers keep local state directly")
 	}
 	if int(to) >= len(n.nodes) || to < 0 {
+		//detlint:hotpath ok(cold panic path: formatting only runs on a caller bug)
 		panic(fmt.Sprintf("simnet: send to unknown node %d", to))
 	}
 	size := m.Size() + n.cfg.Overhead
@@ -417,6 +425,7 @@ type transit struct {
 	next     *transit // pool free list
 }
 
+//detlint:hotpath
 func (t *transit) complete(at time.Duration) {
 	switch t.stage {
 	case 0: // uplink drained: propagate
@@ -446,6 +455,7 @@ func (t *transit) complete(at time.Duration) {
 	}
 }
 
+//detlint:hotpath
 func (n *Network) allocTransit() *transit {
 	if t := n.freeTransit; t != nil {
 		n.freeTransit = t.next
@@ -458,6 +468,8 @@ func (n *Network) allocTransit() *transit {
 // releaseTransit returns a delivered transit to the pool. The message
 // reference is dropped so the pool never pins payloads; the caller copies
 // every field it still needs before releasing.
+//
+//detlint:hotpath
 func (n *Network) releaseTransit(t *transit) {
 	t.msg = nil
 	t.id = 0

@@ -71,6 +71,8 @@ func newPipe(s *Scheduler, prof *Profile) *pipe {
 // cap-sorted order current. The new transfer has the largest index, so
 // inserting before the first strictly greater cap reproduces exactly the
 // stable sort order (ties stay in index order).
+//
+//detlint:hotpath
 func (p *pipe) insert(t transfer) {
 	idx := len(p.active)
 	p.active = append(p.active, t)
@@ -78,6 +80,7 @@ func (p *pipe) insert(t transfer) {
 		p.capped++
 	}
 	c := effCap(&t)
+	//detlint:hotpath ok(sort.Search closure captures stack-local state only; it does not escape and Go allocates it on the stack)
 	at := sort.Search(len(p.order), func(i int) bool { return effCap(&p.active[p.order[i]]) > c })
 	p.order = append(p.order, 0)
 	copy(p.order[at+1:], p.order[at:])
@@ -121,9 +124,12 @@ func (p *pipe) queued() int { return len(p.active) }
 // throttling, so transfers are mostly uncapped — the progressive fill visits
 // transfers in index order and no sort order is needed at all. The loops
 // perform bit-identical arithmetic to the sorted general case.
+//
+//detlint:hotpath
 func (p *pipe) allocate(capacity float64) []float64 {
 	n := len(p.active)
 	if cap(p.rates) < n {
+		//detlint:hotpath ok(amortized scratch growth: make runs only while the high-water mark rises)
 		p.rates = make([]float64, n)
 	}
 	rates := p.rates[:n]
@@ -183,6 +189,8 @@ func (p *pipe) allocate(capacity float64) []float64 {
 // advance moves the pipe's accounting from p.last to now, draining bits from
 // active transfers. Completed transfers are removed and their callbacks are
 // scheduled (at the current scheduler time, preserving causality).
+//
+//detlint:hotpath
 func (p *pipe) advance(now time.Duration) {
 	for p.last < now && len(p.active) > 0 {
 		segEnd := p.prof.nextChange(p.last)
@@ -233,9 +241,12 @@ func (p *pipe) advance(now time.Duration) {
 // collectDone removes finished transfers and schedules their callbacks,
 // compacting the cap-sorted order in place (compaction preserves relative
 // indices, so the order stays sorted without re-sorting).
+//
+//detlint:hotpath
 func (p *pipe) collectDone() {
 	n := len(p.active)
 	if cap(p.idxMap) < n {
+		//detlint:hotpath ok(amortized scratch growth: make runs only while the high-water mark rises)
 		p.idxMap = make([]int, n)
 	}
 	idxMap := p.idxMap[:n]
@@ -284,6 +295,8 @@ func (p *pipe) collectDone() {
 // inside the profile segment active at p.last — needs no forward
 // simulation at all: the remaining-bits vector is only cloned (into pipe
 // scratch) once the walk has to cross a segment boundary.
+//
+//detlint:hotpath
 func (p *pipe) nextCompletion() time.Duration {
 	if len(p.active) == 0 {
 		return Never
@@ -325,6 +338,7 @@ func (p *pipe) nextCompletion() time.Duration {
 		}
 		if rem == nil {
 			if cap(p.rem) < len(p.active) {
+				//detlint:hotpath ok(amortized scratch growth: make runs only while the high-water mark rises)
 				p.rem = make([]float64, len(p.active))
 			}
 			rem = p.rem[:len(p.active)]

@@ -56,6 +56,8 @@ const heapArity = 4
 type eventQueue []event
 
 // push appends ev and sifts it up to its position.
+//
+//detlint:hotpath
 func (q *eventQueue) push(ev event) {
 	*q = append(*q, ev)
 	h := *q
@@ -72,6 +74,8 @@ func (q *eventQueue) push(ev event) {
 }
 
 // pop removes and returns the earliest event.
+//
+//detlint:hotpath
 func (q *eventQueue) pop() event {
 	h := *q
 	top := h[0]
@@ -162,11 +166,13 @@ func (s *Scheduler) atCompletion(t time.Duration, c completion) {
 	s.push(event{at: t, c: c})
 }
 
+//detlint:hotpath
 func (s *Scheduler) push(ev event) {
 	if ev.at == Never {
 		return
 	}
 	if ev.at < s.now {
+		//detlint:hotpath ok(cold panic path: formatting only runs on a caller bug)
 		panic(fmt.Sprintf("simnet: scheduling event at %v before now %v", ev.at, s.now))
 	}
 	s.seq++
@@ -181,6 +187,8 @@ func (s *Scheduler) After(d time.Duration, fn func()) { s.At(addDur(s.now, d), f
 // the next event is after the limit; the clock then rests at the limit (or
 // at the last event if the queue drained first). It returns the number of
 // events executed.
+//
+//detlint:hotpath
 func (s *Scheduler) RunUntil(limit time.Duration) uint64 {
 	var executed uint64
 	for len(s.queue) > 0 {

@@ -445,6 +445,7 @@ func (a *Authority) decide(ctx *simnet.Context) {
 		ctx.Logf("warn", "Dolev-Strong extracted %d values; outputting bottom.", len(a.extracted))
 		return
 	}
+	//detlint:maporder ok(guarded singleton: the len check above returned unless extracted holds exactly one digest)
 	for d := range a.extracted {
 		a.agreedDigest = d
 	}

@@ -172,6 +172,7 @@ func popular(entries []relay.Descriptor, get func(relay.Descriptor) string, bett
 		counts[get(e)]++
 	}
 	best, bestCount := "", -1
+	//detlint:maporder ok(argmax with a strict total-order tie-break: better() decides every equal count, so all orders converge)
 	for v, c := range counts {
 		switch {
 		case c > bestCount:
