@@ -10,6 +10,7 @@
 //	Table 2   — sub-protocol round counts
 //	Cost      — §4.3 attack pricing
 //	Regional  — racing clients vs a regional mirror flood (continents)
+//	Gossip    — cache mesh vs a total authority flood, with partition pricing
 //
 // By default everything runs at paper scale (150s rounds, up to 10000
 // relays), which takes a few minutes; -quick shrinks the sweeps for a fast
@@ -99,7 +100,7 @@ type benchReport struct {
 func main() {
 	var (
 		quick    = flag.Bool("quick", false, "run reduced sweeps (seconds instead of minutes)")
-		only     = flag.String("only", "", "comma-separated subset: fig1,fig6,fig7,fig10,fig11,tab1,tab2,cost,regional,ablation")
+		only     = flag.String("only", "", "comma-separated subset: fig1,fig6,fig7,fig10,fig11,tab1,tab2,cost,regional,gossip,ablation")
 		workers  = flag.Int("workers", 0, "sweep worker pool (0 = all cores, 1 = serial)")
 		jsonOut  = flag.Bool("json", false, "write BENCH_tables.json with per-artifact wall time + headline metrics")
 		jsonPath = flag.String("json-path", "BENCH_tables.json", "where -json writes the report")
@@ -369,6 +370,40 @@ func buildArtifacts(quick bool, workers int) []artifact {
 					metrics[key+"_t99_s"] = row.T99.Seconds()
 				}
 				metrics[key+"_waste_mb"] = float64(row.WasteBytes) / 1e6
+			}
+			return r.Render(), metrics, nil
+		}},
+		{name: "gossip", run: func(ctx context.Context) (string, map[string]float64, error) {
+			p := partialtor.GossipParams{}
+			if quick {
+				p = partialtor.GossipParams{
+					Clients: 5_000,
+					Caches:  20,
+					Fanouts: []int{3},
+				}
+			}
+			p.Workers = workers
+			p.OnCell = progressFor("gossip")
+			r, err := partialtor.GossipTable(ctx, p)
+			if err != nil {
+				return "", nil, err
+			}
+			// Track the baseline's stranding and each mesh cell's recovery;
+			// T95 == Never is a sentinel, so only report reached cells.
+			metrics := map[string]float64{}
+			for _, row := range r.Rows {
+				key := fmt.Sprintf("fanout%d", row.Fanout)
+				if row.Fanout < 0 {
+					key = "baseline"
+				}
+				metrics[key+"_coverage"] = row.Coverage
+				if row.T95 != partialtor.Never {
+					metrics[key+"_t95_s"] = row.T95.Seconds()
+				}
+				if row.Fanout >= 0 {
+					metrics[key+"_mesh_mb"] = float64(row.MeshBytes) / 1e6
+					metrics[key+"_partition_usd"] = row.PartitionCost
+				}
 			}
 			return r.Render(), metrics, nil
 		}},

@@ -30,6 +30,16 @@
 // full cell coordinates at the end. Ctrl-C cancels the sweep between cells;
 // completed cells still print.
 //
+// With -gossip the cache tier is meshed into the dissemination layer and
+// -fanout becomes a sweep axis: each cell's caches push fresh-consensus
+// digests to that many mesh peers, pull on digest miss, and reconcile by
+// anti-entropy. -gossip-seeds pre-seeds the first N caches with the current
+// consensus, and -authority-residual (>= 0) floods every authority down to
+// that bandwidth for the whole run — together they reproduce the
+// gossip-outage experiment: authorities unreachable, the mesh the only
+// distribution path. Gossip rows gain mesh columns (pushes, pulls,
+// anti-entropy rounds, mesh traffic).
+//
 // With -trace the first grid cell (rank 0) runs with the observability
 // layer on and its event stream — cache fetches, fallbacks, serves, fleet
 // coverage, kernel transfers — is written as a Chrome trace.
@@ -78,6 +88,10 @@ func main() {
 		topoFlag      = flag.String("topology", "flat", "topology: flat or continents")
 		raceFlag      = flag.String("race", "0", "racing-client widths K to sweep (0 = legacy client)")
 		floodFlag     = flag.String("flood-region", "", "flood only this region's caches (requires -topology)")
+		gossipOn      = flag.Bool("gossip", false, "mesh the cache tier into the gossip dissemination layer")
+		fanoutFlag    = flag.String("fanout", "1,3", "gossip push fanouts to sweep (needs -gossip)")
+		gossipSeeds   = flag.Int("gossip-seeds", 1, "caches pre-seeded with the current consensus (needs -gossip)")
+		authResidual  = flag.Float64("authority-residual", -1, "flood every authority to this residual bits/s for the whole run (-1 = off)")
 		verify        = flag.Bool("verify", true, "clients run proposal-239 chain verification")
 		window        = flag.Duration("window", 30*time.Minute, "client fetch window")
 		target        = flag.Float64("target", 0.95, "coverage fraction defining success")
@@ -133,6 +147,18 @@ func main() {
 	if *floodFlag != "" && topology == nil {
 		fatalf("-flood-region %q needs -topology", *floodFlag)
 	}
+	// Without -gossip the fanout axis collapses to a single placeholder
+	// cell, so the grid shape — and the table — match the pre-mesh tool.
+	fanouts := []int{0}
+	if *gossipOn {
+		fanouts, err = partialtor.ParseSweepCounts(*fanoutFlag)
+		if err != nil {
+			fatalf("invalid -fanout: %v", err)
+		}
+		if *gossipSeeds < 1 {
+			fatalf("invalid -gossip-seeds: need at least one seeded cache, got %d", *gossipSeeds)
+		}
+	}
 
 	grid := partialtor.MustNewSweepGrid(
 		partialtor.SweepInts("caches", cacheCounts...),
@@ -140,6 +166,7 @@ func main() {
 		partialtor.SweepFloats("residual", residuals...),
 		partialtor.SweepFloats("comp", fractions...),
 		partialtor.SweepInts("race", races...),
+		partialtor.SweepInts("fanout", fanouts...),
 	)
 	pricing := partialtor.DefaultCostModel()
 	// Trace only the first cell: one recorder cannot be shared across the
@@ -178,7 +205,24 @@ func main() {
 		if rec != nil && c.Rank == 0 {
 			spec.Tracer = rec
 		}
+		if *gossipOn {
+			spec.Gossip = &partialtor.GossipConfig{
+				Fanout: c.Int("fanout"),
+				Seeds:  partialtor.FirstTargets(*gossipSeeds),
+			}
+		}
 		row := cellRow{cost: -1, rent: -1}
+		if *authResidual >= 0 {
+			plan := partialtor.AttackPlan{
+				Tier:     partialtor.TierAuthority,
+				Targets:  partialtor.FirstTargets(9),
+				Start:    0,
+				End:      *window + 30*time.Minute,
+				Residual: *authResidual,
+			}
+			spec.Attacks = append(spec.Attacks, plan)
+			row.cost = pricing.PlanCost(plan)
+		}
 		if res := c.Float("residual"); res >= 0 {
 			plan := partialtor.AttackPlan{
 				Tier:     partialtor.TierCache,
@@ -196,8 +240,11 @@ func main() {
 			} else {
 				plan.Targets = partialtor.MajorityTargets(spec.Caches)
 			}
-			spec.Attacks = []partialtor.AttackPlan{plan}
-			row.cost = pricing.PlanCost(plan)
+			spec.Attacks = append(spec.Attacks, plan)
+			if row.cost < 0 {
+				row.cost = 0
+			}
+			row.cost += pricing.PlanCost(plan)
 		}
 		if frac := c.Float("comp"); frac > 0 {
 			n := int(math.Round(frac * float64(spec.Caches)))
@@ -228,8 +275,13 @@ func main() {
 		return row, nil
 	})
 
-	fmt.Printf("%-8s %-10s %-12s %-6s %-5s %-12s %-12s %-10s %-10s %-7s %-10s %-10s\n",
-		"caches", "clients", "residual", "comp", "race", "t95", "p99", "coverage", "naive", "forks", "cost", "rent/mo")
+	gossipHeader := ""
+	if *gossipOn {
+		gossipHeader = fmt.Sprintf(" %-7s %-8s %-7s %-8s %-10s",
+			"fanout", "pushes", "pulls", "ae", "mesh")
+	}
+	fmt.Printf("%-8s %-10s %-12s %-6s %-5s %-12s %-12s %-10s %-10s %-7s %-10s %-10s%s\n",
+		"caches", "clients", "residual", "comp", "race", "t95", "p99", "coverage", "naive", "forks", "cost", "rent/mo", gossipHeader)
 	failed := 0
 	for _, r := range results {
 		nc, pop := r.Cell.Int("caches"), r.Cell.Int("clients")
@@ -242,8 +294,12 @@ func main() {
 		race := r.Cell.Int("race")
 		if r.Err != nil {
 			failed++
-			fmt.Printf("%-8d %-10d %-12s %-6s %-5d %-12s %-12s %-10s %-10s %-7s %-10s %-10s\n",
-				nc, pop, label, comp, race, "ERROR", "-", "-", "-", "-", "-", "-")
+			tail := ""
+			if *gossipOn {
+				tail = fmt.Sprintf(" %-7d %-8s %-7s %-8s %-10s", r.Cell.Int("fanout"), "-", "-", "-", "-")
+			}
+			fmt.Printf("%-8d %-10d %-12s %-6s %-5d %-12s %-12s %-10s %-10s %-7s %-10s %-10s%s\n",
+				nc, pop, label, comp, race, "ERROR", "-", "-", "-", "-", "-", "-", tail)
 			continue
 		}
 		cost, rent := "-", "-"
@@ -253,13 +309,20 @@ func main() {
 		if r.Value.rent >= 0 {
 			rent = fmt.Sprintf("$%.0f", r.Value.rent)
 		}
-		fmt.Printf("%-8d %-10d %-12s %-6s %-5d %-12s %-12s %-10s %-10s %-7d %-10s %-10s\n",
+		tail := ""
+		if *gossipOn {
+			d := r.Value.result
+			tail = fmt.Sprintf(" %-7d %-8d %-7d %-8d %-10s",
+				r.Cell.Int("fanout"), d.GossipPushes, d.GossipPulls, d.GossipRounds,
+				fmt.Sprintf("%.1fMB", float64(d.GossipBytes)/1e6))
+		}
+		fmt.Printf("%-8d %-10d %-12s %-6s %-5d %-12s %-12s %-10s %-10s %-7d %-10s %-10s%s\n",
 			nc, pop, label, comp, race,
 			fmtDuration(r.Value.result.TimeToTarget),
 			fmtDuration(r.Value.result.TimeToCoverage(0.99)),
 			fmt.Sprintf("%.1f%%", 100*r.Value.result.Coverage()),
 			fmt.Sprintf("%.1f%%", 100*r.Value.result.NaiveCoverage()),
-			len(r.Value.result.ForkDetections), cost, rent)
+			len(r.Value.result.ForkDetections), cost, rent, tail)
 		for _, rc := range r.Value.result.Regions {
 			fmt.Printf("  region %-4s clients %-9d coverage %-7s p50 %-12s p99 %-12s\n",
 				rc.Name, rc.Clients,

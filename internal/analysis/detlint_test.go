@@ -2,10 +2,11 @@ package analysis
 
 import "testing"
 
-func TestMapOrder(t *testing.T)    { runFixture(t, MapOrder, "maporder.txt") }
-func TestWallClock(t *testing.T)   { runFixture(t, WallClock, "wallclock.txt") }
-func TestHotPath(t *testing.T)     { runFixture(t, HotPath, "hotpath.txt") }
-func TestTracerGuard(t *testing.T) { runFixture(t, TracerGuard, "tracerguard.txt") }
+func TestMapOrder(t *testing.T)      { runFixture(t, MapOrder, "maporder.txt") }
+func TestWallClock(t *testing.T)     { runFixture(t, WallClock, "wallclock.txt") }
+func TestHotPath(t *testing.T)       { runFixture(t, HotPath, "hotpath.txt") }
+func TestHotPathGossip(t *testing.T) { runFixture(t, HotPath, "hotpath_gossip.txt") }
+func TestTracerGuard(t *testing.T)   { runFixture(t, TracerGuard, "tracerguard.txt") }
 
 func TestTxtarParse(t *testing.T) {
 	files := parseTxtar("comment line\n-- a/b.go --\npackage b\n-- c.txt --\nhello\n")

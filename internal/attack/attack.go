@@ -389,6 +389,24 @@ func (m CostModel) PlanCost(p Plan) float64 {
 	return float64(len(p.Targets)) * p.Duration().Hours() * flood * m.PricePerMbitHour
 }
 
+// MeshPartitionCost prices cutting one mirror out of a gossip mesh of the
+// given degree for the window: with every mesh link terminating at a cache,
+// isolating the node means flooding it and all `degree` neighbours down to
+// residual — a TierCache plan over degree+1 targets. This is the economics
+// the dissemination layer buys: under gossip an attacker must partition the
+// mesh, not just the authorities, and the price grows with the mesh degree.
+func (m CostModel) MeshPartitionCost(degree int, window time.Duration, residual float64) float64 {
+	if degree < 0 {
+		degree = 0
+	}
+	return m.PlanCost(Plan{
+		Tier:     TierCache,
+		Targets:  FirstTargets(degree + 1),
+		End:      window,
+		Residual: residual,
+	})
+}
+
 // PlansCost sums PlanCost over a slice of plans (one spec's Attacks) — the
 // price tag the sweep engine attaches to every attacked cell.
 func (m CostModel) PlansCost(plans []Plan) float64 {

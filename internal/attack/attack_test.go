@@ -187,6 +187,34 @@ func TestPlanCostPricesCacheTier(t *testing.T) {
 	}
 }
 
+func TestMeshPartitionCost(t *testing.T) {
+	m := DefaultCostModel()
+	window := time.Hour
+	// Cutting one mirror out of a degree-4 mesh means flooding it and its
+	// four neighbours: 5 targets × 200 Mbit/s × 1 h × $0.00074 = $0.74.
+	if got := m.MeshPartitionCost(4, window, 0); math.Abs(got-0.74) > 1e-9 {
+		t.Fatalf("degree-4 partition cost $%.4f, want $0.74", got)
+	}
+	// The price grows linearly with the mesh degree — the knob the defender
+	// turns — and a negative degree clamps to the single-node flood.
+	prev := 0.0
+	for degree := 0; degree <= 8; degree++ {
+		c := m.MeshPartitionCost(degree, window, 0)
+		if c <= prev {
+			t.Fatalf("degree %d partition cost $%.4f not above degree %d's $%.4f", degree, c, degree-1, prev)
+		}
+		prev = c
+	}
+	if got, want := m.MeshPartitionCost(-3, window, 0), m.MeshPartitionCost(0, window, 0); got != want {
+		t.Fatalf("negative degree priced $%.4f, want the single-node flood $%.4f", got, want)
+	}
+	// Residual bandwidth discounts it exactly like any cache flood.
+	half := m.MeshPartitionCost(4, window, 100e6)
+	if math.Abs(half-0.37) > 1e-9 {
+		t.Fatalf("residual partition cost $%.4f, want $0.37", half)
+	}
+}
+
 func TestCacheTierFloodCostsMoreThanAuthorities(t *testing.T) {
 	// The over-provisioning defense economics: the paper's five-minute
 	// authority attack costs cents, but the same stressor pricing against a

@@ -64,19 +64,38 @@ type cacheNode struct {
 	have      bool
 	fetchedAt time.Duration
 
+	gossip *gossipState // nil when the run carries no mesh
+
 	fullsServed, diffsServed int
 }
 
 func (c *cacheNode) Start(ctx *simnet.Context) {
 	if c.role == roleStale {
 		// A stale cache has nothing to fetch: its whole misbehavior is
-		// keeping the previous epoch alive.
+		// keeping the previous epoch alive. It still answers mesh traffic
+		// (serving its previous epoch, never pulling), so anti-entropy runs.
+		if c.gossip != nil {
+			c.armAntiEntropy(ctx)
+		}
+		return
+	}
+	if g := c.gossip; g != nil && g.seeded {
+		// A seeded cache models a surviving publication: it holds the
+		// current consensus from t=0 and never touches the authorities —
+		// its job is to gossip the document across the mesh.
+		c.have = true
+		c.fetchedAt = 0
+		c.gossipAcquire(ctx)
+		c.armAntiEntropy(ctx)
 		return
 	}
 	// Stagger the initial fetches a little so the authority uplinks don't
 	// see 20 perfectly synchronized requests at t=0.
 	jitter := time.Duration(ctx.Rand().Int63n(int64(time.Second)))
 	ctx.After(jitter, func() { c.requestNext(ctx) })
+	if c.gossip != nil {
+		c.armAntiEntropy(ctx)
+	}
 }
 
 // requestNext asks the next authority in the fallback order for the
@@ -108,6 +127,9 @@ func (c *cacheNode) Deliver(ctx *simnet.Context, from simnet.NodeID, msg simnet.
 		c.have = true
 		c.fetchedAt = ctx.Now()
 		ctx.Logf("notice", "consensus cached at %v after %d attempt(s)", c.fetchedAt, c.attempt)
+		if c.gossip != nil {
+			c.gossipAcquire(ctx)
+		}
 
 	case notReady:
 		// The consensus does not exist yet; wait, then fall back to the
@@ -126,6 +148,15 @@ func (c *cacheNode) Deliver(ctx *simnet.Context, from simnet.NodeID, msg simnet.
 
 	case *fleetFetch:
 		c.serve(ctx, from, m)
+
+	case *gossipDigest:
+		c.onGossipDigest(ctx, from, m)
+	case gossipPull:
+		c.onGossipPull(ctx, from, m)
+	case *gossipDoc:
+		c.onGossipDoc(ctx, from, m)
+	case *gossipVector:
+		c.onGossipVector(ctx, from, m)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"partialtor/internal/attack"
 	"partialtor/internal/chain"
+	"partialtor/internal/gossip"
 	"partialtor/internal/obs"
 	"partialtor/internal/sig"
 	"partialtor/internal/topo"
@@ -134,6 +135,17 @@ type Spec struct {
 	// it. The harness injects the real consensus digest here.
 	Chain *ChainContext
 
+	// Gossip, if non-nil, turns on the cache-to-cache dissemination mesh:
+	// caches form a seeded k-regular-ring-plus-random-links graph
+	// (latency-biased under a Topology), push TTL/fanout-bounded digests on
+	// acquiring a fresh consensus, pull on digest misses, and reconcile
+	// epoch vectors in periodic anti-entropy rounds. Gossip.Seeds lists
+	// caches that already hold the current consensus at t=0 — the surviving
+	// publications an authority flood cannot take back. nil keeps the
+	// historical star topology byte for byte: no extra RNG draws, no extra
+	// events.
+	Gossip *gossip.Config
+
 	// Seed drives all randomness (default 1).
 	Seed int64
 	// RunLimit bounds the simulation (default FetchWindow + 30 min).
@@ -222,6 +234,10 @@ func (s Spec) withDefaults() Spec {
 	}
 	if s.Chain == nil && (s.VerifyClients || s.activeCompromise() != nil) {
 		s.Chain = SynthChain(s.Seed, s.Authorities, sig.Digest{})
+	}
+	if s.Gossip != nil {
+		g := s.Gossip.WithDefaults()
+		s.Gossip = &g
 	}
 	return s
 }
@@ -318,6 +334,11 @@ func (s Spec) Validate() error {
 	if c := s.Chain; c != nil {
 		if c.Threshold < 1 || c.Threshold > len(c.Pubs) {
 			return fmt.Errorf("dircache: chain threshold %d over %d authorities", c.Threshold, len(c.Pubs))
+		}
+	}
+	if g := s.Gossip; g != nil {
+		if err := g.Validate(s0.Caches); err != nil {
+			return fmt.Errorf("dircache: %w", err)
 		}
 	}
 	return nil

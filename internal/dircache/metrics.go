@@ -94,6 +94,24 @@ type Result struct {
 	// over to the next set of caches.
 	RaceTimeouts int
 
+	// --- gossip-mesh outcomes (all zero unless Spec.Gossip != nil) ---
+
+	// GossipPushes counts digest announcements sent (origins plus relays);
+	// GossipPulls the document pulls issued on digest or anti-entropy
+	// misses; GossipServes the pulls answered with a document or diff;
+	// GossipRounds the anti-entropy rounds initiated.
+	GossipPushes int
+	GossipPulls  int
+	GossipServes int
+	GossipRounds int
+	// CachesFromPeers is how many caches obtained the current consensus
+	// from a mesh peer rather than an authority — the mirrors the mesh
+	// saved during an authority outage.
+	CachesFromPeers int
+	// GossipBytes is the mesh's offered traffic: bytes of all gossip wire
+	// kinds (digests, pulls, documents, anti-entropy vectors).
+	GossipBytes int64
+
 	// Regions is the per-region coverage breakdown, ordered by region index.
 	// Nil for flat (topology-less) runs.
 	Regions []RegionCoverage
@@ -223,6 +241,21 @@ func collect(spec Spec, net *simnet.Network, authIDs, cacheIDs, fleetIDs []simne
 		res.FleetEgress += net.NodeBytesSent(id)
 	}
 	res.Stats = net.Stats()
+	if spec.Gossip != nil {
+		for _, c := range caches {
+			g := c.gossip
+			res.GossipPushes += g.pushes
+			res.GossipPulls += g.pulls
+			res.GossipServes += g.serves
+			res.GossipRounds += g.rounds
+			if g.adoptedFromPeer {
+				res.CachesFromPeers++
+			}
+		}
+		for _, k := range gossipKinds {
+			res.GossipBytes += res.Stats.KindBytes[k]
+		}
+	}
 	res.TimeToTarget = res.TimeToCoverage(spec.TargetCoverage)
 	return res
 }
@@ -409,6 +442,11 @@ func (r *Result) Summary() string {
 	if r.Spec.RaceK >= 1 {
 		fmt.Fprintf(&b, "; racing K=%d: %d laggards (%.1f MB wasted), %d wave timeouts",
 			r.Spec.RaceK, r.RaceLaggards, float64(r.RaceWasteBytes)/1e6, r.RaceTimeouts)
+	}
+	if r.Spec.Gossip != nil {
+		fmt.Fprintf(&b, "; gossip fanout=%d: %d pushes, %d pulls (%d served), %d anti-entropy rounds, %d caches peer-fed, %.1f MB mesh",
+			r.Spec.Gossip.Fanout, r.GossipPushes, r.GossipPulls, r.GossipServes,
+			r.GossipRounds, r.CachesFromPeers, float64(r.GossipBytes)/1e6)
 	}
 	return b.String()
 }

@@ -71,12 +71,24 @@ func Run(spec Spec) (*Result, error) {
 	roles := cacheRoles(compromise, spec.Caches)
 	caches := make([]*cacheNode, spec.Caches)
 	cacheIDs := make([]simnet.NodeID, spec.Caches)
+	// The mesh and per-cache engines exist only when the spec asks for
+	// gossip: a nil Spec.Gossip run touches no gossip code path, draws no
+	// extra randomness, and stays byte-identical to pre-mesh runs.
+	var mesh [][]int
+	if spec.Gossip != nil {
+		mesh = buildGossipMesh(&spec, tp, cacheRegions)
+	}
 	for i := range caches {
 		c := &cacheNode{
 			spec:      &spec,
 			role:      roles[i],
 			chainCtx:  spec.Chain,
 			authOrder: authorityOrder(tp, authIDs, authRegions, cacheRegions, i),
+		}
+		if mesh != nil {
+			// cacheIDs is still filling here; handlers only read it from
+			// Start onward, when the whole tier exists.
+			c.gossip = newGossipState(&spec, mesh, cacheIDs, i, roles[i])
 		}
 		region, bw := nodePlacement(tp, cacheRegions, i, spec.CacheBandwidth)
 		up := simnet.NewProfile(bw)

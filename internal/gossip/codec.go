@@ -1,0 +1,152 @@
+package gossip
+
+import (
+	"bytes"
+	"fmt"
+
+	"partialtor/internal/wire"
+)
+
+// magic distinguishes gossip frames from every other codec in the repo and
+// versions the wire format.
+const magic = "partialtor-gossip/1"
+
+const (
+	frameDigest byte = 1
+	frameVector byte = 2
+)
+
+// MaxVectorEntries bounds a decoded epoch vector; an attacker-sized length
+// prefix must not turn into an attacker-sized allocation.
+const MaxVectorEntries = 4096
+
+// SumSize is the width of the document identity carried in a digest.
+const SumSize = 32
+
+// Digest is one push announcement: "I hold the document Sum of epoch Epoch",
+// with TTL hops of relay budget left.
+type Digest struct {
+	Epoch uint64
+	Sum   [SumSize]byte
+	TTL   uint8
+}
+
+// EncodedSize is the exact wire size of the digest — the simulation charges
+// this many bytes per push.
+func (d Digest) EncodedSize() int {
+	return len(magic) + 1 + wire.UvarintLen(d.Epoch) + SumSize + 1
+}
+
+// EncodeDigest serializes a push announcement.
+func EncodeDigest(d Digest) []byte {
+	w := wire.NewWriter(d.EncodedSize())
+	w.Raw([]byte(magic))
+	w.Byte(frameDigest)
+	w.Uvarint(d.Epoch)
+	w.Raw(d.Sum[:])
+	w.Byte(d.TTL)
+	return w.Bytes()
+}
+
+// DecodeDigest parses a push announcement, rejecting foreign magic, the
+// wrong frame kind, and trailing bytes.
+func DecodeDigest(b []byte) (Digest, error) {
+	var d Digest
+	r, err := openFrame(b, frameDigest)
+	if err != nil {
+		return d, err
+	}
+	d.Epoch = r.Uvarint()
+	copy(d.Sum[:], r.Raw(SumSize))
+	d.TTL = r.Byte()
+	if err := r.Close(); err != nil {
+		return Digest{}, err
+	}
+	return d, nil
+}
+
+// VectorEntry is one stream's high-water mark: the newest epoch held for the
+// document stream Key (the dircache layer runs a single stream, key 0).
+type VectorEntry struct {
+	Key   uint64
+	Epoch uint64
+}
+
+// Vector is the epoch vector two peers reconcile in an anti-entropy round.
+type Vector struct {
+	Entries []VectorEntry
+}
+
+// EpochFor returns the vector's epoch for a stream key (0 when absent).
+func (v Vector) EpochFor(key uint64) uint64 {
+	for _, e := range v.Entries {
+		if e.Key == key {
+			return e.Epoch
+		}
+	}
+	return 0
+}
+
+// EncodedSize is the exact wire size of the vector.
+func (v Vector) EncodedSize() int {
+	n := len(magic) + 1 + wire.UvarintLen(uint64(len(v.Entries)))
+	for _, e := range v.Entries {
+		n += wire.UvarintLen(e.Key) + wire.UvarintLen(e.Epoch)
+	}
+	return n
+}
+
+// EncodeVector serializes an epoch vector.
+func EncodeVector(v Vector) []byte {
+	w := wire.NewWriter(v.EncodedSize())
+	w.Raw([]byte(magic))
+	w.Byte(frameVector)
+	w.Uvarint(uint64(len(v.Entries)))
+	for _, e := range v.Entries {
+		w.Uvarint(e.Key)
+		w.Uvarint(e.Epoch)
+	}
+	return w.Bytes()
+}
+
+// DecodeVector parses an epoch vector, bounding the entry count before
+// allocating.
+func DecodeVector(b []byte) (Vector, error) {
+	r, err := openFrame(b, frameVector)
+	if err != nil {
+		return Vector{}, err
+	}
+	n := r.Uvarint()
+	if n > MaxVectorEntries {
+		return Vector{}, fmt.Errorf("gossip: vector of %d entries exceeds the %d cap", n, MaxVectorEntries)
+	}
+	// Each entry is at least two bytes; a count the remaining bytes cannot
+	// carry is a forgery, not a short read.
+	if n > uint64(r.Remaining()) {
+		return Vector{}, wire.ErrTooLong
+	}
+	var v Vector
+	if n > 0 {
+		v.Entries = make([]VectorEntry, n)
+	}
+	for i := range v.Entries {
+		v.Entries[i].Key = r.Uvarint()
+		v.Entries[i].Epoch = r.Uvarint()
+	}
+	if err := r.Close(); err != nil {
+		return Vector{}, err
+	}
+	return v, nil
+}
+
+// openFrame checks the magic and frame kind, returning a reader positioned
+// at the payload.
+func openFrame(b []byte, kind byte) (*wire.Reader, error) {
+	if len(b) < len(magic)+1 || !bytes.Equal(b[:len(magic)], []byte(magic)) {
+		return nil, fmt.Errorf("gossip: bad magic")
+	}
+	if b[len(magic)] != kind {
+		return nil, fmt.Errorf("gossip: frame kind %d, want %d", b[len(magic)], kind)
+	}
+	return wire.NewReader(b[len(magic)+1:]), nil
+}

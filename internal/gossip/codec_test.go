@@ -1,0 +1,88 @@
+package gossip
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestDigestRoundTrip(t *testing.T) {
+	d := Digest{Epoch: 1 << 40, TTL: 7}
+	for i := range d.Sum {
+		d.Sum[i] = byte(i * 3)
+	}
+	enc := EncodeDigest(d)
+	if len(enc) != d.EncodedSize() {
+		t.Fatalf("encoded %d bytes, EncodedSize says %d", len(enc), d.EncodedSize())
+	}
+	got, err := DecodeDigest(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != d {
+		t.Fatalf("round trip changed the digest: %+v != %+v", got, d)
+	}
+}
+
+func TestVectorRoundTrip(t *testing.T) {
+	for _, v := range []Vector{
+		{},
+		{Entries: []VectorEntry{{Key: 0, Epoch: 2}}},
+		{Entries: []VectorEntry{{Key: 0, Epoch: 1}, {Key: 9, Epoch: 1 << 50}, {Key: 1 << 60, Epoch: 0}}},
+	} {
+		enc := EncodeVector(v)
+		if len(enc) != v.EncodedSize() {
+			t.Fatalf("encoded %d bytes, EncodedSize says %d", len(enc), v.EncodedSize())
+		}
+		got, err := DecodeVector(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Entries) != len(v.Entries) {
+			t.Fatalf("round trip changed entry count: %v != %v", got, v)
+		}
+		if len(v.Entries) > 0 && !reflect.DeepEqual(got, v) {
+			t.Fatalf("round trip changed the vector: %v != %v", got, v)
+		}
+	}
+}
+
+func TestVectorEpochFor(t *testing.T) {
+	v := Vector{Entries: []VectorEntry{{Key: 0, Epoch: 2}, {Key: 7, Epoch: 5}}}
+	if v.EpochFor(0) != 2 || v.EpochFor(7) != 5 {
+		t.Fatal("EpochFor missed a present key")
+	}
+	if v.EpochFor(3) != 0 {
+		t.Fatal("EpochFor invented an epoch for an absent key")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	valid := EncodeDigest(Digest{Epoch: 2, TTL: 3})
+	cases := []struct {
+		name string
+		b    []byte
+	}{
+		{"empty", []byte{}},
+		{"short magic", []byte("partialtor-goss")},
+		{"foreign magic", []byte("partialtor-chain/1 xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx")},
+		{"magic only", []byte(magic)},
+		{"wrong kind", EncodeVector(Vector{})},
+		{"truncated body", valid[:len(valid)-4]},
+		{"trailing bytes", append(append([]byte(nil), valid...), 0xFF)},
+	}
+	for _, c := range cases {
+		if _, err := DecodeDigest(c.b); err == nil {
+			t.Fatalf("DecodeDigest accepted %s", c.name)
+		}
+	}
+	if _, err := DecodeVector(EncodeDigest(Digest{})); err == nil {
+		t.Fatal("DecodeVector accepted a digest frame")
+	}
+	// A forged entry count larger than the bytes behind it must fail before
+	// allocating, as must one beyond the hard cap.
+	w := EncodeVector(Vector{})
+	w[len(w)-1] = 0x7F // count=127 with no entry bytes
+	if _, err := DecodeVector(w); err == nil {
+		t.Fatal("DecodeVector accepted a count the buffer cannot carry")
+	}
+}

@@ -1,0 +1,83 @@
+package gossip
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// meshSalt decorrelates the mesh construction stream from every other
+// consumer of the Spec seed, so adding a link never perturbs a fetch jitter.
+const meshSalt = 0x676f7373 // "goss"
+
+// BuildMesh derives the peer graph for n nodes: a ring (node i linked to
+// i±1, which keeps the mesh connected at any degree) plus seeded random
+// links added until every node has at least min(degree, n-1) peers. bias, if
+// non-nil, weights the random-link partner choice — the dircache layer
+// passes inverse expected latency under a topology, so meshes prefer nearby
+// mirrors — and must be symmetric-positive for the graph to stay undirected.
+//
+// The result is each node's sorted peer list. Construction is deterministic
+// in (n, degree, seed, bias): candidate scans run in index order and the
+// only randomness is a dedicated rand stream derived from seed.
+func BuildMesh(n, degree int, seed int64, bias func(a, b int) float64) [][]int {
+	adj := make([][]int, n)
+	if n <= 1 {
+		return adj
+	}
+	if degree > n-1 {
+		degree = n - 1
+	}
+	edge := make([]bool, n*n)
+	link := func(a, b int) {
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+		edge[a*n+b] = true
+		edge[b*n+a] = true
+	}
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		if i != j && !edge[i*n+j] {
+			link(i, j)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed ^ meshSalt))
+	weights := make([]float64, 0, n)
+	cands := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		for len(adj[i]) < degree {
+			cands, weights = cands[:0], weights[:0]
+			total := 0.0
+			for j := 0; j < n; j++ {
+				if j == i || edge[i*n+j] {
+					continue
+				}
+				w := 1.0
+				if bias != nil {
+					w = bias(i, j)
+				}
+				if w <= 0 {
+					continue
+				}
+				cands = append(cands, j)
+				weights = append(weights, w)
+				total += w
+			}
+			if len(cands) == 0 {
+				break
+			}
+			r := rng.Float64() * total
+			pick := 0
+			for ; pick < len(cands)-1; pick++ {
+				r -= weights[pick]
+				if r <= 0 {
+					break
+				}
+			}
+			link(i, cands[pick])
+		}
+	}
+	for i := range adj {
+		sort.Ints(adj[i])
+	}
+	return adj
+}

@@ -1,0 +1,128 @@
+package gossip
+
+import (
+	"reflect"
+	"testing"
+)
+
+// meshInvariants checks the structural contract of a built mesh: symmetry,
+// no self-loops or duplicates, sortedness, and the degree floor.
+func meshInvariants(t *testing.T, adj [][]int, degree int) {
+	t.Helper()
+	n := len(adj)
+	want := degree
+	if want > n-1 {
+		want = n - 1
+	}
+	for i, peers := range adj {
+		if len(peers) < want {
+			t.Fatalf("node %d has %d peers, want >= %d", i, len(peers), want)
+		}
+		for k, p := range peers {
+			if p == i {
+				t.Fatalf("node %d linked to itself", i)
+			}
+			if k > 0 && peers[k-1] >= p {
+				t.Fatalf("node %d peer list not strictly sorted: %v", i, peers)
+			}
+			found := false
+			for _, q := range adj[p] {
+				if q == i {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("edge %d-%d not symmetric", i, p)
+			}
+		}
+	}
+}
+
+// connected reports whether the mesh is one component (BFS from node 0).
+func connected(adj [][]int) bool {
+	n := len(adj)
+	if n == 0 {
+		return true
+	}
+	seen := make([]bool, n)
+	queue := []int{0}
+	seen[0] = true
+	count := 1
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, p := range adj[v] {
+			if !seen[p] {
+				seen[p] = true
+				count++
+				queue = append(queue, p)
+			}
+		}
+	}
+	return count == n
+}
+
+func TestBuildMeshInvariants(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 10, 30, 97} {
+		for _, degree := range []int{2, 3, 4, 6, 200} {
+			adj := BuildMesh(n, degree, 1, nil)
+			meshInvariants(t, adj, degree)
+			if !connected(adj) {
+				t.Fatalf("n=%d degree=%d: mesh not connected", n, degree)
+			}
+		}
+	}
+}
+
+func TestBuildMeshTinyAndEmpty(t *testing.T) {
+	if got := BuildMesh(0, 4, 1, nil); len(got) != 0 {
+		t.Fatalf("n=0: got %v", got)
+	}
+	one := BuildMesh(1, 4, 1, nil)
+	if len(one) != 1 || len(one[0]) != 0 {
+		t.Fatalf("n=1: got %v", one)
+	}
+	two := BuildMesh(2, 4, 1, nil)
+	if !reflect.DeepEqual(two, [][]int{{1}, {0}}) {
+		t.Fatalf("n=2: got %v", two)
+	}
+}
+
+func TestBuildMeshDeterministic(t *testing.T) {
+	a := BuildMesh(40, 4, 7, nil)
+	b := BuildMesh(40, 4, 7, nil)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed built different meshes")
+	}
+	c := BuildMesh(40, 4, 8, nil)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds built identical meshes (random links dead?)")
+	}
+}
+
+func TestBuildMeshBias(t *testing.T) {
+	// A bias that splits the nodes into two halves and makes cross-half
+	// links worthless: every random link must stay within a half, so the
+	// only cross-half edges are the ring's two.
+	n, half := 20, 10
+	bias := func(a, b int) float64 {
+		if (a < half) == (b < half) {
+			return 1
+		}
+		return 0
+	}
+	adj := BuildMesh(n, 4, 3, bias)
+	meshInvariants(t, adj, 4)
+	cross := 0
+	for i, peers := range adj {
+		for _, p := range peers {
+			if i < p && (i < half) != (p < half) {
+				cross++
+			}
+		}
+	}
+	if cross != 2 {
+		t.Fatalf("got %d cross-half edges, want exactly the 2 ring edges", cross)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"partialtor/internal/chain"
 	"partialtor/internal/client"
 	"partialtor/internal/dircache"
+	"partialtor/internal/gossip"
 	"partialtor/internal/obs"
 	"partialtor/internal/sig"
 	"partialtor/internal/topo"
@@ -49,6 +50,7 @@ type Experiment struct {
 	compromise *attack.CompromisePlan
 	verify     bool
 	dist       *dircache.Spec
+	gossip     *gossip.Config
 	policy     client.Policy
 	avail      bool
 	chain      bool
@@ -146,6 +148,20 @@ func WithDistribution(spec dircache.Spec) ExperimentOption {
 	}
 }
 
+// WithGossip joins every period's cache tier into a dissemination mesh under
+// cfg: caches push fresh-consensus digests to mesh peers, pull on digest
+// miss, and reconcile epoch vectors in periodic anti-entropy rounds — so a
+// mirror cut off from the flooded authorities still converges through its
+// peers. Needs a distribution phase (WithDistribution or a spec on the base
+// scenario).
+func WithGossip(cfg gossip.Config) ExperimentOption {
+	return func(e *Experiment) error {
+		gc := cfg
+		e.gossip = &gc
+		return nil
+	}
+}
+
 // WithTopology places every period's networks on the given regional map
 // (authority placement and latencies in the consensus phase, cache and
 // fleet placement plus per-region coverage in the Distribute phase).
@@ -226,6 +242,15 @@ func NewExperiment(opts ...ExperimentOption) (*Experiment, error) {
 		if e.compromise != nil && e.dist.Compromise != nil {
 			return nil, fmt.Errorf("harness: compromise specified twice — on the distribution spec and via WithCompromise")
 		}
+	}
+	if e.gossip != nil {
+		if e.dist == nil {
+			return nil, fmt.Errorf("harness: a gossip mesh needs a distribution phase (WithDistribution)")
+		}
+		if e.dist.Gossip != nil {
+			return nil, fmt.Errorf("harness: gossip specified twice — on the distribution spec and via WithGossip")
+		}
+		e.dist.Gossip = e.gossip
 	}
 	if e.attacked == nil {
 		attackSet := e.attack != nil

@@ -12,6 +12,7 @@ import (
 
 	"partialtor/internal/attack"
 	"partialtor/internal/dircache"
+	"partialtor/internal/gossip"
 	"partialtor/internal/obs"
 	"partialtor/internal/simnet"
 	"partialtor/internal/topo"
@@ -65,6 +66,20 @@ var goldenKernelDigests = map[string]string{
 	"Ours/seed1/regional":         "b6a16182dfbce1960644a9c156cbf6de369bf0b3f71350a361a9410e7c9f58e7",
 	"Ours/seed7/regional":         "88b24ec428858cb87964c8f70c7a85c7bfbebb3e8bfd076d1cd4aaf8fb40aecb",
 	"Ours/seed42/regional":        "81d4f6e20eb5ad16b29607e7505d7a886e8f89e5585a6310f26368b955ac0c76",
+
+	// The gossip cells pin the cache mesh: a total authority flood with one
+	// seeded mirror, recovery over the fanout-3 mesh, plus the no-gossip
+	// baseline curve hashed into the same digest. Recorded after the cells
+	// above — no earlier digest changed when the mesh landed.
+	"Current/seed1/gossip":      "07f98ddc39c33e357545f1782b30ef8419dd14dee36b2691147c97ed600b95f6",
+	"Current/seed7/gossip":      "ce6b8cd25cb5b807348b080073cf7ebdc319c07520abd1dff63d6fdb86ba9982",
+	"Current/seed42/gossip":     "c37fe55421a73c5463171f6453504ea48cddfa98e2d9fd8001fc8d4c35863319",
+	"Synchronous/seed1/gossip":  "a33cd687d048c6a54928c5c2fa7b6c21b546bb96a17119f1ca43d5622593bf75",
+	"Synchronous/seed7/gossip":  "4999538818f75acd0ff8796440a2fff9129ed2ab35642265789293362a0f5338",
+	"Synchronous/seed42/gossip": "a65434e5792dcc9a1fd2c4a3a7085f622437e6a577c31ed515b3e1df3ec77dd1",
+	"Ours/seed1/gossip":         "a44c17765d077c12f551f2a633bfb319f1e9bdde810b7ca7d92401e12833661c",
+	"Ours/seed7/gossip":         "8bdeebc14d877fb0a760042e58a0b0febcc0b34d6ef6b69228b2cd0edfb93501",
+	"Ours/seed42/gossip":        "a281e1426e5360f47482e0d66b5eb564748e3ef6a2fe66581e50ad6ff9e340f5",
 }
 
 // goldenSeeds are the corpus seeds; small primes apart so the latency maps
@@ -132,6 +147,37 @@ func goldenRegional(p Protocol, seed int64) Scenario {
 				End:          2 * time.Minute,
 				Residual:     1e6,
 			}},
+		},
+	}
+}
+
+// goldenGossip is the mesh-dissemination scenario, and the headline outage
+// drill: every authority flooded to zero residual for the whole run — the
+// Figure-10 plan turned all the way up — while one cache (index 0) holds the
+// fresh consensus from t=0. A fanout-3 mesh over 30 mirrors must spread that
+// surviving publication across the tier. The digest also pins the no-gossip
+// baseline curve (same flood, no mesh), which strands the fleet.
+func goldenGossip(p Protocol, seed int64) Scenario {
+	return Scenario{
+		Protocol:     p,
+		Relays:       150,
+		EntryPadding: 0,
+		Round:        15 * time.Second,
+		Seed:         seed,
+		Distribution: &dircache.Spec{
+			Clients:     20_000,
+			Caches:      30,
+			Fleets:      2,
+			FetchWindow: 6 * time.Minute,
+			Tick:        5 * time.Second,
+			Attacks: []attack.Plan{{
+				Tier:     attack.TierAuthority,
+				Targets:  attack.FirstTargets(9),
+				Start:    0,
+				End:      90 * time.Minute,
+				Residual: 0,
+			}},
+			Gossip: &gossip.Config{Fanout: 3, Seeds: []int{0}},
 		},
 	}
 }
@@ -221,6 +267,11 @@ func hashDistribution(w io.Writer, d *dircache.Result) {
 		fmt.Fprintf(w, "race k=%d waste=%d laggards=%d timeouts=%d\n",
 			d.Spec.RaceK, d.RaceWasteBytes, d.RaceLaggards, d.RaceTimeouts)
 	}
+	if d.Spec.Gossip != nil {
+		fmt.Fprintf(w, "gossip fanout=%d pushes=%d pulls=%d serves=%d rounds=%d fromPeers=%d bytes=%d\n",
+			d.Spec.Gossip.Fanout, d.GossipPushes, d.GossipPulls, d.GossipServes,
+			d.GossipRounds, d.CachesFromPeers, d.GossipBytes)
+	}
 	for _, rc := range d.Regions {
 		fmt.Fprintf(w, "region=%s clients=%d covered=%d target=%d p50=%d p99=%d\n",
 			rc.Name, rc.Clients, rc.Covered, rc.TimeToTarget, rc.P50, rc.P99)
@@ -235,7 +286,7 @@ func hashDistribution(w io.Writer, d *dircache.Result) {
 }
 
 // goldenKinds are the corpus cell kinds, one scenario builder each.
-var goldenKinds = []string{"attacked", "compromised", "regional"}
+var goldenKinds = []string{"attacked", "compromised", "regional", "gossip"}
 
 // goldenDigest runs one corpus cell and returns the hex digest of its
 // observable output. A non-nil tracer is attached to the run — the digest
@@ -261,8 +312,11 @@ func goldenDigest(t *testing.T, p Protocol, seed int64, kind string, tracer obs.
 		fmt.Fprintf(h, "forks=%d misled=%d\n", res.ForksDetected, res.MisledClients)
 	} else {
 		s := goldenAttacked(p, seed)
-		if kind == "regional" {
+		switch kind {
+		case "regional":
 			s = goldenRegional(p, seed)
+		case "gossip":
+			s = goldenGossip(p, seed)
 		}
 		s.Tracer = tracer
 		res, err := RunE(t.Context(), s)
@@ -274,6 +328,19 @@ func goldenDigest(t *testing.T, p Protocol, seed int64, kind string, tracer obs.
 			t.Fatalf("%s corpus scenario produced no distribution phase", kind)
 		}
 		hashDistribution(h, res.Distribution)
+		if kind == "gossip" {
+			// The recovery curve means nothing without the counterfactual:
+			// pin the no-gossip baseline (same flood, no mesh) in the same
+			// digest, so both curves of the acceptance plot are frozen.
+			base := goldenGossip(p, seed)
+			base.Distribution.Gossip = nil
+			base.Tracer = tracer
+			bres, err := RunE(t.Context(), base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hashDistribution(h, bres.Distribution)
+		}
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }

@@ -1,0 +1,182 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"partialtor/internal/attack"
+	"partialtor/internal/dircache"
+	"partialtor/internal/gossip"
+	"partialtor/internal/simnet"
+	"partialtor/internal/sweep"
+)
+
+// GossipRow is one cell of the gossip-outage experiment: every authority
+// flooded to zero residual for the whole run, one seeded mirror, and the
+// cache tier meshed at one push fanout (Fanout -1 is the no-gossip
+// baseline).
+type GossipRow struct {
+	Fanout int // push fanout; -1 = gossip disabled (the baseline)
+	// Coverage is the fleet fraction covered when the fetch window closes;
+	// T95 the time to 95% coverage (simnet.Never if unreached); MeshFill the
+	// instant the last mirror obtained the consensus (simnet.Never if one
+	// never did).
+	Coverage float64
+	T95      time.Duration
+	MeshFill time.Duration
+	// Pushes/Pulls/Rounds count mesh activity; MeshBytes its wire traffic.
+	Pushes, Pulls, Rounds int
+	MeshBytes             int64
+	// PartitionCost prices cutting one mirror out of this mesh for the
+	// window (attack.CostModel.MeshPartitionCost); 0 for the baseline.
+	PartitionCost float64
+}
+
+// GossipResult compares the stranded baseline against gossip meshes of
+// increasing fanout under a total authority flood. The headline: with all
+// nine authorities down and a single cache seeded, the mesh carries the
+// fleet to coverage while the baseline strands, and partitioning the mesh
+// costs the attacker cache-tier floods instead of nine authority links.
+type GossipResult struct {
+	Window time.Duration
+	Degree int
+	Rows   []GossipRow
+}
+
+// GossipParams scales the experiment (zero values = demo scale).
+type GossipParams struct {
+	Clients int           // default 20 000
+	Caches  int           // default 30
+	Fleets  int           // default 2
+	Window  time.Duration // default 6 minutes
+	Fanouts []int         // mesh fanouts to sweep, default {1, 3}
+	Degree  int           // mesh degree, default gossip defaults (4)
+	Seed    int64         // default 42
+	Workers int           // sweep worker pool: 0 = all cores, 1 = serial
+	// OnCell, when set, observes sweep progress: called once per finished
+	// cell with the completion count, the grid size, and the cell's error.
+	OnCell func(done, total int, cellErr error)
+}
+
+// gossipOutageSpec is the experiment's distribution spec: authorities
+// flooded to zero residual for the whole run, cache 0 seeded with the fresh
+// consensus, the rest reachable only through the mesh (nil Gossip = the
+// stranded baseline).
+func gossipOutageSpec(p GossipParams, cfg *gossip.Config) dircache.Spec {
+	return dircache.Spec{
+		Clients:     p.Clients,
+		Caches:      p.Caches,
+		Fleets:      p.Fleets,
+		FetchWindow: p.Window,
+		Seed:        p.Seed,
+		Gossip:      cfg,
+		Attacks: []attack.Plan{{
+			Tier:     attack.TierAuthority,
+			Targets:  attack.FirstTargets(9),
+			Start:    0,
+			End:      p.Window + time.Hour,
+			Residual: 0,
+		}},
+	}
+}
+
+// GossipTable runs the baseline and the fanout sweep and reports per-cell
+// coverage, mesh spread, wire cost and the partition price. Cells fan out
+// over the sweep engine.
+func GossipTable(ctx context.Context, p GossipParams) (*GossipResult, error) {
+	if p.Clients == 0 {
+		p.Clients = 20_000
+	}
+	if p.Caches == 0 {
+		p.Caches = 30
+	}
+	if p.Fleets == 0 {
+		p.Fleets = 2
+	}
+	if p.Window == 0 {
+		p.Window = 6 * time.Minute
+	}
+	if len(p.Fanouts) == 0 {
+		p.Fanouts = []int{1, 3}
+	}
+	if p.Seed == 0 {
+		p.Seed = 42
+	}
+	if p.Degree == 0 {
+		p.Degree = (gossip.Config{}).WithDefaults().Degree
+	}
+	res := &GossipResult{Window: p.Window, Degree: p.Degree}
+	cost := attack.DefaultCostModel()
+	fanouts := append([]int{-1}, p.Fanouts...)
+	grid := sweep.MustNew(sweep.Ints("fanout", fanouts...))
+	results, err := sweepE(ctx, grid, sweep.Params{Workers: p.Workers, OnCell: p.OnCell}, func(_ context.Context, c sweep.Cell) (GossipRow, error) {
+		row := GossipRow{Fanout: c.Int("fanout")}
+		var cfg *gossip.Config
+		if row.Fanout >= 0 {
+			cfg = &gossip.Config{Fanout: row.Fanout, Degree: p.Degree, Seeds: []int{0}}
+		}
+		r, err := dircache.Run(gossipOutageSpec(p, cfg))
+		if err != nil {
+			return GossipRow{}, err
+		}
+		row.Coverage = r.CoverageAt(p.Window)
+		row.T95 = r.TimeToCoverage(0.95)
+		row.MeshFill = simnet.Never
+		last := time.Duration(-1)
+		for _, at := range r.CacheFetchedAt {
+			if at == simnet.Never {
+				last = simnet.Never
+				break
+			}
+			if at > last {
+				last = at
+			}
+		}
+		if last != simnet.Never {
+			row.MeshFill = last
+		}
+		row.Pushes = r.GossipPushes
+		row.Pulls = r.GossipPulls
+		row.Rounds = r.GossipRounds
+		row.MeshBytes = r.GossipBytes
+		if row.Fanout >= 0 {
+			row.PartitionCost = cost.MeshPartitionCost(p.Degree, p.Window, 0)
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range results {
+		res.Rows = append(res.Rows, r.Value)
+	}
+	return res, nil
+}
+
+// Render prints the comparison table.
+func (r *GossipResult) Render() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		mesh := fmt.Sprintf("fanout %d", row.Fanout)
+		cost := fmt.Sprintf("$%.3f", row.PartitionCost)
+		if row.Fanout < 0 {
+			mesh = "no gossip"
+			cost = "—"
+		}
+		rows = append(rows, []string{
+			mesh,
+			fmt.Sprintf("%.1f%%", 100*row.Coverage),
+			fmtLatency(row.T95),
+			fmtLatency(row.MeshFill),
+			fmt.Sprintf("%d", row.Pushes),
+			fmt.Sprintf("%d", row.Pulls),
+			fmtBytes(row.MeshBytes),
+			cost,
+		})
+	}
+	title := fmt.Sprintf("Gossip: authority flood vs cache mesh (degree %d, %v window)", r.Degree, r.Window)
+	return renderTable(title,
+		[]string{"Mesh", "Coverage", "t95 (s)", "Mesh fill (s)", "Pushes", "Pulls", "Mesh traffic", "Partition $"},
+		rows)
+}

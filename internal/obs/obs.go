@@ -78,6 +78,16 @@ const (
 	// availability timeline. At = window start, B = window end in
 	// nanoseconds.
 	EvOutage
+	// EvGossipPush marks a cache pushing (or relaying) a consensus digest to
+	// one mesh peer. Peer = the receiving cache node, A = the announced
+	// epoch, B = the digest's remaining hop budget.
+	EvGossipPush
+	// EvGossipPull marks a cache pulling the document behind a digest or
+	// anti-entropy miss. Peer = the node pulled from, A = the wanted epoch.
+	EvGossipPull
+	// EvGossipAntiEntropy marks a cache initiating one anti-entropy round.
+	// Peer = the partner cache node, A = the sender's current epoch.
+	EvGossipAntiEntropy
 )
 
 var eventTypeNames = [...]string{
@@ -95,6 +105,10 @@ var eventTypeNames = [...]string{
 	EvAttackOn:      "attack-on",
 	EvAttackOff:     "attack-off",
 	EvOutage:        "outage",
+
+	EvGossipPush:        "gossip-push",
+	EvGossipPull:        "gossip-pull",
+	EvGossipAntiEntropy: "gossip-antientropy",
 }
 
 // String returns the event kind's wire name.

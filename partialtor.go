@@ -94,6 +94,7 @@ import (
 	"partialtor/internal/chain"
 	"partialtor/internal/client"
 	"partialtor/internal/dircache"
+	"partialtor/internal/gossip"
 	"partialtor/internal/harness"
 	"partialtor/internal/obs"
 	"partialtor/internal/relay"
@@ -200,8 +201,37 @@ type ClientPolicy = client.Policy
 // periods produces under a ClientPolicy.
 type ClientTimeline = client.Timeline
 
-// CostModel reproduces the paper's §4.3 attack pricing.
+// CostModel reproduces the paper's §4.3 attack pricing, extended with the
+// gossip-mesh economics: CostModel.MeshPartitionCost prices cutting one
+// mirror out of a mesh of a given degree.
 type CostModel = attack.CostModel
+
+// --- gossip-mesh re-exports ---
+//
+// The cache-to-cache dissemination layer (internal/gossip) meshes the
+// mirror tier: caches that obtain a fresh consensus push its digest to mesh
+// peers, peers pull what they miss, and periodic anti-entropy epoch-vector
+// exchanges reconcile whatever the rumor left behind — so a single seeded
+// mirror revives the whole tier even with every authority flooded offline.
+// A nil GossipConfig anywhere keeps the historical star topology, bit for
+// bit — the golden corpus enforces it.
+
+// GossipConfig tunes the cache dissemination mesh (fanout, TTL, mesh
+// degree, push and anti-entropy cadence, seeded caches). The zero value
+// selects the defaults; set DistributionSpec.Gossip or use WithGossip.
+type GossipConfig = gossip.Config
+
+// BuildGossipMesh derives the deterministic cache mesh itself: a connected
+// ring plus seeded random links until every node has the requested degree,
+// optionally biased by a pairwise weight (the distribution tier biases
+// toward low-latency pairs under a topology).
+func BuildGossipMesh(n, degree int, seed int64, bias func(a, b int) float64) [][]int {
+	return gossip.BuildMesh(n, degree, seed, bias)
+}
+
+// WithGossip joins every period's cache tier into a dissemination mesh;
+// needs a distribution phase.
+func WithGossip(cfg GossipConfig) ExperimentOption { return harness.WithGossip(cfg) }
 
 // --- topology re-exports ---
 //
@@ -590,6 +620,13 @@ func RegionalTable(ctx context.Context, p harness.RegionalParams) (*harness.Regi
 	return harness.RegionalTable(ctx, p)
 }
 
+// GossipTable compares the stranded no-gossip baseline against cache meshes
+// of increasing fanout under a total authority flood with one seeded
+// mirror, and prices partitioning each mesh.
+func GossipTable(ctx context.Context, p harness.GossipParams) (*harness.GossipResult, error) {
+	return harness.GossipTable(ctx, p)
+}
+
 // Table1 compares the three designs with measured transport cost.
 func Table1(ctx context.Context, p harness.Table1Params) (*harness.Table1Result, error) {
 	return harness.Table1(ctx, p)
@@ -613,6 +650,12 @@ type (
 	Figure11Params = harness.Figure11Params
 	// RegionalParams scales the regional-flood racing experiment.
 	RegionalParams = harness.RegionalParams
+	// GossipParams scales the gossip-outage experiment.
+	GossipParams = harness.GossipParams
+	// GossipResult is its outcome (one GossipRow per mesh cell).
+	GossipResult = harness.GossipResult
+	// GossipRow is one cell: fanout, coverage, mesh spread and cost.
+	GossipRow = harness.GossipRow
 	// Table1Params scales the Table 1 measurement.
 	Table1Params = harness.Table1Params
 	// CampaignParams configures a multi-period campaign.
