@@ -40,6 +40,21 @@
 // distribution path. Gossip rows gain mesh columns (pushes, pulls,
 // anti-entropy rounds, mesh traffic).
 //
+// The chaos axes inject deterministic faults into every cell: -faults
+// sweeps the fraction of mirrors crashed mid-window (state lost, restart
+// and catch up), -churn the fraction of the mesh membership that leaves
+// and rejoins (needs -gossip), and -backoff switches the fleets from the
+// fixed retry delay to capped seeded-jitter exponential backoff. Chaos
+// rows gain graceful-degradation columns: fault events, worst MTTR, time
+// below target coverage and shed retries.
+//
+// -flood-seeds prices the mesh-partition economics: the cache-tier flood
+// (the residual axis) targets the gossip-seeded mirrors instead of the
+// majority prefix — the adversary's cheapest way to starve the mesh — and
+// each gossip row adds the MeshPartitionCost of cutting one mirror out of
+// a mesh of that fanout. Swept alongside -fanout this shows the coverage
+// cliff against seed redundancy.
+//
 // With -trace the first grid cell (rank 0) runs with the observability
 // layer on and its event stream — cache fetches, fallbacks, serves, fleet
 // coverage, kernel transfers — is written as a Chrome trace.
@@ -76,6 +91,16 @@ type cellRow struct {
 	result *partialtor.DistributionResult
 	cost   float64 // stressor price of the cell's flood; <0 = no flood
 	rent   float64 // monthly rent of the compromised caches; <0 = none
+	cut    float64 // price of cutting one mirror out of the mesh; <0 = n/a
+}
+
+// fracCount converts an axis fraction into a target count, at least one.
+func fracCount(frac float64, n int) int {
+	c := int(math.Round(frac * float64(n)))
+	if c < 1 {
+		c = 1
+	}
+	return c
 }
 
 func main() {
@@ -92,6 +117,10 @@ func main() {
 		fanoutFlag    = flag.String("fanout", "1,3", "gossip push fanouts to sweep (needs -gossip)")
 		gossipSeeds   = flag.Int("gossip-seeds", 1, "caches pre-seeded with the current consensus (needs -gossip)")
 		authResidual  = flag.Float64("authority-residual", -1, "flood every authority to this residual bits/s for the whole run (-1 = off)")
+		faultsFlag    = flag.String("faults", "0", "crashed-mirror fractions to sweep (0 = no crash fault)")
+		churnFlag     = flag.String("churn", "0", "churned-mesh fractions to sweep (0 = none; needs -gossip)")
+		backoffOn     = flag.Bool("backoff", false, "fleets retry with capped seeded-jitter exponential backoff")
+		floodSeeds    = flag.Bool("flood-seeds", false, "cache-tier flood targets the gossip-seeded mirrors (needs -gossip)")
 		verify        = flag.Bool("verify", true, "clients run proposal-239 chain verification")
 		window        = flag.Duration("window", 30*time.Minute, "client fetch window")
 		target        = flag.Float64("target", 0.95, "coverage fraction defining success")
@@ -160,6 +189,36 @@ func main() {
 		}
 	}
 
+	// Like the fanout axis, the chaos axes default to a single placeholder
+	// value so a chaos-free invocation keeps the pre-chaos grid shape.
+	crashFracs, err := partialtor.ParseSweepFloats(*faultsFlag)
+	if err != nil {
+		fatalf("invalid -faults: %v", err)
+	}
+	churnFracs, err := partialtor.ParseSweepFloats(*churnFlag)
+	if err != nil {
+		fatalf("invalid -churn: %v", err)
+	}
+	chaosOn := *backoffOn
+	for _, f := range crashFracs {
+		if f < 0 || f > 1 {
+			fatalf("invalid -faults: fraction %g outside [0, 1]", f)
+		}
+		chaosOn = chaosOn || f > 0
+	}
+	for _, f := range churnFracs {
+		if f < 0 || f > 1 {
+			fatalf("invalid -churn: fraction %g outside [0, 1]", f)
+		}
+		if f > 0 && !*gossipOn {
+			fatalf("-churn %g needs -gossip: churn is mirrors leaving the mesh", f)
+		}
+		chaosOn = chaosOn || f > 0
+	}
+	if *floodSeeds && !*gossipOn {
+		fatalf("-flood-seeds needs -gossip: it targets the seeded mirrors")
+	}
+
 	grid := partialtor.MustNewSweepGrid(
 		partialtor.SweepInts("caches", cacheCounts...),
 		partialtor.SweepInts("clients", populations...),
@@ -167,6 +226,8 @@ func main() {
 		partialtor.SweepFloats("comp", fractions...),
 		partialtor.SweepInts("race", races...),
 		partialtor.SweepInts("fanout", fanouts...),
+		partialtor.SweepFloats("fault", crashFracs...),
+		partialtor.SweepFloats("churn", churnFracs...),
 	)
 	pricing := partialtor.DefaultCostModel()
 	// Trace only the first cell: one recorder cannot be shared across the
@@ -211,7 +272,39 @@ func main() {
 				Seeds:  partialtor.FirstTargets(*gossipSeeds),
 			}
 		}
-		row := cellRow{cost: -1, rent: -1}
+		if *backoffOn {
+			// The zero value selects the backoff defaults at validation.
+			spec.Backoff = &partialtor.RetryBackoff{}
+		}
+		// The fault windows sit relative to the fetch window: the crash hits
+		// once the tier is warm and clears mid-run, the churn overlaps it and
+		// stretches to the window's midpoint — so every cell also measures
+		// the recovery, not just the outage.
+		var plan partialtor.FaultPlan
+		if frac := c.Float("fault"); frac > 0 {
+			n := fracCount(frac, spec.Caches)
+			plan.Faults = append(plan.Faults, partialtor.FaultSpec{
+				Kind:    partialtor.FaultCrash,
+				Tier:    partialtor.TierCache,
+				Targets: partialtor.SpreadTargets(1, spec.Caches, n),
+				Start:   *window / 6,
+				End:     *window/6 + *window/4,
+			})
+		}
+		if frac := c.Float("churn"); frac > 0 {
+			n := fracCount(frac, spec.Caches)
+			plan.Faults = append(plan.Faults, partialtor.FaultSpec{
+				Kind:    partialtor.FaultChurn,
+				Tier:    partialtor.TierCache,
+				Targets: partialtor.SpreadTargets(2, spec.Caches, n),
+				Start:   *window / 4,
+				End:     *window / 2,
+			})
+		}
+		if len(plan.Faults) > 0 {
+			spec.Faults = &plan
+		}
+		row := cellRow{cost: -1, rent: -1, cut: -1}
 		if *authResidual >= 0 {
 			plan := partialtor.AttackPlan{
 				Tier:     partialtor.TierAuthority,
@@ -230,14 +323,19 @@ func main() {
 				End:      *window + 30*time.Minute,
 				Residual: res,
 			}
-			if *floodFlag != "" {
+			switch {
+			case *floodFlag != "":
 				// Resolve "flood region X" against the placement here, so
 				// the plan is priced by the caches it actually hits.
 				plan.TargetRegion = *floodFlag
 				if err := plan.ResolveRegion(topology, spec.Caches); err != nil {
 					return cellRow{}, err
 				}
-			} else {
+			case *floodSeeds:
+				// The mesh-partition attack: starve the dissemination layer
+				// at its roots instead of flooding a majority of the tier.
+				plan.Targets = partialtor.FirstTargets(*gossipSeeds)
+			default:
 				plan.Targets = partialtor.MajorityTargets(spec.Caches)
 			}
 			spec.Attacks = append(spec.Attacks, plan)
@@ -245,6 +343,9 @@ func main() {
 				row.cost = 0
 			}
 			row.cost += pricing.PlanCost(plan)
+			if *floodSeeds {
+				row.cut = pricing.MeshPartitionCost(spec.Gossip.Fanout, plan.End-plan.Start, res)
+			}
 		}
 		if frac := c.Float("comp"); frac > 0 {
 			n := int(math.Round(frac * float64(spec.Caches)))
@@ -279,9 +380,17 @@ func main() {
 	if *gossipOn {
 		gossipHeader = fmt.Sprintf(" %-7s %-8s %-7s %-8s %-10s",
 			"fanout", "pushes", "pulls", "ae", "mesh")
+		if *floodSeeds {
+			gossipHeader += fmt.Sprintf(" %-10s", "cutcost")
+		}
 	}
-	fmt.Printf("%-8s %-10s %-12s %-6s %-5s %-12s %-12s %-10s %-10s %-7s %-10s %-10s%s\n",
-		"caches", "clients", "residual", "comp", "race", "t95", "p99", "coverage", "naive", "forks", "cost", "rent/mo", gossipHeader)
+	chaosHeader := ""
+	if chaosOn {
+		chaosHeader = fmt.Sprintf(" %-6s %-6s %-7s %-10s %-10s %-8s",
+			"fault", "churn", "events", "mttr", "below", "dropped")
+	}
+	fmt.Printf("%-8s %-10s %-12s %-6s %-5s %-12s %-12s %-10s %-10s %-7s %-10s %-10s%s%s\n",
+		"caches", "clients", "residual", "comp", "race", "t95", "p99", "coverage", "naive", "forks", "cost", "rent/mo", gossipHeader, chaosHeader)
 	failed := 0
 	for _, r := range results {
 		nc, pop := r.Cell.Int("caches"), r.Cell.Int("clients")
@@ -297,6 +406,15 @@ func main() {
 			tail := ""
 			if *gossipOn {
 				tail = fmt.Sprintf(" %-7d %-8s %-7s %-8s %-10s", r.Cell.Int("fanout"), "-", "-", "-", "-")
+				if *floodSeeds {
+					tail += fmt.Sprintf(" %-10s", "-")
+				}
+			}
+			if chaosOn {
+				tail += fmt.Sprintf(" %-6s %-6s %-7s %-10s %-10s %-8s",
+					fmt.Sprintf("%.0f%%", 100*r.Cell.Float("fault")),
+					fmt.Sprintf("%.0f%%", 100*r.Cell.Float("churn")),
+					"-", "-", "-", "-")
 			}
 			fmt.Printf("%-8d %-10d %-12s %-6s %-5d %-12s %-12s %-10s %-10s %-7s %-10s %-10s%s\n",
 				nc, pop, label, comp, race, "ERROR", "-", "-", "-", "-", "-", "-", tail)
@@ -315,6 +433,23 @@ func main() {
 			tail = fmt.Sprintf(" %-7d %-8d %-7d %-8d %-10s",
 				r.Cell.Int("fanout"), d.GossipPushes, d.GossipPulls, d.GossipRounds,
 				fmt.Sprintf("%.1fMB", float64(d.GossipBytes)/1e6))
+			if *floodSeeds {
+				cut := "-"
+				if r.Value.cut >= 0 {
+					cut = fmt.Sprintf("$%.2f", r.Value.cut)
+				}
+				tail += fmt.Sprintf(" %-10s", cut)
+			}
+		}
+		if chaosOn {
+			d := r.Value.result
+			tail += fmt.Sprintf(" %-6s %-6s %-7d %-10s %-10s %-8d",
+				fmt.Sprintf("%.0f%%", 100*r.Cell.Float("fault")),
+				fmt.Sprintf("%.0f%%", 100*r.Cell.Float("churn")),
+				d.FaultEvents,
+				fmtDuration(partialtor.WorstMTTR(d.Recoveries)),
+				d.TimeBelowTarget.Round(time.Second).String(),
+				d.RetryDropped)
 		}
 		fmt.Printf("%-8d %-10d %-12s %-6s %-5d %-12s %-12s %-10s %-10s %-7d %-10s %-10s%s\n",
 			nc, pop, label, comp, race,

@@ -9,12 +9,21 @@
 // report gains a per-region coverage/p50/p99 breakdown; -race K makes each
 // client race its fetch against K caches (first response wins).
 //
+// The chaos flags stress the distribution tier: -crash F crashes that
+// fraction of the mirrors mid-window (state lost, restart and re-fetch),
+// -churn F makes that fraction leave and rejoin the gossip mesh (-gossip N
+// meshes the tier with push fanout N), and -backoff switches the fleets to
+// capped seeded-jitter exponential retry backoff. The report then carries
+// the graceful-degradation numbers: fault events, time below target
+// coverage, worst MTTR.
+//
 // Examples:
 //
 //	tordirsim -protocol current -relays 8000
 //	tordirsim -protocol current -relays 8000 -attack -attack-minutes 5
 //	tordirsim -protocol ours -relays 8000 -bandwidth 0.5
 //	tordirsim -protocol ours -clients 100000 -topology continents -race 2
+//	tordirsim -protocol ours -clients 100000 -gossip 3 -crash 0.3 -churn 0.2 -backoff
 //	tordirsim -protocol current -attack -trace trace.json   # chrome://tracing
 package main
 
@@ -54,6 +63,10 @@ func main() {
 		clients       = flag.Int("clients", 0, "run the distribution phase with this many clients (0 = skip)")
 		caches        = flag.Int("caches", 20, "directory caches in the distribution phase")
 		raceK         = flag.Int("race", 0, "racing-client width K (0 = legacy client)")
+		gossipFanout  = flag.Int("gossip", 0, "mesh the cache tier with this push fanout (0 = star topology)")
+		crashFrac     = flag.Float64("crash", 0, "crash this fraction of the mirrors mid-window (0 = none)")
+		churnFrac     = flag.Float64("churn", 0, "churn this fraction of the mesh membership (0 = none; needs -gossip)")
+		backoffOn     = flag.Bool("backoff", false, "fleets retry with capped seeded-jitter exponential backoff")
 		showLog       = flag.Int("log", -1, "print the protocol log of this authority (-1 = none)")
 		tracePath     = flag.String("trace", "", "write a Chrome trace of the run (chrome://tracing, Perfetto)")
 	)
@@ -93,8 +106,58 @@ func main() {
 			Seed:    *seed,
 			RaceK:   *raceK,
 		}
-	} else if *raceK > 0 {
-		fmt.Fprintln(os.Stderr, "tordirsim: -race needs a distribution phase; set -clients")
+		if *gossipFanout > 0 {
+			s.Distribution.Gossip = &partialtor.GossipConfig{
+				Fanout: *gossipFanout,
+				Seeds:  partialtor.FirstTargets(1),
+			}
+		}
+		if *backoffOn {
+			// The zero value selects the backoff defaults at validation.
+			s.Distribution.Backoff = &partialtor.RetryBackoff{}
+		}
+		// The default fetch window, against which the fault windows sit: the
+		// crash hits once the tier is warm and clears mid-run, the churn
+		// overlaps it and stretches to the window's midpoint.
+		const window = 30 * time.Minute
+		var plan partialtor.FaultPlan
+		if *crashFrac > 0 {
+			if *crashFrac > 1 {
+				fmt.Fprintf(os.Stderr, "tordirsim: -crash %g outside [0, 1]\n", *crashFrac)
+				os.Exit(2)
+			}
+			n := max(1, int(*crashFrac*float64(*caches)+0.5))
+			plan.Faults = append(plan.Faults, partialtor.FaultSpec{
+				Kind:    partialtor.FaultCrash,
+				Tier:    partialtor.TierCache,
+				Targets: partialtor.SpreadTargets(1, *caches, n),
+				Start:   window / 6,
+				End:     window/6 + window/4,
+			})
+		}
+		if *churnFrac > 0 {
+			if *churnFrac > 1 {
+				fmt.Fprintf(os.Stderr, "tordirsim: -churn %g outside [0, 1]\n", *churnFrac)
+				os.Exit(2)
+			}
+			if *gossipFanout <= 0 {
+				fmt.Fprintln(os.Stderr, "tordirsim: -churn needs -gossip: churn is mirrors leaving the mesh")
+				os.Exit(2)
+			}
+			n := max(1, int(*churnFrac*float64(*caches)+0.5))
+			plan.Faults = append(plan.Faults, partialtor.FaultSpec{
+				Kind:    partialtor.FaultChurn,
+				Tier:    partialtor.TierCache,
+				Targets: partialtor.SpreadTargets(2, *caches, n),
+				Start:   window / 4,
+				End:     window / 2,
+			})
+		}
+		if len(plan.Faults) > 0 {
+			s.Faults = &plan
+		}
+	} else if *raceK > 0 || *gossipFanout > 0 || *crashFrac > 0 || *churnFrac > 0 || *backoffOn {
+		fmt.Fprintln(os.Stderr, "tordirsim: -race, -gossip, -crash, -churn and -backoff need a distribution phase; set -clients")
 		os.Exit(2)
 	}
 	var rec *partialtor.TraceRecorder

@@ -18,6 +18,7 @@ var simulationPackages = []string{
 	"partialtor/internal/core",
 	"partialtor/internal/hotstuff",
 	"partialtor/internal/dircache",
+	"partialtor/internal/faults",
 	"partialtor/internal/gossip",
 	"partialtor/internal/attack",
 	"partialtor/internal/client",

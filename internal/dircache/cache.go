@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"partialtor/internal/chain"
+	"partialtor/internal/faults"
 	"partialtor/internal/obs"
 	"partialtor/internal/simnet"
 )
@@ -66,10 +67,25 @@ type cacheNode struct {
 
 	gossip *gossipState // nil when the run carries no mesh
 
+	// faults are the crash/churn windows this cache acts on (beyond the
+	// capacity throttle); nil for unfaulted caches. down counts the open
+	// windows so overlapping faults restart the node exactly once.
+	faults []faultWindow
+	down   int
+
 	fullsServed, diffsServed int
 }
 
+// faultWindow is one crash or churn window scheduled against a cache.
+type faultWindow struct {
+	start, end time.Duration
+	churn      bool
+}
+
 func (c *cacheNode) Start(ctx *simnet.Context) {
+	if c.spec.Faults != nil {
+		c.scheduleFaults(ctx)
+	}
 	if c.role == roleStale {
 		// A stale cache has nothing to fetch: its whole misbehavior is
 		// keeping the previous epoch alive. It still answers mesh traffic
@@ -95,6 +111,81 @@ func (c *cacheNode) Start(ctx *simnet.Context) {
 	ctx.After(jitter, func() { c.requestNext(ctx) })
 	if c.gossip != nil {
 		c.armAntiEntropy(ctx)
+	}
+}
+
+// scheduleFaults arms the cache's behavioral fault events at wiring time:
+// one down/up pair per crash or churn window against this cache, plus — on
+// every gossiping cache — a mesh rebuild at each churn boundary in the
+// plan, so survivors route around departed mirrors the instant membership
+// changes. Everything is scheduled before the clock starts; a fault plan
+// adds no RNG draws.
+func (c *cacheNode) scheduleFaults(ctx *simnet.Context) {
+	for _, w := range c.faults {
+		w := w
+		ctx.At(w.start, func() { c.faultDown(ctx, w) })
+		ctx.At(w.end, func() { c.faultUp(ctx, w) })
+	}
+	if c.gossip == nil {
+		return
+	}
+	for i := range c.spec.Faults.Faults {
+		f := &c.spec.Faults.Faults[i]
+		if f.Kind != faults.Churn {
+			continue
+		}
+		ctx.At(f.Start, func() { c.rebuildPeers(ctx) })
+		ctx.At(f.End, func() { c.rebuildPeers(ctx) })
+	}
+}
+
+// faultDown is a crash or churn onset: the cache loses its document (the
+// restart must re-fetch or catch up over the mesh) and forgets its gossip
+// holdings; a churned mirror additionally leaves the mesh. The capacity
+// effect is already in the precompiled profile — nothing reaches the node
+// while it is down. Compromised caches keep their scripted misbehavior:
+// behavioral faults only hit honest mirrors (the throttle hits either way).
+// The node's own timers keep firing during downtime; anything they send
+// stalls on the zero-rate uplink until the restart, which is the documented
+// (and deterministic) cost of the fluid model.
+func (c *cacheNode) faultDown(ctx *simnet.Context, w faultWindow) {
+	if c.role != roleHonest {
+		return
+	}
+	c.down++
+	c.have = false
+	ctx.Logf("notice", "fault: down at %v (churn=%v)", ctx.Now(), w.churn)
+	if g := c.gossip; g != nil {
+		g.eng.SetEpoch(0)
+		if w.churn {
+			g.left = true
+		}
+	}
+}
+
+// faultUp is the matching restart/rejoin: with every window closed the cache
+// re-enters service empty-handed, re-fetches from the authorities, and — in
+// a mesh — rejoins its neighbours and immediately reconciles by one
+// anti-entropy round, the catch-up path that revives it when the
+// authorities are still flooded.
+func (c *cacheNode) faultUp(ctx *simnet.Context, w faultWindow) {
+	if c.role != roleHonest {
+		return
+	}
+	c.down--
+	if c.down > 0 {
+		return // an overlapping window still holds the node down
+	}
+	ctx.Logf("notice", "fault: restarted at %v (churn=%v)", ctx.Now(), w.churn)
+	if g := c.gossip; g != nil && w.churn {
+		g.left = false
+		c.rebuildPeers(ctx)
+	}
+	if !c.have {
+		c.requestNext(ctx)
+	}
+	if c.gossip != nil {
+		c.gossipCatchUp(ctx)
 	}
 }
 

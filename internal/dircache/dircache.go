@@ -7,6 +7,7 @@ import (
 
 	"partialtor/internal/attack"
 	"partialtor/internal/chain"
+	"partialtor/internal/faults"
 	"partialtor/internal/gossip"
 	"partialtor/internal/obs"
 	"partialtor/internal/sig"
@@ -146,6 +147,21 @@ type Spec struct {
 	// events.
 	Gossip *gossip.Config
 
+	// Faults, if non-nil, schedules deterministic fault injection over the
+	// run: authority/mirror crash+restart, link degradation and flapping,
+	// network partitions, and gossip-mesh churn — all resolved, compiled and
+	// scheduled at wiring time, so a faulted run is exactly as reproducible
+	// as a clean one. nil keeps every legacy code path byte for byte: no
+	// extra RNG draws, no extra events.
+	Faults *faults.Plan
+
+	// Backoff, if non-nil, replaces the fleets' fixed RetryDelay coalesced
+	// retry with a capped, seeded-jitter exponential backoff and an optional
+	// per-fleet retry budget — desynchronizing the retry bursts that land on
+	// a flooded tier as one synchronized spike. nil keeps the historical
+	// fixed-delay retry byte for byte.
+	Backoff *faults.Backoff
+
 	// Seed drives all randomness (default 1).
 	Seed int64
 	// RunLimit bounds the simulation (default FetchWindow + 30 min).
@@ -238,6 +254,10 @@ func (s Spec) withDefaults() Spec {
 	if s.Gossip != nil {
 		g := s.Gossip.WithDefaults()
 		s.Gossip = &g
+	}
+	if s.Backoff != nil {
+		b := s.Backoff.WithDefaults()
+		s.Backoff = &b
 	}
 	return s
 }
@@ -338,6 +358,39 @@ func (s Spec) Validate() error {
 	}
 	if g := s.Gossip; g != nil {
 		if err := g.Validate(s0.Caches); err != nil {
+			return fmt.Errorf("dircache: %w", err)
+		}
+	}
+	if fp := s.Faults; fp != nil {
+		if err := fp.Validate(); err != nil {
+			return fmt.Errorf("dircache: %w", err)
+		}
+		for i := range fp.Faults {
+			f := &fp.Faults[i]
+			// An out-of-tier target would silently shrink the fault: the run
+			// would report resilience the chaos never tested.
+			tierSize := s0.Authorities
+			if f.Tier == attack.TierCache {
+				tierSize = s0.Caches
+			}
+			if f.TargetRegion != "" && s.Topology == nil {
+				return fmt.Errorf("dircache: fault %d: region %q needs a topology; the flat model has no regions",
+					i, f.TargetRegion)
+			}
+			for _, t := range f.Targets {
+				if t >= tierSize {
+					return fmt.Errorf("dircache: fault %d: target %d beyond the %d-node %v tier",
+						i, t, tierSize, f.Tier)
+				}
+			}
+			if f.Kind == faults.Churn && s.Gossip == nil {
+				return fmt.Errorf("dircache: fault %d: churn needs a gossip mesh to leave", i)
+			}
+		}
+	}
+	if b := s.Backoff; b != nil {
+		b0 := b.WithDefaults()
+		if err := b0.Validate(); err != nil {
 			return fmt.Errorf("dircache: %w", err)
 		}
 	}

@@ -70,6 +70,14 @@ type fleetNode struct {
 	pendingFulls, pendingDiffs int // refused fetches awaiting retry
 	retryArmed                 bool
 
+	// retryAttempt is the backoff exponent (reset on every successful
+	// delivery); retryBursts counts the bursts fired over the run;
+	// retryDropped the fetches shed after a Spec.Backoff budget ran out.
+	// Only retryBursts moves without a Backoff config.
+	retryAttempt int
+	retryBursts  int
+	retryDropped int64
+
 	failed int64 // client fetch attempts refused with a nack
 
 	// --- verification state (nil/zero unless the run carries chain material) ---
@@ -525,9 +533,12 @@ func (f *fleetNode) receiveBatch(ctx *simnet.Context, from simnet.NodeID, m *doc
 	}
 }
 
-// accept counts n clients as covered at the current instant.
+// accept counts n clients as covered at the current instant. A successful
+// delivery also resets the backoff exponent: the next refusal backs off
+// from Base again instead of the tail of the previous outage.
 func (f *fleetNode) accept(ctx *simnet.Context, n int) {
 	f.covered += n
+	f.retryAttempt = 0
 	f.points = append(f.points, CoveragePoint{At: ctx.Now(), Count: n})
 	ctx.Trace(obs.Event{Type: obs.EvCoverage, A: int64(n), B: int64(f.covered)})
 }
@@ -696,39 +707,68 @@ func (f *fleetNode) dropForkBlame(d sig.Digest) {
 	f.forkEvents = kept
 }
 
-// armRetry coalesces refused fetches into one retry burst per RetryDelay.
+// armRetry coalesces refused fetches into one pending retry burst. Without
+// a Spec.Backoff the burst fires after the fixed RetryDelay — the legacy
+// schedule, kept byte for byte: every fleet refused in the same tick
+// re-arms at the same multiple of RetryDelay, so the bursts land on the
+// flooded tier as one synchronized spike. With a Backoff the delay grows
+// exponentially per consecutive burst, capped, and jittered from the run's
+// deterministic RNG — fleets desynchronize, and an optional budget sheds
+// the pool once retries stop paying.
+//
+//detlint:hotpath
 func (f *fleetNode) armRetry(ctx *simnet.Context) {
 	if f.retryArmed {
 		return
 	}
+	delay := f.spec.RetryDelay
+	if b := f.spec.Backoff; b != nil {
+		if b.Budget > 0 && f.retryBursts >= b.Budget {
+			// Budget spent: shed the pool instead of hammering a tier that
+			// has refused this fleet Budget bursts in a row. The dropped
+			// clients stay uncovered and are accounted, not retried.
+			f.retryDropped += int64(f.pendingFulls + f.pendingDiffs)
+			f.pendingFulls, f.pendingDiffs = 0, 0
+			return
+		}
+		delay = b.Delay(f.retryAttempt, ctx.Rand())
+		f.retryAttempt++
+	}
 	f.retryArmed = true
-	ctx.After(f.spec.RetryDelay, func() {
-		f.retryArmed = false
-		fulls, diffs := f.pendingFulls, f.pendingDiffs
-		f.pendingFulls, f.pendingDiffs = 0, 0
-		if fulls+diffs == 0 {
-			return
+	f.retryBursts++
+	ctx.After(delay, func() { f.retryFire(ctx) }) //detlint:hotpath ok(one closure per armed burst, amortized over the backoff wait; the delay math itself is allocation-free)
+}
+
+// retryFire re-issues the coalesced pool across the caches by the current
+// selection weights — the body of the retry burst, shared by the legacy
+// fixed-delay and the backoff schedules.
+func (f *fleetNode) retryFire(ctx *simnet.Context) {
+	f.retryArmed = false
+	fulls, diffs := f.pendingFulls, f.pendingDiffs
+	f.pendingFulls, f.pendingDiffs = 0, 0
+	if fulls+diffs == 0 {
+		return
+	}
+	ctx.Trace(obs.Event{Type: obs.EvRetry, A: int64(fulls + diffs), B: int64(f.retryAttempt)})
+	if f.trust != nil && f.trustedCaches() == 0 {
+		// Every cache served bad data: there is nowhere left to fetch
+		// from, so these clients stay uncovered. Dropping them (instead
+		// of hammering known-bad caches) keeps the coverage metric
+		// honest: a fully compromised tier yields zero verified
+		// coverage, not a retry storm.
+		return
+	}
+	weights := f.curWeights()
+	fullSplit := splitCounts(&f.scratch.splitA, ctx.Rand(), fulls, weights)
+	diffSplit := splitCounts(&f.scratch.splitB, ctx.Rand(), diffs, weights)
+	for i := range f.caches {
+		if fullSplit[i]+diffSplit[i] == 0 {
+			continue
 		}
-		if f.trust != nil && f.trustedCaches() == 0 {
-			// Every cache served bad data: there is nowhere left to fetch
-			// from, so these clients stay uncovered. Dropping them (instead
-			// of hammering known-bad caches) keeps the coverage metric
-			// honest: a fully compromised tier yields zero verified
-			// coverage, not a retry storm.
-			return
+		if f.spec.RaceK >= 1 {
+			f.startRace(ctx, i, fullSplit[i], diffSplit[i])
+		} else {
+			ctx.Send(f.caches[i], &fleetFetch{fulls: fullSplit[i], diffs: diffSplit[i]})
 		}
-		weights := f.curWeights()
-		fullSplit := splitCounts(&f.scratch.splitA, ctx.Rand(), fulls, weights)
-		diffSplit := splitCounts(&f.scratch.splitB, ctx.Rand(), diffs, weights)
-		for i := range f.caches {
-			if fullSplit[i]+diffSplit[i] == 0 {
-				continue
-			}
-			if f.spec.RaceK >= 1 {
-				f.startRace(ctx, i, fullSplit[i], diffSplit[i])
-			} else {
-				ctx.Send(f.caches[i], &fleetFetch{fulls: fullSplit[i], diffs: diffSplit[i]})
-			}
-		}
-	})
+	}
 }

@@ -66,6 +66,14 @@ type gossipState struct {
 
 	pushesLeft int // re-announce budget for the epoch being pushed
 
+	// basePeers is the mesh adjacency the run was built with; the engine's
+	// live peer list is rebuilt from it (minus currently-churned mirrors)
+	// at every churn boundary. left marks the cache itself as churned away:
+	// a departed mirror ignores mesh traffic and initiates no rounds until
+	// it rejoins. Both stay zero without a fault plan.
+	basePeers []int
+	left      bool
+
 	pushes, pulls, serves, rounds int
 	adoptedFromPeer               bool
 }
@@ -88,11 +96,12 @@ func buildGossipMesh(spec *Spec, tp topo.Topology, cacheRegions []topo.Region) [
 // epoch behind (they hold the previous consensus); seeds start current.
 func newGossipState(spec *Spec, mesh [][]int, ids []simnet.NodeID, self int, role cacheRole) *gossipState {
 	g := &gossipState{
-		cfg:     spec.Gossip,
-		eng:     gossip.NewEngine(self, mesh[self]),
-		ids:     ids,
-		self:    self,
-		current: 2,
+		cfg:       spec.Gossip,
+		eng:       gossip.NewEngine(self, mesh[self]),
+		ids:       ids,
+		self:      self,
+		basePeers: mesh[self],
+		current:   2,
 	}
 	if spec.Chain != nil {
 		g.current = spec.Chain.Genuine.Epoch
@@ -142,7 +151,7 @@ func (c *cacheNode) gossipAnnounce(ctx *simnet.Context) {
 // remains.
 func (c *cacheNode) onGossipDigest(ctx *simnet.Context, from simnet.NodeID, m *gossipDigest) {
 	g := c.gossip
-	if g == nil {
+	if g == nil || g.left {
 		return
 	}
 	if c.role != roleStale && g.eng.NeedsPull(m.d.Epoch) {
@@ -181,7 +190,7 @@ func (c *cacheNode) gossipPull(ctx *simnet.Context, from simnet.NodeID, epoch ui
 // peer is exactly one epoch back.
 func (c *cacheNode) onGossipPull(ctx *simnet.Context, from simnet.NodeID, m gossipPull) {
 	g := c.gossip
-	if g == nil {
+	if g == nil || g.left {
 		return
 	}
 	serve, full := g.eng.OnPull(m.have)
@@ -201,7 +210,7 @@ func (c *cacheNode) onGossipPull(ctx *simnet.Context, from simnet.NodeID, m goss
 // state so the next round bridges the remaining gap.
 func (c *cacheNode) onGossipDoc(ctx *simnet.Context, from simnet.NodeID, m *gossipDoc) {
 	g := c.gossip
-	if g == nil || c.role == roleStale {
+	if g == nil || g.left || c.role == roleStale {
 		return
 	}
 	if !g.eng.Acquire(m.epoch) {
@@ -222,7 +231,7 @@ func (c *cacheNode) onGossipDoc(ctx *simnet.Context, from simnet.NodeID, m *goss
 // straggler pulls from us on the way back).
 func (c *cacheNode) onGossipVector(ctx *simnet.Context, from simnet.NodeID, m *gossipVector) {
 	g := c.gossip
-	if g == nil {
+	if g == nil || g.left {
 		return
 	}
 	peerEpoch := m.v.EpochFor(0)
@@ -244,16 +253,47 @@ func (c *cacheNode) armAntiEntropy(ctx *simnet.Context) {
 	ctx.After(first, func() { c.antiEntropyRound(ctx) })
 }
 
-// antiEntropyRound sends the cache's epoch vector to its next round-robin
-// peer and re-arms itself; the rotation reconciles every mesh link once per
-// Degree rounds, which is what lets partitioned mirrors converge after the
-// flood lifts.
+// antiEntropyRound runs the cache's recurring anti-entropy: one catch-up
+// exchange (skipped while the mirror is churned away), then re-arm. The
+// rotation reconciles every mesh link once per Degree rounds, which is what
+// lets partitioned mirrors converge after the flood lifts.
 func (c *cacheNode) antiEntropyRound(ctx *simnet.Context) {
+	g := c.gossip
+	if !g.left {
+		c.gossipCatchUp(ctx)
+	}
+	ctx.After(g.cfg.AntiEntropyInterval, func() { c.antiEntropyRound(ctx) })
+}
+
+// gossipCatchUp performs one anti-entropy exchange: the cache's epoch vector
+// goes to its next round-robin peer. Beyond the recurring rounds, a restarted
+// or rejoined mirror fires one immediately — the catch-up path that revives
+// it when the authorities are unreachable.
+func (c *cacheNode) gossipCatchUp(ctx *simnet.Context) {
 	g := c.gossip
 	if p, ok := g.eng.NextPeer(); ok {
 		g.rounds++
 		ctx.Trace(obs.Event{Type: obs.EvGossipAntiEntropy, Peer: int(g.ids[p]), A: int64(g.eng.Epoch())})
 		ctx.Send(g.ids[p], &gossipVector{v: g.eng.Vector()})
 	}
-	ctx.After(g.cfg.AntiEntropyInterval, func() { c.antiEntropyRound(ctx) })
+}
+
+// rebuildPeers recomputes the cache's live mesh neighbours from the built
+// adjacency minus the mirrors currently churned away. Every gossiping cache
+// runs this at every churn boundary (scheduled at wiring time), so the
+// overlay absorbs membership changes deterministically and without any RNG
+// draw. A departed mirror keeps its stale list; the rejoin rebuilds it.
+func (c *cacheNode) rebuildPeers(ctx *simnet.Context) {
+	g := c.gossip
+	if g == nil || g.left {
+		return
+	}
+	plan := c.spec.Faults
+	peers := make([]int, 0, len(g.basePeers))
+	for _, p := range g.basePeers {
+		if !plan.ChurnedAwayAt(p, ctx.Now()) {
+			peers = append(peers, p)
+		}
+	}
+	g.eng.SetPeers(peers)
 }

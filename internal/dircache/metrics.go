@@ -9,6 +9,7 @@ import (
 
 	"partialtor/internal/chain"
 	"partialtor/internal/client"
+	"partialtor/internal/faults"
 	"partialtor/internal/sig"
 	"partialtor/internal/simnet"
 	"partialtor/internal/topo"
@@ -112,6 +113,29 @@ type Result struct {
 	// kinds (digests, pulls, documents, anti-entropy vectors).
 	GossipBytes int64
 
+	// --- retry/backoff outcomes ---
+
+	// RetryBursts counts the coalesced retry bursts the fleets fired (under
+	// the legacy fixed delay or a Spec.Backoff schedule alike).
+	RetryBursts int
+	// RetryDropped counts the client fetches shed after a fleet's
+	// Spec.Backoff budget ran out (zero without a budget).
+	RetryDropped int64
+
+	// --- fault-injection outcomes (all zero unless Spec.Faults != nil) ---
+
+	// FaultEvents is the number of scheduled fault events: one per fault
+	// per target.
+	FaultEvents int
+	// TimeBelowTarget sums the spans within the run limit the population
+	// spent below Spec.TargetCoverage — the aggregate coverage deficit the
+	// faults (and attacks) cost, including every retraction dip.
+	TimeBelowTarget time.Duration
+	// Recoveries records, per fault in plan order, how long after the fault
+	// cleared coverage was back at target (MTTR): 0 when coverage never
+	// dipped below target, simnet.Never when the run ended still below it.
+	Recoveries []faults.Recovery
+
 	// Regions is the per-region coverage breakdown, ordered by region index.
 	// Nil for flat (topology-less) runs.
 	Regions []RegionCoverage
@@ -175,6 +199,8 @@ func collect(spec Spec, net *simnet.Network, authIDs, cacheIDs, fleetIDs []simne
 		res.RaceWasteBytes += f.raceWaste
 		res.RaceLaggards += f.raceDup
 		res.RaceTimeouts += f.raceTimeouts
+		res.RetryBursts += f.retryBursts
+		res.RetryDropped += f.retryDropped
 		for i, ok := range f.trust {
 			if !ok {
 				distrusted[i] = true
@@ -257,6 +283,18 @@ func collect(spec Spec, net *simnet.Network, authIDs, cacheIDs, fleetIDs []simne
 		}
 	}
 	res.TimeToTarget = res.TimeToCoverage(spec.TargetCoverage)
+	if spec.Faults != nil {
+		res.FaultEvents = spec.Faults.Events()
+		res.TimeBelowTarget = timeBelow(res.Points, res.TotalClients, spec.TargetCoverage, spec.RunLimit)
+		for i := range spec.Faults.Faults {
+			end := spec.Faults.Faults[i].End
+			res.Recoveries = append(res.Recoveries, faults.Recovery{
+				Fault:     i,
+				ClearedAt: end,
+				MTTR:      recoveryTime(res.Points, res.TotalClients, spec.TargetCoverage, end),
+			})
+		}
+	}
 	return res
 }
 
@@ -322,6 +360,56 @@ func timeToFraction(points []CoveragePoint, total int, frac float64) time.Durati
 		}
 	}
 	return simnet.Never
+}
+
+// recoveryTime is the delay after `from` until the cumulative curve first
+// (re)reaches frac of the population: 0 when coverage at `from` already
+// meets the mark, simnet.Never when the curve never gets there.
+func recoveryTime(points []CoveragePoint, total int, frac float64, from time.Duration) time.Duration {
+	need := int(math.Ceil(frac * float64(total)))
+	if need < 1 {
+		need = 1
+	}
+	cur := 0
+	i := 0
+	for ; i < len(points) && points[i].At <= from; i++ {
+		cur = points[i].Count
+	}
+	if cur >= need {
+		return 0
+	}
+	for ; i < len(points); i++ {
+		if points[i].Count >= need {
+			return points[i].At - from
+		}
+	}
+	return simnet.Never
+}
+
+// timeBelow sums the spans within [0, limit] a cumulative curve spent below
+// frac of the population, retraction dips included.
+func timeBelow(points []CoveragePoint, total int, frac float64, limit time.Duration) time.Duration {
+	need := int(math.Ceil(frac * float64(total)))
+	if need < 1 {
+		need = 1
+	}
+	below := time.Duration(0)
+	cur := 0
+	last := time.Duration(0)
+	for _, p := range points {
+		if p.At >= limit {
+			break
+		}
+		if cur < need {
+			below += p.At - last
+		}
+		last = p.At
+		cur = p.Count
+	}
+	if cur < need && limit > last {
+		below += limit - last
+	}
+	return below
 }
 
 // digestPair keys a fork proof by its unordered conflicting digests, so the
@@ -448,5 +536,20 @@ func (r *Result) Summary() string {
 			r.Spec.Gossip.Fanout, r.GossipPushes, r.GossipPulls, r.GossipServes,
 			r.GossipRounds, r.CachesFromPeers, float64(r.GossipBytes)/1e6)
 	}
+	if r.Spec.Backoff != nil {
+		fmt.Fprintf(&b, "; backoff: %d retry bursts, %d fetches shed", r.RetryBursts, r.RetryDropped)
+	}
+	if r.Spec.Faults != nil {
+		fmt.Fprintf(&b, "; faults: %d events, %v below target, worst MTTR %s",
+			r.FaultEvents, r.TimeBelowTarget, fmtMTTR(faults.WorstMTTR(r.Recoveries)))
+	}
 	return b.String()
+}
+
+// fmtMTTR renders a recovery time, with the Never sentinel spelled out.
+func fmtMTTR(d time.Duration) string {
+	if d == simnet.Never {
+		return "never"
+	}
+	return d.String()
 }

@@ -3,8 +3,10 @@ package dircache
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"partialtor/internal/attack"
+	"partialtor/internal/faults"
 	"partialtor/internal/obs"
 	"partialtor/internal/simnet"
 	"partialtor/internal/topo"
@@ -56,6 +58,20 @@ func Run(spec Spec) (*Result, error) {
 		attacks[i].Trace(tracer)
 	}
 
+	// The fault plan gets the same private-copy treatment as the attacks:
+	// region scopes resolve against this run's placement, membership sets
+	// compile once, and the whole schedule is traced up front. The resolved
+	// clone replaces the caller's plan in the local spec so every node — and
+	// collect — sees resolved targets.
+	if spec.Faults != nil {
+		plan := spec.Faults.Clone()
+		if err := plan.Resolve(tp, spec.Authorities, spec.Caches); err != nil {
+			return nil, fmt.Errorf("dircache: %w", err)
+		}
+		plan.Trace(tracer)
+		spec.Faults = plan
+	}
+
 	// Node layout: [0, A) authorities, [A, A+C) caches, [A+C, A+C+F) fleets.
 	authIDs := make([]simnet.NodeID, spec.Authorities)
 	for i := range authIDs {
@@ -64,6 +80,12 @@ func Run(spec Spec) (*Result, error) {
 		up := simnet.NewProfile(bw)
 		down := simnet.NewProfile(bw)
 		applyAttacks(attacks, attack.TierAuthority, i, up, down)
+		if spec.Faults != nil {
+			// An authority stub is stateless, so its crash is fully captured
+			// by the zero-rate window: nothing reaches it and nothing leaves
+			// until the restart.
+			spec.Faults.Throttle(attack.TierAuthority, i, up, down)
+		}
 		authIDs[i] = net.AddNodeIn(stub, up, down, region)
 	}
 
@@ -94,6 +116,10 @@ func Run(spec Spec) (*Result, error) {
 		up := simnet.NewProfile(bw)
 		down := simnet.NewProfile(bw)
 		applyAttacks(attacks, attack.TierCache, i, up, down)
+		if spec.Faults != nil {
+			spec.Faults.Throttle(attack.TierCache, i, up, down)
+			c.faults = cacheFaultWindows(spec.Faults, i)
+		}
 		caches[i] = c
 		cacheIDs[i] = net.AddNodeIn(c, up, down, region)
 	}
@@ -131,8 +157,68 @@ func Run(spec Spec) (*Result, error) {
 		}
 	}
 
+	if spec.Faults != nil && spec.Faults.HasPartition() {
+		installPartitions(net, spec.Faults, authIDs, cacheIDs)
+	}
+
 	net.Run(spec.RunLimit)
 	return collect(spec, net, authIDs, cacheIDs, fleetIDs, caches, fleets), nil
+}
+
+// cacheFaultWindows extracts the fault windows cache i must act on beyond
+// the capacity effect: Crash and Churn both lose the node's state (a
+// restarted mirror forgets its document), and Churn additionally changes
+// mesh membership. Nil when the cache is untouched, so an unfaulted cache
+// schedules nothing.
+func cacheFaultWindows(plan *faults.Plan, i int) []faultWindow {
+	var out []faultWindow
+	for k := range plan.Faults {
+		f := &plan.Faults[k]
+		if f.Tier != attack.TierCache || !f.IsTarget(i) {
+			continue
+		}
+		if f.Kind == faults.Crash || f.Kind == faults.Churn {
+			out = append(out, faultWindow{start: f.Start, end: f.End, churn: f.Kind == faults.Churn})
+		}
+	}
+	return out
+}
+
+// installPartitions wires the plan's Partition faults into the transport: a
+// message sent while any partition window is open with exactly one endpoint
+// inside the partitioned group is dropped (counted in Stats.MessagesDropped).
+// Messages already in flight when a window opens still deliver — a partition
+// severs reachability from its onset, it does not reach back in time.
+func installPartitions(net *simnet.Network, plan *faults.Plan, authIDs, cacheIDs []simnet.NodeID) {
+	type partition struct {
+		start, end time.Duration
+		members    map[simnet.NodeID]bool
+	}
+	var parts []partition
+	for i := range plan.Faults {
+		f := &plan.Faults[i]
+		if f.Kind != faults.Partition {
+			continue
+		}
+		ids := authIDs
+		if f.Tier == attack.TierCache {
+			ids = cacheIDs
+		}
+		members := make(map[simnet.NodeID]bool, len(f.Targets))
+		for _, t := range f.Targets {
+			members[ids[t]] = true
+		}
+		parts = append(parts, partition{start: f.Start, end: f.End, members: members})
+	}
+	net.SetDropFilter(func(from, to simnet.NodeID, _ simnet.Message) bool {
+		now := net.Now()
+		for _, p := range parts {
+			if now >= p.start && now < p.end && p.members[from] != p.members[to] {
+				return true
+			}
+		}
+		return false
+	})
 }
 
 // nodePlacement resolves one node's region and tier-scaled bandwidth; the

@@ -1,0 +1,34 @@
+// Package faults is the chaos layer of the directory simulation:
+// declarative, seeded fault plans scheduled as ordinary simnet events, so a
+// faulted run is exactly as deterministic — and exactly as golden-pinnable —
+// as a clean one.
+//
+// A Plan is a list of Fault windows against one tier each, in the same idiom
+// as attack.Plan: validate up front, resolve region scopes against the run's
+// topology, compile the target set, then let the runner apply each fault at
+// wiring time. Five kinds cover the messy ways real deployments fail around
+// a clean link flood:
+//
+//   - Crash: the node's links drop to zero for the window (crash + restart
+//     with configurable downtime). The fluid model makes this exact: a
+//     zero-rate pipe delivers nothing until the window ends.
+//   - Degrade: link capacity is scaled by Factor over the window — a
+//     congested or rate-limited path rather than a dead one.
+//   - Flap: the link alternates between dead and healthy with period
+//     Period — the first half of each period is down.
+//   - Partition: messages crossing the boundary between the fault's targets
+//     and the rest of the network are dropped for the window (the runner
+//     installs a simnet drop filter). Links stay up; reachability is what
+//     breaks.
+//   - Churn: mirrors leave the gossip mesh at Start and rejoin at End. The
+//     overlay absorbs the membership change by rebuilding each survivor's
+//     neighbour list and catching the returnee up via an immediate
+//     anti-entropy round.
+//
+// The package also owns the client-side half of graceful degradation:
+// Backoff replaces the fleet's fixed-delay coalesced retry with a capped,
+// seeded-jitter exponential backoff and an optional per-fleet retry budget,
+// desynchronizing the retry bursts that a fixed delay turns into a
+// self-inflicted flood. Recovery records, per fault, how long after the
+// fault cleared the run took to regain target coverage (MTTR).
+package faults

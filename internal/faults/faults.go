@@ -1,0 +1,442 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"partialtor/internal/attack"
+	"partialtor/internal/obs"
+	"partialtor/internal/simnet"
+	"partialtor/internal/topo"
+)
+
+// Kind enumerates the fault varieties a plan can schedule.
+type Kind int
+
+const (
+	// Crash takes the target fully offline for the window: both access
+	// pipes drop to zero rate, and a crashed cache forgets its document
+	// (the restart re-fetches or catches up over the mesh).
+	Crash Kind = iota
+	// Degrade scales the target's link capacity by Factor over the window —
+	// a congested or rate-limited path rather than a dead one.
+	Degrade
+	// Flap alternates the target's links between dead and healthy with
+	// period Period; the first half of each period is down.
+	Flap
+	// Partition drops every message crossing the boundary between the
+	// fault's targets and the rest of the network for the window. Links
+	// stay up; reachability is what breaks.
+	Partition
+	// Churn removes the target mirrors from the gossip mesh at Start and
+	// rejoins them at End: the node goes offline like a crash, survivors
+	// rebuild their neighbour lists around the hole, and the returnee
+	// rejoins empty-handed and catches up by anti-entropy.
+	Churn
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Crash:
+		return "crash"
+	case Degrade:
+		return "degrade"
+	case Flap:
+		return "flap"
+	case Partition:
+		return "partition"
+	case Churn:
+		return "churn"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Fault is one fault window against a set of nodes in one tier. It follows
+// the attack.Plan idiom: Validate up front, ResolveRegion against the run's
+// topology, Compile the membership set, then the runner applies it at
+// wiring time — so a faulted run schedules everything before the clock
+// starts and stays byte-identically deterministic.
+type Fault struct {
+	// Kind selects the failure mode.
+	Kind Kind
+	// Tier selects the faulted layer; the zero value is TierAuthority.
+	// Churn is a mesh-membership fault and requires TierCache.
+	Tier attack.Tier
+	// Targets are node indices under fault, relative to the fault's tier.
+	Targets []int
+	// TargetRegion, if non-empty, scopes the fault geographically instead
+	// of by explicit indices, resolved against the run's topology exactly
+	// like a region-scoped attack plan.
+	TargetRegion string
+	// Start and End bound the window [Start, End).
+	Start, End time.Duration
+	// Factor is the capacity scale a Degrade fault applies in the window
+	// (0 kills the link, 1 would be a no-op and is rejected). Other kinds
+	// ignore it.
+	Factor float64
+	// Period is a Flap fault's full down+up cycle length. Other kinds
+	// ignore it.
+	Period time.Duration
+
+	// targets is the membership index built by Compile; nil until then.
+	targets map[int]struct{}
+}
+
+// Validate rejects malformed faults.
+func (f *Fault) Validate() error {
+	if f.Tier != attack.TierAuthority && f.Tier != attack.TierCache {
+		return fmt.Errorf("faults: unknown tier %v", f.Tier)
+	}
+	if f.Start < 0 {
+		return fmt.Errorf("faults: %v window starts at negative time %v", f.Kind, f.Start)
+	}
+	if f.End <= f.Start {
+		return fmt.Errorf("faults: %v window ends (%v) at or before its start (%v)", f.Kind, f.End, f.Start)
+	}
+	for _, t := range f.Targets {
+		if t < 0 {
+			return fmt.Errorf("faults: negative target index %d", t)
+		}
+	}
+	if f.TargetRegion != "" && len(f.Targets) > 0 {
+		return errors.New("faults: fault carries both explicit Targets and a TargetRegion; pick one")
+	}
+	switch f.Kind {
+	case Crash, Partition:
+	case Degrade:
+		if f.Factor < 0 || f.Factor >= 1 {
+			return fmt.Errorf("faults: degrade factor %g outside [0, 1)", f.Factor)
+		}
+	case Flap:
+		if f.Period < time.Millisecond {
+			return fmt.Errorf("faults: flap period %v below 1ms", f.Period)
+		}
+	case Churn:
+		if f.Tier != attack.TierCache {
+			return errors.New("faults: churn is a mesh-membership fault and only applies to the cache tier")
+		}
+	default:
+		return fmt.Errorf("faults: unknown fault kind %v", f.Kind)
+	}
+	return nil
+}
+
+// ResolveRegion expands a region-scoped fault against the run's topology:
+// Targets becomes every node of the fault's n-node tier the topology places
+// in TargetRegion. It is a no-op for index-scoped faults, and an error when
+// the region is unknown, the run is flat, or the region holds none of the
+// tier's nodes.
+func (f *Fault) ResolveRegion(t topo.Topology, tierSize int) error {
+	if f.TargetRegion == "" {
+		return nil
+	}
+	if len(f.Targets) > 0 {
+		return errors.New("faults: fault carries both explicit Targets and a TargetRegion; pick one")
+	}
+	if t == nil {
+		return fmt.Errorf("faults: region-scoped fault (%q) needs a topology; the flat model has no regions", f.TargetRegion)
+	}
+	r, err := topo.RegionByName(t, f.TargetRegion)
+	if err != nil {
+		return fmt.Errorf("faults: %w", err)
+	}
+	targets := topo.RegionTargets(t, r, tierSize)
+	if len(targets) == 0 {
+		return fmt.Errorf("faults: region %q holds none of the %d-node %v tier", f.TargetRegion, tierSize, f.Tier)
+	}
+	f.Targets = targets
+	f.TargetRegion = ""
+	return nil
+}
+
+// Compile precomputes the target-membership set so IsTarget is O(1).
+func (f *Fault) Compile() {
+	set := make(map[int]struct{}, len(f.Targets))
+	for _, t := range f.Targets {
+		set[t] = struct{}{}
+	}
+	f.targets = set
+}
+
+// IsTarget reports whether the tier-relative node index is hit by this
+// fault. A compiled fault answers in O(1); an uncompiled one scans.
+func (f *Fault) IsTarget(index int) bool {
+	if f.targets != nil {
+		_, ok := f.targets[index]
+		return ok
+	}
+	for _, t := range f.Targets {
+		if t == index {
+			return true
+		}
+	}
+	return false
+}
+
+// Duration returns the window length.
+func (f *Fault) Duration() time.Duration { return f.End - f.Start }
+
+// Throttle applies the fault's capacity effect to one node's pipes. It is
+// a no-op for non-targets and for kinds without a capacity effect
+// (Partition breaks reachability, not links). The index is tier-relative.
+// Profiles are precompiled, so the whole fault schedule — including every
+// flap cycle — lands in the piecewise-constant rate function up front.
+func (f *Fault) Throttle(index int, up, down *simnet.Profile) {
+	if !f.IsTarget(index) {
+		return
+	}
+	switch f.Kind {
+	case Crash, Churn:
+		up.ThrottleMin(f.Start, f.End, 0)
+		down.ThrottleMin(f.Start, f.End, 0)
+	case Degrade:
+		up.Scale(f.Start, f.End, f.Factor)
+		down.Scale(f.Start, f.End, f.Factor)
+	case Flap:
+		for t := f.Start; t < f.End; t += f.Period {
+			downEnd := t + f.Period/2
+			if downEnd > f.End {
+				downEnd = f.End
+			}
+			up.ThrottleMin(t, downEnd, 0)
+			down.ThrottleMin(t, downEnd, 0)
+		}
+	}
+}
+
+// Plan is a run's whole fault schedule.
+type Plan struct {
+	// Faults are the scheduled fault windows; they may overlap.
+	Faults []Fault
+}
+
+// Clone returns a deep copy: runners mutate their copy (region resolution,
+// compilation) without touching the caller's plan, the same contract the
+// distribution runner keeps for attack plans.
+func (p *Plan) Clone() *Plan {
+	if p == nil {
+		return nil
+	}
+	out := &Plan{Faults: make([]Fault, len(p.Faults))}
+	for i := range p.Faults {
+		f := p.Faults[i]
+		f.Targets = append([]int(nil), f.Targets...)
+		f.targets = nil
+		out.Faults[i] = f
+	}
+	return out
+}
+
+// Validate rejects a plan with any malformed fault.
+func (p *Plan) Validate() error {
+	for i := range p.Faults {
+		if err := p.Faults[i].Validate(); err != nil {
+			return fmt.Errorf("fault %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Resolve expands every region-scoped fault against the run's topology and
+// tier sizes, then compiles every fault's membership set.
+func (p *Plan) Resolve(t topo.Topology, authorities, caches int) error {
+	for i := range p.Faults {
+		f := &p.Faults[i]
+		size := authorities
+		if f.Tier == attack.TierCache {
+			size = caches
+		}
+		if err := f.ResolveRegion(t, size); err != nil {
+			return fmt.Errorf("fault %d: %w", i, err)
+		}
+		f.Compile()
+	}
+	return nil
+}
+
+// Throttle applies every fault of the given tier to one node's pipes.
+func (p *Plan) Throttle(tier attack.Tier, index int, up, down *simnet.Profile) {
+	for i := range p.Faults {
+		if p.Faults[i].Tier == tier {
+			p.Faults[i].Throttle(index, up, down)
+		}
+	}
+}
+
+// Trace emits the plan's ground truth into a trace: one onset/offset event
+// pair per fault per target. Runners call it at wiring time; a nil tracer
+// is a no-op.
+func (p *Plan) Trace(tr obs.Tracer) {
+	if tr == nil {
+		return
+	}
+	for i := range p.Faults {
+		f := &p.Faults[i]
+		label := f.Kind.String()
+		for _, t := range f.Targets {
+			tr.Event(obs.Event{Type: obs.EvFaultOn, At: f.Start, Node: t, A: int64(i), B: int64(f.Tier), F: f.Factor, Label: label})
+			tr.Event(obs.Event{Type: obs.EvFaultOff, At: f.End, Node: t, A: int64(i), B: int64(f.Tier), F: f.Factor, Label: label})
+		}
+	}
+}
+
+// Events counts the scheduled fault events: one per fault per target.
+func (p *Plan) Events() int {
+	n := 0
+	for i := range p.Faults {
+		n += len(p.Faults[i].Targets)
+	}
+	return n
+}
+
+// HasPartition reports whether any fault in the plan is a Partition — the
+// runner only installs a network drop filter when one is.
+func (p *Plan) HasPartition() bool {
+	for i := range p.Faults {
+		if p.Faults[i].Kind == Partition {
+			return true
+		}
+	}
+	return false
+}
+
+// ChurnedAwayAt reports whether any Churn fault holds the given cache out
+// of the mesh at virtual time t. Membership changes at fault boundaries:
+// away at Start, back at End.
+func (p *Plan) ChurnedAwayAt(cacheIndex int, t time.Duration) bool {
+	for i := range p.Faults {
+		f := &p.Faults[i]
+		if f.Kind == Churn && t >= f.Start && t < f.End && f.IsTarget(cacheIndex) {
+			return true
+		}
+	}
+	return false
+}
+
+// Backoff configures the client fleets' retry schedule: a capped, seeded-
+// jitter exponential backoff replacing the fixed-delay coalesced retry.
+// Jittering from the run's deterministic RNG keeps the simulation
+// reproducible while desynchronizing retry bursts across fleets — the
+// fixed delay lands every fleet's refused fetches back on the flooded tier
+// as one synchronized spike.
+type Backoff struct {
+	// Base is the first retry delay. 0 selects the default 15s.
+	Base time.Duration
+	// Cap bounds the grown delay. 0 selects the default 4m.
+	Cap time.Duration
+	// Factor is the per-attempt multiplier. 0 selects the default 2.
+	Factor float64
+	// Jitter is the fraction of each delay that is randomized: the delay
+	// becomes d·(1−Jitter) + U[0,1)·d·Jitter. 0 selects the default 0.5.
+	Jitter float64
+	// Budget caps the retry bursts one fleet fires over the whole run; once
+	// spent, further refused fetches are shed and counted instead of
+	// retried. 0 means unlimited.
+	Budget int
+}
+
+// WithDefaults returns a copy with zero fields defaulted.
+func (b Backoff) WithDefaults() Backoff {
+	if b.Base == 0 {
+		b.Base = 15 * time.Second
+	}
+	if b.Cap == 0 {
+		b.Cap = 4 * time.Minute
+	}
+	if b.Factor == 0 {
+		b.Factor = 2
+	}
+	if b.Jitter == 0 {
+		b.Jitter = 0.5
+	}
+	return b
+}
+
+// Validate rejects a malformed configuration (call after WithDefaults).
+func (b *Backoff) Validate() error {
+	if b.Base <= 0 {
+		return fmt.Errorf("faults: backoff base %v not positive", b.Base)
+	}
+	if b.Cap < b.Base {
+		return fmt.Errorf("faults: backoff cap %v below base %v", b.Cap, b.Base)
+	}
+	if b.Factor < 1 {
+		return fmt.Errorf("faults: backoff factor %g below 1", b.Factor)
+	}
+	if b.Jitter < 0 || b.Jitter > 1 {
+		return fmt.Errorf("faults: backoff jitter %g outside [0, 1]", b.Jitter)
+	}
+	if b.Budget < 0 {
+		return fmt.Errorf("faults: negative backoff budget %d", b.Budget)
+	}
+	return nil
+}
+
+// Delay returns the attempt-th retry delay (0-based): Base grown by Factor
+// per attempt, capped at Cap, then jittered from rng. It draws exactly one
+// rng value per call when Jitter > 0 and none otherwise, so the RNG stream
+// consumed by a run is a pure function of the retry sequence.
+//
+//detlint:hotpath
+func (b *Backoff) Delay(attempt int, rng *rand.Rand) time.Duration {
+	d := float64(b.Base)
+	limit := float64(b.Cap)
+	for i := 0; i < attempt; i++ {
+		d *= b.Factor
+		if d >= limit {
+			d = limit
+			break
+		}
+	}
+	if b.Jitter > 0 {
+		d = d*(1-b.Jitter) + rng.Float64()*d*b.Jitter
+	}
+	return time.Duration(d)
+}
+
+// Recovery is one fault's graceful-degradation outcome: how long after the
+// fault cleared the run took to regain target coverage.
+type Recovery struct {
+	// Fault is the index into the plan's Faults.
+	Fault int
+	// ClearedAt is the fault's End.
+	ClearedAt time.Duration
+	// MTTR is the time from ClearedAt until cumulative coverage first
+	// (re)reached the run's target: 0 when coverage never dipped below it,
+	// simnet.Never when the run ended still below target.
+	MTTR time.Duration
+}
+
+// WorstMTTR returns the largest MTTR across recoveries (0 for none).
+// A never-recovered fault dominates: the result is simnet.Never.
+func WorstMTTR(recoveries []Recovery) time.Duration {
+	worst := time.Duration(0)
+	for _, r := range recoveries {
+		if r.MTTR > worst {
+			worst = r.MTTR
+		}
+	}
+	return worst
+}
+
+// SpreadTargets returns count node indices spread evenly over [first, n) —
+// the fault-plan analogue of attack.FirstTargets for scenarios that want
+// failures scattered across a tier (e.g. sparing a seeded mirror at index
+// 0) rather than clustered at its front. count <= 0 yields an empty set;
+// count is clamped to the span.
+func SpreadTargets(first, n, count int) []int {
+	span := n - first
+	if count <= 0 || span <= 0 {
+		return nil
+	}
+	if count > span {
+		count = span
+	}
+	out := make([]int, count)
+	for i := range out {
+		out[i] = first + i*span/count
+	}
+	return out
+}

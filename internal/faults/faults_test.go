@@ -1,0 +1,243 @@
+package faults
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"partialtor/internal/attack"
+	"partialtor/internal/simnet"
+)
+
+func TestFaultValidate(t *testing.T) {
+	min := time.Minute
+	cases := []struct {
+		name string
+		f    Fault
+		ok   bool
+	}{
+		{"crash ok", Fault{Kind: Crash, Tier: attack.TierCache, Targets: []int{1}, Start: 0, End: min}, true},
+		{"authority crash ok", Fault{Kind: Crash, Targets: []int{0}, Start: 0, End: min}, true},
+		{"empty window", Fault{Kind: Crash, Targets: []int{0}, Start: min, End: min}, false},
+		{"inverted window", Fault{Kind: Crash, Targets: []int{0}, Start: min, End: 0}, false},
+		{"negative start", Fault{Kind: Crash, Targets: []int{0}, Start: -1, End: min}, false},
+		{"negative target", Fault{Kind: Crash, Targets: []int{-1}, Start: 0, End: min}, false},
+		{"targets and region", Fault{Kind: Crash, Targets: []int{0}, TargetRegion: "eu", Start: 0, End: min}, false},
+		{"degrade ok", Fault{Kind: Degrade, Targets: []int{0}, Factor: 0.5, Start: 0, End: min}, true},
+		{"degrade zero factor ok", Fault{Kind: Degrade, Targets: []int{0}, Factor: 0, Start: 0, End: min}, true},
+		{"degrade factor 1", Fault{Kind: Degrade, Targets: []int{0}, Factor: 1, Start: 0, End: min}, false},
+		{"degrade negative factor", Fault{Kind: Degrade, Targets: []int{0}, Factor: -0.1, Start: 0, End: min}, false},
+		{"flap ok", Fault{Kind: Flap, Targets: []int{0}, Period: time.Second, Start: 0, End: min}, true},
+		{"flap period too short", Fault{Kind: Flap, Targets: []int{0}, Period: time.Microsecond, Start: 0, End: min}, false},
+		{"partition ok", Fault{Kind: Partition, Tier: attack.TierCache, Targets: []int{0, 1}, Start: 0, End: min}, true},
+		{"churn ok", Fault{Kind: Churn, Tier: attack.TierCache, Targets: []int{2}, Start: 0, End: min}, true},
+		{"churn on authorities", Fault{Kind: Churn, Tier: attack.TierAuthority, Targets: []int{0}, Start: 0, End: min}, false},
+		{"unknown kind", Fault{Kind: Kind(99), Targets: []int{0}, Start: 0, End: min}, false},
+		{"unknown tier", Fault{Kind: Crash, Tier: attack.Tier(9), Targets: []int{0}, Start: 0, End: min}, false},
+	}
+	for _, tc := range cases {
+		err := tc.f.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: validation passed, want error", tc.name)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{Crash: "crash", Degrade: "degrade", Flap: "flap", Partition: "partition", Churn: "churn"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+}
+
+func TestBackoffDelayGrowthAndCap(t *testing.T) {
+	b := Backoff{Base: 10 * time.Second, Cap: time.Minute, Factor: 2, Jitter: 0}
+	want := []time.Duration{
+		10 * time.Second, 20 * time.Second, 40 * time.Second,
+		time.Minute, time.Minute, time.Minute, // capped from attempt 3 on
+	}
+	for attempt, w := range want {
+		if d := b.Delay(attempt, nil); d != w {
+			t.Errorf("Delay(%d) = %v, want %v", attempt, d, w)
+		}
+	}
+}
+
+func TestBackoffDelayJitterBounds(t *testing.T) {
+	b := Backoff{}.WithDefaults() // Base 15s, Cap 4m, Factor 2, Jitter 0.5
+	rng := rand.New(rand.NewSource(1))
+	for attempt := 0; attempt < 12; attempt++ {
+		flat := Backoff{Base: b.Base, Cap: b.Cap, Factor: b.Factor, Jitter: 0}
+		full := flat.Delay(attempt, nil)
+		lo := time.Duration(float64(full) * (1 - b.Jitter))
+		for i := 0; i < 50; i++ {
+			d := b.Delay(attempt, rng)
+			if d < lo || d >= full {
+				t.Fatalf("Delay(%d) = %v outside jitter band [%v, %v)", attempt, d, lo, full)
+			}
+		}
+	}
+}
+
+func TestBackoffDelayDeterministic(t *testing.T) {
+	b := Backoff{}.WithDefaults()
+	a := rand.New(rand.NewSource(7))
+	c := rand.New(rand.NewSource(7))
+	for attempt := 0; attempt < 8; attempt++ {
+		if d1, d2 := b.Delay(attempt, a), b.Delay(attempt, c); d1 != d2 {
+			t.Fatalf("same seed, different delays at attempt %d: %v vs %v", attempt, d1, d2)
+		}
+	}
+}
+
+func TestBackoffDelayAllocFree(t *testing.T) {
+	b := Backoff{}.WithDefaults()
+	rng := rand.New(rand.NewSource(3))
+	attempt := 0
+	if n := testing.AllocsPerRun(200, func() {
+		_ = b.Delay(attempt%9, rng)
+		attempt++
+	}); n != 0 {
+		t.Fatalf("Delay allocates %g per call on the retry hot path, want 0", n)
+	}
+}
+
+func TestBackoffValidate(t *testing.T) {
+	good := Backoff{}.WithDefaults()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("defaults invalid: %v", err)
+	}
+	bad := []Backoff{
+		{Base: -time.Second, Cap: time.Minute, Factor: 2, Jitter: 0.5},
+		{Base: time.Minute, Cap: time.Second, Factor: 2, Jitter: 0.5},
+		{Base: time.Second, Cap: time.Minute, Factor: 0.5, Jitter: 0.5},
+		{Base: time.Second, Cap: time.Minute, Factor: 2, Jitter: 1.5},
+		{Base: time.Second, Cap: time.Minute, Factor: 2, Jitter: -0.5},
+		{Base: time.Second, Cap: time.Minute, Factor: 2, Jitter: 0.5, Budget: -1},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("bad config %d passed validation: %+v", i, b)
+		}
+	}
+}
+
+func TestSpreadTargets(t *testing.T) {
+	cases := []struct {
+		first, n, count int
+		want            []int
+	}{
+		{1, 20, 6, []int{1, 4, 7, 10, 13, 16}},
+		{2, 20, 4, []int{2, 6, 11, 15}},
+		{0, 10, 10, []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}},
+		{0, 4, 10, []int{0, 1, 2, 3}}, // clamped to the span
+		{5, 5, 3, nil},                // empty span
+		{0, 10, 0, nil},
+	}
+	for _, tc := range cases {
+		got := SpreadTargets(tc.first, tc.n, tc.count)
+		if len(got) != len(tc.want) {
+			t.Errorf("SpreadTargets(%d,%d,%d) = %v, want %v", tc.first, tc.n, tc.count, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("SpreadTargets(%d,%d,%d) = %v, want %v", tc.first, tc.n, tc.count, got, tc.want)
+				break
+			}
+		}
+	}
+}
+
+func TestWorstMTTR(t *testing.T) {
+	if w := WorstMTTR(nil); w != 0 {
+		t.Errorf("WorstMTTR(nil) = %v, want 0", w)
+	}
+	rs := []Recovery{{MTTR: 10 * time.Second}, {MTTR: 0}, {MTTR: 3 * time.Minute}}
+	if w := WorstMTTR(rs); w != 3*time.Minute {
+		t.Errorf("WorstMTTR = %v, want 3m", w)
+	}
+	rs = append(rs, Recovery{MTTR: simnet.Never})
+	if w := WorstMTTR(rs); w != simnet.Never {
+		t.Errorf("WorstMTTR with a stranded fault = %v, want Never", w)
+	}
+}
+
+func TestPlanCloneIsDeep(t *testing.T) {
+	p := &Plan{Faults: []Fault{{Kind: Crash, Tier: attack.TierCache, Targets: []int{1, 2}, Start: 0, End: time.Minute}}}
+	p.Faults[0].Compile()
+	c := p.Clone()
+	c.Faults[0].Targets[0] = 99
+	if p.Faults[0].Targets[0] != 1 {
+		t.Fatal("Clone shares the Targets backing array")
+	}
+	if c.Faults[0].targets != nil {
+		t.Fatal("Clone carried over the compiled membership set")
+	}
+	if (*Plan)(nil).Clone() != nil {
+		t.Fatal("nil plan should clone to nil")
+	}
+}
+
+func TestPlanHelpers(t *testing.T) {
+	p := &Plan{Faults: []Fault{
+		{Kind: Crash, Tier: attack.TierCache, Targets: []int{1, 4}, Start: time.Minute, End: 2 * time.Minute},
+		{Kind: Churn, Tier: attack.TierCache, Targets: []int{2}, Start: 90 * time.Second, End: 3 * time.Minute},
+	}}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Resolve(nil, 9, 10); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Events(); got != 3 {
+		t.Errorf("Events() = %d, want 3", got)
+	}
+	if p.HasPartition() {
+		t.Error("HasPartition() = true for a plan without one")
+	}
+	if !p.ChurnedAwayAt(2, 2*time.Minute) {
+		t.Error("cache 2 should be churned away mid-window")
+	}
+	if p.ChurnedAwayAt(2, 3*time.Minute) {
+		t.Error("membership returns at End (half-open window)")
+	}
+	if p.ChurnedAwayAt(2, time.Minute) {
+		t.Error("cache 2 not yet churned at t=1m")
+	}
+	if p.ChurnedAwayAt(1, 2*time.Minute) {
+		t.Error("crash is not a membership fault")
+	}
+}
+
+func TestFaultThrottle(t *testing.T) {
+	f := Fault{Kind: Flap, Tier: attack.TierCache, Targets: []int{0}, Start: 0, End: 10 * time.Second, Period: 4 * time.Second}
+	f.Compile()
+	up := simnet.NewProfile(1000)
+	down := simnet.NewProfile(1000)
+	f.Throttle(0, up, down)
+	// Cycles: down [0,2s), up [2s,4s), down [4s,6s), up [6s,8s), down [8s,10s).
+	checks := []struct {
+		at   time.Duration
+		rate float64
+	}{
+		{time.Second, 0}, {3 * time.Second, 1000}, {5 * time.Second, 0},
+		{7 * time.Second, 1000}, {9 * time.Second, 0}, {11 * time.Second, 1000},
+	}
+	for _, c := range checks {
+		if r := up.RateAt(c.at); r != c.rate {
+			t.Errorf("flap uplink rate at %v = %g, want %g", c.at, r, c.rate)
+		}
+	}
+	// Non-targets keep full capacity.
+	spare := simnet.NewProfile(1000)
+	f.Throttle(1, spare, spare)
+	if r := spare.RateAt(time.Second); r != 1000 {
+		t.Errorf("non-target throttled to %g", r)
+	}
+}

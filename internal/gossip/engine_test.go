@@ -308,3 +308,34 @@ func TestSelectPeersAllocFree(t *testing.T) {
 		t.Fatalf("SelectPeers allocates %.1f times per round, want 0", allocs)
 	}
 }
+
+// TestSetPeersKeepsCursor: a mid-run membership change (churned mirrors
+// leaving or rejoining) swaps the peer list under the anti-entropy rotation
+// without restarting it — the cursor simply continues over the new list —
+// and an emptied list parks NextPeer until peers return.
+func TestSetPeersKeepsCursor(t *testing.T) {
+	e := NewEngine(0, []int{1, 2, 3})
+	if p, ok := e.NextPeer(); !ok || p != 1 {
+		t.Fatalf("first partner = %d,%v, want 1,true", p, ok)
+	}
+	if p, ok := e.NextPeer(); !ok || p != 2 {
+		t.Fatalf("second partner = %d,%v, want 2,true", p, ok)
+	}
+	// Mirror 2 churns away; the cursor (now at 2) keeps advancing over the
+	// shorter list rather than rewinding.
+	e.SetPeers([]int{1, 3})
+	if p, ok := e.NextPeer(); !ok || p != 1 {
+		t.Fatalf("post-churn partner = %d,%v, want 1,true", p, ok)
+	}
+	if p, ok := e.NextPeer(); !ok || p != 3 {
+		t.Fatalf("post-churn partner = %d,%v, want 3,true", p, ok)
+	}
+	e.SetPeers(nil)
+	if _, ok := e.NextPeer(); ok {
+		t.Fatal("NextPeer on an emptied mesh should report no partner")
+	}
+	e.SetPeers([]int{7})
+	if p, ok := e.NextPeer(); !ok || p != 7 {
+		t.Fatalf("rejoin partner = %d,%v, want 7,true", p, ok)
+	}
+}

@@ -116,6 +116,12 @@ func (e *Engine) Self() int { return e.self }
 // mutate it).
 func (e *Engine) Peers() []int { return e.peers }
 
+// SetPeers replaces the node's mesh neighbours after a membership change
+// (churned mirrors leaving or rejoining). The anti-entropy cursor is kept:
+// the rotation simply continues over the new list, so a rebuild mid-run
+// stays deterministic without restarting the schedule.
+func (e *Engine) SetPeers(peers []int) { e.peers = peers }
+
 // Epoch returns the newest epoch this node holds.
 func (e *Engine) Epoch() uint64 { return e.epoch }
 

@@ -9,6 +9,7 @@ import (
 	"partialtor/internal/chain"
 	"partialtor/internal/client"
 	"partialtor/internal/dircache"
+	"partialtor/internal/faults"
 	"partialtor/internal/gossip"
 	"partialtor/internal/obs"
 	"partialtor/internal/sig"
@@ -51,6 +52,8 @@ type Experiment struct {
 	verify     bool
 	dist       *dircache.Spec
 	gossip     *gossip.Config
+	faults     *faults.Plan
+	backoff    *faults.Backoff
 	policy     client.Policy
 	avail      bool
 	chain      bool
@@ -162,6 +165,32 @@ func WithGossip(cfg gossip.Config) ExperimentOption {
 	}
 }
 
+// WithFaults injects the fault plan into every period's distribution phase:
+// mirror crashes and restarts, degraded or flapping links, network
+// partitions, and gossip-mesh churn, all scheduled as deterministic simnet
+// events. Composes with WithAttack (faults and floods overlap freely),
+// WithGossip (churn needs the mesh) and WithTopology (region-scoped
+// targets). Needs a distribution phase (WithDistribution or a spec on the
+// base scenario).
+func WithFaults(p faults.Plan) ExperimentOption {
+	return func(e *Experiment) error {
+		e.faults = p.Clone()
+		return nil
+	}
+}
+
+// WithBackoff replaces every fleet's fixed coalesced-retry delay with the
+// given capped, seeded-jitter exponential backoff — the graceful-degradation
+// half of the chaos layer: desynchronized retries stop re-flooding a
+// recovering tier the instant it comes back. Needs a distribution phase.
+func WithBackoff(b faults.Backoff) ExperimentOption {
+	return func(e *Experiment) error {
+		bc := b
+		e.backoff = &bc
+		return nil
+	}
+}
+
 // WithTopology places every period's networks on the given regional map
 // (authority placement and latencies in the consensus phase, cache and
 // fleet placement plus per-region coverage in the Distribute phase).
@@ -251,6 +280,24 @@ func NewExperiment(opts ...ExperimentOption) (*Experiment, error) {
 			return nil, fmt.Errorf("harness: gossip specified twice — on the distribution spec and via WithGossip")
 		}
 		e.dist.Gossip = e.gossip
+	}
+	if e.faults != nil {
+		if e.dist == nil {
+			return nil, fmt.Errorf("harness: a fault plan needs a distribution phase (WithDistribution)")
+		}
+		if e.dist.Faults != nil {
+			return nil, fmt.Errorf("harness: faults specified twice — on the distribution spec and via WithFaults")
+		}
+		e.dist.Faults = e.faults
+	}
+	if e.backoff != nil {
+		if e.dist == nil {
+			return nil, fmt.Errorf("harness: retry backoff needs a distribution phase (WithDistribution)")
+		}
+		if e.dist.Backoff != nil {
+			return nil, fmt.Errorf("harness: backoff specified twice — on the distribution spec and via WithBackoff")
+		}
+		e.dist.Backoff = e.backoff
 	}
 	if e.attacked == nil {
 		attackSet := e.attack != nil
@@ -371,6 +418,15 @@ type ExperimentResult struct {
 	StaleRejections int64
 	MisledClients   int
 	ExtraFetches    int64
+	// Graceful-degradation totals over every period's DistributionResult
+	// (zero without a fault plan / backoff config): fault events scheduled,
+	// simulated time the fleet coverage sat below target, the worst
+	// post-fault recovery time across all periods (simnet.Never if any fault
+	// never recovered), and fetches shed by exhausted retry budgets.
+	FaultEvents     int
+	TimeBelowTarget time.Duration
+	WorstMTTR       time.Duration
+	RetryDropped    int64
 	// Chain is the proposal-239 consensus hash chain (nil without
 	// WithChain).
 	Chain *chain.Chain
@@ -414,6 +470,12 @@ func (e *Experiment) Run(ctx context.Context) (*ExperimentResult, error) {
 				res.StaleRejections += d.StaleRejections
 				res.MisledClients += d.Misled
 				res.ExtraFetches += d.ExtraFetches
+				res.FaultEvents += d.FaultEvents
+				res.TimeBelowTarget += d.TimeBelowTarget
+				res.RetryDropped += d.RetryDropped
+				if m := faults.WorstMTTR(d.Recoveries); m > res.WorstMTTR {
+					res.WorstMTTR = m
+				}
 			}
 		}
 		clientRuns = append(clientRuns, client.Run{At: time.Duration(i) * e.policy.Interval, Success: ok})

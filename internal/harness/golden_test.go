@@ -12,6 +12,7 @@ import (
 
 	"partialtor/internal/attack"
 	"partialtor/internal/dircache"
+	"partialtor/internal/faults"
 	"partialtor/internal/gossip"
 	"partialtor/internal/obs"
 	"partialtor/internal/simnet"
@@ -80,6 +81,20 @@ var goldenKernelDigests = map[string]string{
 	"Ours/seed1/gossip":         "a44c17765d077c12f551f2a633bfb319f1e9bdde810b7ca7d92401e12833661c",
 	"Ours/seed7/gossip":         "8bdeebc14d877fb0a760042e58a0b0febcc0b34d6ef6b69228b2cd0edfb93501",
 	"Ours/seed42/gossip":        "a281e1426e5360f47482e0d66b5eb564748e3ef6a2fe66581e50ad6ff9e340f5",
+
+	// The faults cells pin the chaos layer: the compound flood + crash +
+	// churn drill with jittered-backoff fleets, plus the legacy fixed-retry
+	// baseline curve hashed into the same digest. Recorded after the cells
+	// above — no earlier digest changed when the fault layer landed.
+	"Current/seed1/faults":      "962d19f3645e1e149440aa8a42e71f83c248911f2f6f8830d9321b344b52feb1",
+	"Current/seed7/faults":      "3b6585a8b81b87e1b76c2778aaa29c8d224188385f7ace8a1032e6dab33cc38b",
+	"Current/seed42/faults":     "b2b8dcadaf42e7a397c7e350268b152f848321c541ed26883b3e77bec2caaa1d",
+	"Synchronous/seed1/faults":  "5bdf9a46d8fc2c2a52f45475e3eb4e8204ed5ddc3f7505ebbd9b22114186e364",
+	"Synchronous/seed7/faults":  "a35e84a19f3051d8be2e67d4467fe93d567cb5209e8591ca8d76118e5e56fc2c",
+	"Synchronous/seed42/faults": "dff9b84e45d1fb5545256f58e568bc1d41353c88e6a77c01d3fb066c70e08c84",
+	"Ours/seed1/faults":         "187e84aae348c78ed0b4b24a191a2a4640877bdc1df1e0340ddf49c7dc371787",
+	"Ours/seed7/faults":         "c175f9b0d5d6c360bdf11a97aa73e3cc560eff77fc228fca3ba1a5577d32a5dc",
+	"Ours/seed42/faults":        "9dc2593541b0e534a5206c9bffd02d19cd39cc9303c0d411bb1bc3f2b77cb0fc",
 }
 
 // goldenSeeds are the corpus seeds; small primes apart so the latency maps
@@ -182,6 +197,56 @@ func goldenGossip(p Protocol, seed int64) Scenario {
 	}
 }
 
+// goldenFaults is the chaos-layer scenario and the PR's compound acceptance
+// drill: every authority flooded to zero residual for the whole run, 30% of
+// the mirrors crashed mid-run (state lost, links dark) and a further 20% of
+// the mesh membership churned away and back — while the fleets retry under
+// capped seeded-jitter backoff and the fanout-3 mesh re-knits around the
+// holes. The digest also pins the legacy baseline (same flood, fixed retry,
+// no mesh, no faults), which strands.
+func goldenFaults(p Protocol, seed int64) Scenario {
+	return Scenario{
+		Protocol:     p,
+		Relays:       150,
+		EntryPadding: 0,
+		Round:        15 * time.Second,
+		Seed:         seed,
+		Distribution: &dircache.Spec{
+			Clients:        20_000,
+			Caches:         20,
+			Fleets:         2,
+			FetchWindow:    6 * time.Minute,
+			Tick:           5 * time.Second,
+			TargetCoverage: 0.9,
+			Attacks: []attack.Plan{{
+				Tier:     attack.TierAuthority,
+				Targets:  attack.FirstTargets(9),
+				Start:    0,
+				End:      90 * time.Minute,
+				Residual: 0,
+			}},
+			Gossip:  &gossip.Config{Fanout: 3, Seeds: []int{0}},
+			Backoff: &faults.Backoff{Base: 10 * time.Second, Cap: time.Minute, Jitter: 0.5},
+			Faults: &faults.Plan{Faults: []faults.Fault{
+				{
+					Kind:    faults.Crash,
+					Tier:    attack.TierCache,
+					Targets: faults.SpreadTargets(1, 20, 6),
+					Start:   time.Minute,
+					End:     2*time.Minute + 30*time.Second,
+				},
+				{
+					Kind:    faults.Churn,
+					Tier:    attack.TierCache,
+					Targets: faults.SpreadTargets(2, 20, 4),
+					Start:   time.Minute + 30*time.Second,
+					End:     3 * time.Minute,
+				},
+			}},
+		},
+	}
+}
+
 // goldenCompromised is the verification-path scenario: two equivocating
 // caches against chain-verifying fleets, exercising fork detection,
 // retraction and the re-fetch retry machinery.
@@ -272,6 +337,15 @@ func hashDistribution(w io.Writer, d *dircache.Result) {
 			d.Spec.Gossip.Fanout, d.GossipPushes, d.GossipPulls, d.GossipServes,
 			d.GossipRounds, d.CachesFromPeers, d.GossipBytes)
 	}
+	if d.Spec.Backoff != nil {
+		fmt.Fprintf(w, "backoff bursts=%d dropped=%d\n", d.RetryBursts, d.RetryDropped)
+	}
+	if d.Spec.Faults != nil {
+		fmt.Fprintf(w, "faults events=%d below=%d\n", d.FaultEvents, d.TimeBelowTarget)
+		for _, rec := range d.Recoveries {
+			fmt.Fprintf(w, "recovery fault=%d cleared=%d mttr=%d\n", rec.Fault, rec.ClearedAt, rec.MTTR)
+		}
+	}
 	for _, rc := range d.Regions {
 		fmt.Fprintf(w, "region=%s clients=%d covered=%d target=%d p50=%d p99=%d\n",
 			rc.Name, rc.Clients, rc.Covered, rc.TimeToTarget, rc.P50, rc.P99)
@@ -286,7 +360,7 @@ func hashDistribution(w io.Writer, d *dircache.Result) {
 }
 
 // goldenKinds are the corpus cell kinds, one scenario builder each.
-var goldenKinds = []string{"attacked", "compromised", "regional", "gossip"}
+var goldenKinds = []string{"attacked", "compromised", "regional", "gossip", "faults"}
 
 // goldenDigest runs one corpus cell and returns the hex digest of its
 // observable output. A non-nil tracer is attached to the run — the digest
@@ -317,6 +391,8 @@ func goldenDigest(t *testing.T, p Protocol, seed int64, kind string, tracer obs.
 			s = goldenRegional(p, seed)
 		case "gossip":
 			s = goldenGossip(p, seed)
+		case "faults":
+			s = goldenFaults(p, seed)
 		}
 		s.Tracer = tracer
 		res, err := RunE(t.Context(), s)
@@ -334,6 +410,22 @@ func goldenDigest(t *testing.T, p Protocol, seed int64, kind string, tracer obs.
 			// digest, so both curves of the acceptance plot are frozen.
 			base := goldenGossip(p, seed)
 			base.Distribution.Gossip = nil
+			base.Tracer = tracer
+			bres, err := RunE(t.Context(), base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hashDistribution(h, bres.Distribution)
+		}
+		if kind == "faults" {
+			// Pin the legacy counterfactual in the same digest: the identical
+			// flood against fixed-retry star fleets — no mesh, no backoff, no
+			// faults — which strands. The gap between the two curves is the
+			// graceful-degradation claim this cell freezes.
+			base := goldenFaults(p, seed)
+			base.Distribution.Gossip = nil
+			base.Distribution.Backoff = nil
+			base.Distribution.Faults = nil
 			base.Tracer = tracer
 			bres, err := RunE(t.Context(), base)
 			if err != nil {

@@ -38,6 +38,7 @@ import (
 	"partialtor/internal/attack"
 	"partialtor/internal/dircache"
 	"partialtor/internal/dirv3"
+	"partialtor/internal/faults"
 	"partialtor/internal/obs"
 	"partialtor/internal/relay"
 	"partialtor/internal/sig"
@@ -116,6 +117,12 @@ type Scenario struct {
 	// unless Distribution.Topology is set explicitly. Nil keeps the
 	// historical flat model, bit for bit.
 	Topology topo.Topology
+	// Faults, if non-nil, schedules deterministic fault injection over the
+	// distribution phase: crash+restart, link degradation and flapping,
+	// partitions, gossip-mesh churn (see internal/faults). It carries over
+	// into the distribution spec unless Distribution.Faults is set
+	// explicitly, and composes with Attack, Gossip and Topology.
+	Faults *faults.Plan
 	// Seed drives all randomness.
 	Seed int64
 	// RunLimit bounds the simulation; 0 derives a sensible limit.
@@ -445,6 +452,9 @@ func effectiveDistribution(s Scenario) (dircache.Spec, error) {
 	if spec.Topology == nil {
 		// The client tier lives on the same planet as the authorities.
 		spec.Topology = s.Topology
+	}
+	if spec.Faults == nil {
+		spec.Faults = s.Faults
 	}
 	if err := spec.Validate(); err != nil {
 		return dircache.Spec{}, fmt.Errorf("harness: %w", err)

@@ -88,6 +88,16 @@ const (
 	// EvGossipAntiEntropy marks a cache initiating one anti-entropy round.
 	// Peer = the partner cache node, A = the sender's current epoch.
 	EvGossipAntiEntropy
+	// EvFaultOn marks an injected fault's onset against one target. Node =
+	// the target, A = the fault's index in its plan, B = the tier, F = the
+	// fault's capacity factor where one applies, Label = the fault kind.
+	EvFaultOn
+	// EvFaultOff marks the same fault's offset. Fields as in EvFaultOn.
+	EvFaultOff
+	// EvRetry marks one client-fleet retry burst firing. A = fetches
+	// re-issued in the burst, B = the backoff attempt number (0 for the
+	// legacy fixed-delay retry).
+	EvRetry
 )
 
 var eventTypeNames = [...]string{
@@ -109,6 +119,10 @@ var eventTypeNames = [...]string{
 	EvGossipPush:        "gossip-push",
 	EvGossipPull:        "gossip-pull",
 	EvGossipAntiEntropy: "gossip-antientropy",
+
+	EvFaultOn:  "fault-on",
+	EvFaultOff: "fault-off",
+	EvRetry:    "retry",
 }
 
 // String returns the event kind's wire name.

@@ -94,6 +94,7 @@ import (
 	"partialtor/internal/chain"
 	"partialtor/internal/client"
 	"partialtor/internal/dircache"
+	"partialtor/internal/faults"
 	"partialtor/internal/gossip"
 	"partialtor/internal/harness"
 	"partialtor/internal/obs"
@@ -232,6 +233,72 @@ func BuildGossipMesh(n, degree int, seed int64, bias func(a, b int) float64) [][
 // WithGossip joins every period's cache tier into a dissemination mesh;
 // needs a distribution phase.
 func WithGossip(cfg GossipConfig) ExperimentOption { return harness.WithGossip(cfg) }
+
+// --- fault-injection re-exports ---
+//
+// The chaos layer (internal/faults) injects deterministic faults into the
+// distribution tier: crash-and-restart windows, bandwidth degradation,
+// link flapping, network partitions (optionally region-scoped under a
+// topology) and mesh churn — mirrors leaving and rejoining the gossip
+// mesh. Every fault is a seeded simnet event; the same plan under the same
+// seed replays byte-identically, and the golden corpus pins a compound
+// flood + crash + churn scenario. A nil FaultPlan and nil Backoff anywhere
+// keep the historical behavior, bit for bit.
+
+// FaultPlan is a declarative set of faults scheduled against one
+// distribution run; set DistributionSpec.Faults or use WithFaults.
+type FaultPlan = faults.Plan
+
+// FaultSpec is one fault: a kind, a tier, a target set and a window.
+type FaultSpec = faults.Fault
+
+// FaultKind selects how a fault manifests.
+type FaultKind = faults.Kind
+
+// The fault kinds.
+const (
+	// FaultCrash zeroes the targets' bandwidth for the window and resets
+	// their behavioral state (a crash loses in-flight fetches; a restarted
+	// cache re-fetches and catches up over the mesh).
+	FaultCrash = faults.Crash
+	// FaultDegrade scales the targets' bandwidth by Factor.
+	FaultDegrade = faults.Degrade
+	// FaultFlap alternates the targets between dead and healthy each
+	// half-Period.
+	FaultFlap = faults.Flap
+	// FaultPartition drops every message crossing the target-set boundary.
+	FaultPartition = faults.Partition
+	// FaultChurn makes cache targets leave the gossip mesh (and service)
+	// for the window and rejoin via anti-entropy afterwards.
+	FaultChurn = faults.Churn
+)
+
+// RetryBackoff replaces the fleets' fixed retry delay with capped,
+// seeded-jitter exponential backoff and an optional per-fleet retry
+// budget; set DistributionSpec.Backoff or use WithBackoff.
+type RetryBackoff = faults.Backoff
+
+// FaultRecovery is one fault's graceful-degradation record: when it
+// cleared and how long the tier took to recover to target coverage
+// (MTTR).
+type FaultRecovery = faults.Recovery
+
+// WorstMTTR returns the largest MTTR across recoveries (Never if any
+// fault left the tier stranded, 0 for none).
+func WorstMTTR(recoveries []FaultRecovery) time.Duration { return faults.WorstMTTR(recoveries) }
+
+// SpreadTargets returns count target indices spread evenly across
+// [first, n) — "crash every third mirror" as a one-liner.
+func SpreadTargets(first, n, count int) []int { return faults.SpreadTargets(first, n, count) }
+
+// WithFaults schedules the fault plan into every period's distribution
+// phase; needs a distribution phase and composes with WithAttack,
+// WithGossip and WithTopology.
+func WithFaults(p FaultPlan) ExperimentOption { return harness.WithFaults(p) }
+
+// WithBackoff switches every period's fleets to jittered exponential
+// retry backoff; needs a distribution phase.
+func WithBackoff(b RetryBackoff) ExperimentOption { return harness.WithBackoff(b) }
 
 // --- topology re-exports ---
 //
